@@ -1,0 +1,16 @@
+// E-F3a: Fig. 3 (left) — mean message latency vs offered traffic,
+// N=1120, m=8, M=32 flits, L_m in {256, 512} bytes. The offered-traffic
+// grid spans the paper's x-axis (0 .. 5e-4).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  const mcs::util::Args args(argc, argv);
+  mcs::bench::FigurePanel panel;
+  panel.id = "fig3_m32";
+  panel.title = "Fig. 3 (left): N=1120, m=8, M=32";
+  panel.config = mcs::topo::SystemConfig::table1_org_a();
+  panel.message_flits = 32;
+  panel.lambdas = mcs::bench::lambda_grid(0.5e-4, 10);
+  mcs::bench::run_panel(panel, mcs::bench::options_from_args(args));
+  return 0;
+}

@@ -1,0 +1,16 @@
+// E-F3b: Fig. 3 (right) — mean message latency vs offered traffic,
+// N=1120, m=8, M=64 flits, L_m in {256, 512} bytes. Grid spans the
+// paper's x-axis (0 .. 2.5e-4).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  const mcs::util::Args args(argc, argv);
+  mcs::bench::FigurePanel panel;
+  panel.id = "fig3_m64";
+  panel.title = "Fig. 3 (right): N=1120, m=8, M=64";
+  panel.config = mcs::topo::SystemConfig::table1_org_a();
+  panel.message_flits = 64;
+  panel.lambdas = mcs::bench::lambda_grid(0.25e-4, 10);
+  mcs::bench::run_panel(panel, mcs::bench::options_from_args(args));
+  return 0;
+}

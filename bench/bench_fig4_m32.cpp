@@ -1,0 +1,16 @@
+// E-F4a: Fig. 4 (left) — mean message latency vs offered traffic,
+// N=544, m=4, M=32 flits, L_m in {256, 512} bytes. Grid spans the
+// paper's x-axis (0 .. 1e-3).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  const mcs::util::Args args(argc, argv);
+  mcs::bench::FigurePanel panel;
+  panel.id = "fig4_m32";
+  panel.title = "Fig. 4 (left): N=544, m=4, M=32";
+  panel.config = mcs::topo::SystemConfig::table1_org_b();
+  panel.message_flits = 32;
+  panel.lambdas = mcs::bench::lambda_grid(1e-4, 10);
+  mcs::bench::run_panel(panel, mcs::bench::options_from_args(args));
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E-X2: non-uniform traffic — the paper's future-work extension. Three
+// destination patterns on a mid-size heterogeneous system:
+//   * uniform (the paper's assumption 2),
+//   * locality-biased (P(internal) fixed via kLocalFavor; the analytical
+//     models follow through the P_o override),
+//   * hotspot (a fraction of all traffic targets one node; simulation
+//     only — the model's symmetry assumptions do not cover it).
+//
+// Flags: --measured=N, --lambda=..., --no-sim.
+#include <cstdio>
+
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  const mcs::util::Args args(argc, argv);
+  const auto options = mcs::bench::options_from_args(args);
+
+  mcs::topo::SystemConfig config;
+  config.m = 4;
+  config.cluster_heights = {2, 2, 3, 3};  // 48 nodes, heterogeneous
+  mcs::model::NetworkParams params;
+
+  const mcs::model::RefinedModel uniform_model(config, params);
+  const double knee = mcs::model::find_saturation(uniform_model).lambda_sat;
+  const double lambda = args.get_double("lambda", 0.5 * knee);
+  const mcs::topo::MultiClusterTopology topology(config);
+
+  std::printf("=== Traffic patterns (N=%lld, lambda=%.3e) ===\n",
+              static_cast<long long>(config.total_nodes()), lambda);
+  mcs::util::TextTable table({"pattern", "model (refined)", "sim latency",
+                              "sim internal", "sim external",
+                              "external share"});
+
+  struct Case {
+    std::string name;
+    mcs::sim::TrafficPattern pattern;
+    bool model_supported;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"uniform (paper)", {}, true});
+  for (const double local : {0.3, 0.6, 0.9}) {
+    mcs::sim::TrafficPattern p;
+    p.kind = mcs::sim::PatternKind::kLocalFavor;
+    p.local_fraction = local;
+    cases.push_back({"local favor phi=" + mcs::util::TextTable::num(local, 1),
+                     p, true});
+  }
+  for (const double hot : {0.05, 0.15}) {
+    mcs::sim::TrafficPattern p;
+    p.kind = mcs::sim::PatternKind::kHotspot;
+    p.hotspot_fraction = hot;
+    p.hotspot_node = 0;
+    cases.push_back({"hotspot eps=" + mcs::util::TextTable::num(hot, 2), p,
+                     false});
+  }
+
+  for (const Case& c : cases) {
+    // Model with the pattern's effective P_o (Eq. 13 generalization).
+    std::string model_cell = "n/a (asymmetric)";
+    if (c.model_supported) {
+      std::vector<double> p_out;
+      for (int i = 0; i < config.cluster_count(); ++i)
+        p_out.push_back(c.pattern.p_outgoing(topology, i));
+      const mcs::model::RefinedModel model(config, params, p_out);
+      const auto prediction = model.predict(lambda);
+      model_cell = prediction.stable
+                       ? mcs::util::TextTable::num(prediction.mean_latency, 2)
+                       : "saturated";
+    }
+
+    std::string sim_cell = "-", int_cell = "-", ext_cell = "-",
+                share_cell = "-";
+    if (options.run_sim) {
+      mcs::sim::SimConfig cfg;
+      cfg.seed = options.seed;
+      cfg.warmup_messages = options.warmup;
+      cfg.measured_messages = options.measured;
+      cfg.pattern = c.pattern;
+      mcs::sim::Simulator sim(topology, params, lambda, cfg);
+      const auto r = sim.run();
+      if (r.saturated) {
+        sim_cell = "saturated";
+      } else {
+        sim_cell = mcs::util::TextTable::num(r.latency.mean, 2);
+        int_cell = mcs::util::TextTable::num(r.internal_latency.mean, 2);
+        ext_cell = mcs::util::TextTable::num(r.external_latency.mean, 2);
+        share_cell = mcs::util::TextTable::num(
+            static_cast<double>(r.measured_external) /
+                static_cast<double>(r.measured_internal +
+                                    r.measured_external),
+            3);
+      }
+    }
+    table.add_row({c.name, model_cell, sim_cell, int_cell, ext_cell,
+                   share_cell});
+  }
+  table.print();
+  std::printf(
+      "\nReading: locality relieves the concentrator funnel (latency drops\n"
+      "sharply with phi) and the P_o-override model follows the trend;\n"
+      "hotspots congest the victim's ejection channel, which no\n"
+      "cluster-symmetric model can express.\n");
+  return 0;
+}

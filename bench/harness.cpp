@@ -1,0 +1,132 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace mcs::bench {
+
+SweepOptions options_from_args(const util::Args& args) {
+  SweepOptions opt;
+  if (args.get_flag("paper-scale")) {
+    opt.warmup = 10'000;     // Sec. 4: 10k warm-up,
+    opt.measured = 100'000;  // 100k measured messages
+  }
+  opt.warmup = args.get_int("warmup", opt.warmup);
+  opt.measured = args.get_int("measured", opt.measured);
+  opt.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long>(opt.seed)));
+  opt.run_sim = !args.get_flag("no-sim");
+  opt.cut_through = args.get_flag("cut-through");
+  opt.results_dir = args.get("results-dir", opt.results_dir);
+  return opt;
+}
+
+std::vector<double> lambda_grid(double step, int count) {
+  // Two sub-step points sample the low-load steady region (where the
+  // paper reports model/simulation agreement), then the paper's axis
+  // grid proper.
+  std::vector<double> grid = {0.25 * step, 0.5 * step};
+  for (int i = 1; i <= count; ++i) grid.push_back(step * i);
+  return grid;
+}
+
+int run_panel(const FigurePanel& panel, const SweepOptions& options) {
+  std::filesystem::create_directories(options.results_dir);
+  util::CsvWriter csv(
+      options.results_dir + "/" + panel.id + ".csv",
+      {"flit_bytes", "lambda", "paper_latency", "paper_stable",
+       "refined_latency", "refined_stable", "sim_latency", "sim_ci95",
+       "sim_state"});  // sim_state: 0 steady, 1 saturated, 2 non-stationary
+
+  std::printf("=== %s ===\n", panel.title.c_str());
+  std::printf(
+      "system: N=%lld, C=%d, m=%d | M=%d flits | relay=%s | sim: %lld "
+      "measured after %lld warm-up\n",
+      static_cast<long long>(panel.config.total_nodes()),
+      panel.config.cluster_count(), panel.config.m, panel.message_flits,
+      options.cut_through ? "cut-through" : "store-and-forward",
+      static_cast<long long>(options.run_sim ? options.measured : 0),
+      static_cast<long long>(options.run_sim ? options.warmup : 0));
+
+  int saturated_points = 0;
+  topo::MultiClusterTopology topology(panel.config);
+
+  for (const double flit_bytes : panel.flit_sizes) {
+    model::NetworkParams params;
+    params.message_flits = panel.message_flits;
+    params.flit_bytes = flit_bytes;
+
+    const model::PaperModel paper(panel.config, params);
+    const model::RefinedModel refined(panel.config, params);
+
+    std::printf("\n-- L_m = %.0f bytes (t_cn=%.3f, t_cs=%.3f) --\n",
+                flit_bytes, params.t_cn(), params.t_cs());
+    util::TextTable table({"offered traffic", "analysis (paper)",
+                           "analysis (refined)", "simulation",
+                           "sim 95% ci"});
+
+    for (const double lambda : panel.lambdas) {
+      const model::LatencyPrediction pp = paper.predict(lambda);
+      const model::LatencyPrediction rp = refined.predict(lambda);
+
+      std::string sim_cell = "-";
+      std::string ci_cell = "-";
+      double sim_latency = -1.0;
+      double sim_ci = 0.0;
+      int sim_state = 0;  // 0 steady, 1 hard-saturated, 2 non-stationary
+      if (options.run_sim) {
+        sim::SimConfig sim_cfg;
+        sim_cfg.seed = options.seed;
+        sim_cfg.warmup_messages = options.warmup;
+        sim_cfg.measured_messages = options.measured;
+        if (options.cut_through)
+          sim_cfg.relay_mode = sim::RelayMode::kCutThrough;
+        sim::Simulator simulator(topology, params, lambda, sim_cfg);
+        const sim::SimResult result = simulator.run();
+        if (result.saturated) {
+          sim_state = 1;
+          sim_cell = "saturated";
+          ++saturated_points;
+        } else {
+          sim_latency = result.latency.mean;
+          sim_ci = result.latency.half_width;
+          // A CI comparable to the mean signals a non-stationary run:
+          // queues grow for the whole measurement window — the offered
+          // load is beyond the sustainable point.
+          if (sim_ci > 0.3 * sim_latency) {
+            sim_state = 2;
+            ++saturated_points;
+          }
+          sim_cell = util::TextTable::num(sim_latency, 2) +
+                     (sim_state == 2 ? "*" : "");
+          ci_cell = util::TextTable::num(sim_ci, 2);
+        }
+      }
+
+      auto model_cell = [](const model::LatencyPrediction& p) {
+        return p.stable ? util::TextTable::num(p.mean_latency, 2)
+                        : std::string("saturated");
+      };
+      table.add_row({util::TextTable::sci(lambda, 2), model_cell(pp),
+                     model_cell(rp), sim_cell, ci_cell});
+      csv.add_row({util::TextTable::num(flit_bytes, 0),
+                   util::TextTable::sci(lambda, 6),
+                   util::TextTable::num(pp.mean_latency, 6),
+                   pp.stable ? "1" : "0",
+                   util::TextTable::num(rp.mean_latency, 6),
+                   rp.stable ? "1" : "0",
+                   util::TextTable::num(sim_latency, 6),
+                   util::TextTable::num(sim_ci, 6),
+                   std::to_string(sim_state)});
+    }
+    table.print();
+    std::printf("(* = non-stationary run: mean drifts for the whole window;"
+                " the load is past the sustainable point)\n");
+  }
+
+  std::printf("\nwrote %s/%s.csv\n\n", options.results_dir.c_str(),
+              panel.id.c_str());
+  return saturated_points;
+}
+
+}  // namespace mcs::bench

@@ -1,0 +1,46 @@
+// Shared sweep driver for the figure-regeneration benches: evaluates both
+// analytical models and the simulator over an offered-traffic grid, prints
+// the series as a table (the textual equivalent of the paper's plots) and
+// writes CSV under results/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <mcs/mcs.hpp>
+
+namespace mcs::bench {
+
+struct SweepOptions {
+  std::int64_t warmup = 3'000;
+  std::int64_t measured = 30'000;
+  std::uint64_t seed = 20060814;
+  bool run_sim = true;
+  bool cut_through = false;
+  std::string results_dir = "results";
+};
+
+/// Parse the common bench flags: --measured, --warmup, --seed,
+/// --paper-scale (10k/100k phases as in Sec. 4), --no-sim, --cut-through,
+/// --results-dir.
+SweepOptions options_from_args(const util::Args& args);
+
+/// One panel of Figs. 3-4: a system organization, a message length, the
+/// two flit sizes and the offered-traffic grid of the paper's x-axis.
+struct FigurePanel {
+  std::string id;     ///< e.g. "fig3_m32" (also the CSV stem)
+  std::string title;  ///< e.g. "Fig. 3 (left): N=1120, m=8, M=32"
+  topo::SystemConfig config;
+  int message_flits = 32;
+  std::vector<double> flit_sizes = {256, 512};
+  std::vector<double> lambdas;
+};
+
+/// Evenly spaced grid {step, 2*step, ..., count*step} (the paper's axes).
+[[nodiscard]] std::vector<double> lambda_grid(double step, int count);
+
+/// Run the panel; returns the number of saturated simulation points.
+int run_panel(const FigurePanel& panel, const SweepOptions& options);
+
+}  // namespace mcs::bench

@@ -1,0 +1,85 @@
+// Design-space exploration — the use case the paper's conclusion names:
+// "a practical evaluation tool that can help system designers explore the
+// design space and examine various design parameters."
+//
+// Given a target machine size, enumerate the realizable homogeneous
+// multi-cluster organizations (switch arity x cluster height x cluster
+// count), and rank them by sustainable load, low-load latency and switch
+// hardware cost.
+//
+//   ./design_space [--nodes=512]
+#include <cstdio>
+#include <vector>
+
+#include <mcs/mcs.hpp>
+
+int main(int argc, char** argv) {
+  const mcs::util::Args args(argc, argv);
+  const std::int64_t target = args.get_int("nodes", 512);
+  mcs::model::NetworkParams params;  // paper defaults
+
+  struct Candidate {
+    mcs::topo::SystemConfig config;
+    int height;
+    std::int64_t switches;
+    double knee;
+    double zero_load;
+  };
+  std::vector<Candidate> candidates;
+
+  for (const int m : {4, 8, 16}) {
+    for (int h = 1; h <= 6; ++h) {
+      const mcs::topo::TreeShape shape{m, h};
+      if (shape.node_count() > target) break;
+      if (target % shape.node_count() != 0) continue;
+      const auto c = static_cast<int>(target / shape.node_count());
+      if (c < 2 || c > 512) continue;
+      Candidate cand;
+      cand.config = mcs::topo::SystemConfig::homogeneous(m, h, c);
+      cand.height = h;
+      // Hardware cost: ICN1 + ECN1 switches per cluster plus the ICN2.
+      cand.switches =
+          2 * c * shape.switch_count() +
+          mcs::topo::TreeShape{m, cand.config.icn2_height()}.switch_count();
+      const mcs::model::RefinedModel model(cand.config, params);
+      cand.knee = mcs::model::find_saturation(model).lambda_sat;
+      cand.zero_load = model.predict(1e-9).mean_latency;
+      candidates.push_back(std::move(cand));
+    }
+  }
+
+  if (candidates.empty()) {
+    std::printf("no homogeneous organization divides N=%lld evenly; try a "
+                "power-of-two size\n",
+                static_cast<long long>(target));
+    return 0;
+  }
+
+  std::printf("=== Design space for N = %lld nodes (M=%d flits, L_m=%.0f "
+              "bytes) ===\n",
+              static_cast<long long>(target), params.message_flits,
+              params.flit_bytes);
+  mcs::util::TextTable table({"m", "cluster", "clusters", "switches",
+                              "zero-load latency", "knee lambda*",
+                              "knee x zero-load"});
+  for (const Candidate& c : candidates) {
+    table.add_row(
+        {std::to_string(c.config.m),
+         std::to_string(mcs::topo::TreeShape{c.config.m, c.height}
+                            .node_count()) +
+             " nodes",
+         std::to_string(c.config.cluster_count()),
+         std::to_string(c.switches),
+         mcs::util::TextTable::num(c.zero_load, 1),
+         mcs::util::TextTable::sci(c.knee, 2),
+         // A crude figure of merit: throughput headroom per unit latency.
+         mcs::util::TextTable::sci(c.knee / c.zero_load, 2)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: larger clusters keep more traffic internal (higher knee\n"
+      "per concentrator) but cost more switches per cluster; wider\n"
+      "switches (m) flatten the trees, cutting both latency and cost. The\n"
+      "last column is a throughput-per-latency figure of merit.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Diagnostics: component-level comparison of the analytical models against
+// the simulator at one operating point, plus per-class channel utilization
+// (the raw material behind the utilization bench).
+//
+//   ./diagnostics [--org=a|b] [--lambda=1e-4] [--m-flits=32]
+//                 [--flit-bytes=256] [--measured=20000] [--cut-through]
+#include <cstdio>
+
+#include <mcs/mcs.hpp>
+
+int main(int argc, char** argv) {
+  const mcs::util::Args args(argc, argv);
+  const auto config = args.get("org", "a") == "b"
+                          ? mcs::topo::SystemConfig::table1_org_b()
+                          : mcs::topo::SystemConfig::table1_org_a();
+  mcs::model::NetworkParams params;
+  params.message_flits = static_cast<int>(args.get_int("m-flits", 32));
+  params.flit_bytes = args.get_double("flit-bytes", 256);
+  const double lambda = args.get_double("lambda", 1e-4);
+
+  const mcs::model::PaperModel paper(config, params);
+  const mcs::model::RefinedModel refined(config, params);
+  const auto pp = paper.predict(lambda);
+  const auto rp = refined.predict(lambda);
+
+  mcs::sim::SimConfig sim_cfg;
+  sim_cfg.warmup_messages = 2'000;
+  sim_cfg.measured_messages = args.get_int("measured", 20'000);
+  sim_cfg.collect_channel_stats = true;
+  if (args.get_flag("cut-through"))
+    sim_cfg.relay_mode = mcs::sim::RelayMode::kCutThrough;
+  const mcs::topo::MultiClusterTopology topology(config);
+  mcs::sim::Simulator sim(topology, params, lambda, sim_cfg);
+  const auto sr = sim.run();
+
+  std::printf("lambda_g = %.3e   relay=%s\n", lambda,
+              args.get_flag("cut-through") ? "cut-through"
+                                           : "store-and-forward");
+  mcs::util::TextTable summary(
+      {"quantity", "paper model", "refined model", "simulation"});
+  auto row = [&](const char* name, double p, double r, double s) {
+    summary.add_row({name, mcs::util::TextTable::num(p, 2),
+                     mcs::util::TextTable::num(r, 2),
+                     mcs::util::TextTable::num(s, 2)});
+  };
+  row("mean latency", pp.mean_latency, rp.mean_latency, sr.latency.mean);
+  // Node-weighted component means across clusters.
+  double p_int = 0, r_int = 0, p_ext = 0, r_ext = 0, p_cd = 0, r_cd = 0;
+  const double n_total = static_cast<double>(config.total_nodes());
+  for (int i = 0; i < config.cluster_count(); ++i) {
+    const double w = static_cast<double>(config.cluster_size(i)) / n_total;
+    p_int += w * pp.clusters[static_cast<std::size_t>(i)].t_internal;
+    r_int += w * rp.clusters[static_cast<std::size_t>(i)].t_internal;
+    p_ext += w * pp.clusters[static_cast<std::size_t>(i)].t_external;
+    r_ext += w * rp.clusters[static_cast<std::size_t>(i)].t_external;
+    p_cd += w * pp.clusters[static_cast<std::size_t>(i)].w_conc_disp;
+    r_cd += w * rp.clusters[static_cast<std::size_t>(i)].w_conc_disp;
+  }
+  row("internal latency", p_int, r_int, sr.internal_latency.mean);
+  row("external latency", p_ext, r_ext, sr.external_latency.mean);
+  row("conc+disp wait", p_cd, r_cd, sr.mean_conc_wait + sr.mean_disp_wait);
+  summary.print();
+
+  std::printf("\nsim: %lld measured (%lld int / %lld ext), saturated=%d %s\n",
+              static_cast<long long>(sr.delivered_measured),
+              static_cast<long long>(sr.measured_internal),
+              static_cast<long long>(sr.measured_external), sr.saturated,
+              sr.saturation_reason.c_str());
+
+  mcs::util::TextTable util({"network", "kind", "level", "channels",
+                             "mean util", "max util"});
+  const char* kind_names[] = {"inject", "eject", "up", "down"};
+  for (const auto& c : sr.channel_classes) {
+    util.add_row({mcs::sim::to_string(c.net),
+                  kind_names[static_cast<int>(c.kind)],
+                  std::to_string(c.level), std::to_string(c.channels),
+                  mcs::util::TextTable::num(c.mean_utilization, 4),
+                  mcs::util::TextTable::num(c.max_utilization, 4)});
+  }
+  std::printf("\n");
+  util.print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Saturation study: what saturates first, and how the sustainable load
+// scales with the message length. Uses the closed-form bottleneck
+// analyzer (model/bottleneck.hpp) and the model-based knee search.
+//
+//   ./saturation_study [--org=a|b] [--lambda=...]
+#include <cstdio>
+
+#include <mcs/mcs.hpp>
+
+int main(int argc, char** argv) {
+  const mcs::util::Args args(argc, argv);
+  const auto config = args.get("org", "a") == "b"
+                          ? mcs::topo::SystemConfig::table1_org_b()
+                          : mcs::topo::SystemConfig::table1_org_a();
+  mcs::model::NetworkParams params;
+
+  const mcs::model::RefinedModel refined(config, params);
+  const double knee = mcs::model::find_saturation(refined).lambda_sat;
+  const double lambda = args.get_double("lambda", knee);
+
+  std::printf("=== Bottleneck ranking at lambda_g = %.3e (org %s) ===\n",
+              lambda, args.get("org", "a").c_str());
+  const auto loads = mcs::model::analyze_bottlenecks(config, params, lambda);
+  mcs::util::TextTable table({"network", "kind", "lvl", "channels",
+                              "worst util", "mean util",
+                              "hottest channel"});
+  const char* kind_names[] = {"inject", "eject", "up", "down"};
+  int rows = 0;
+  for (const auto& load : loads) {
+    if (++rows > 10) break;  // top ten
+    table.add_row({mcs::model::to_string(load.net),
+                   kind_names[static_cast<int>(load.kind)],
+                   std::to_string(load.level),
+                   std::to_string(load.channels),
+                   mcs::util::TextTable::num(load.worst_utilization, 3),
+                   mcs::util::TextTable::num(load.mean_utilization, 4),
+                   load.hottest});
+  }
+  table.print();
+
+  std::printf("\n=== Sustainable load vs message length ===\n");
+  mcs::util::TextTable sweep({"M (flits)", "flow-model bound",
+                              "refined-model knee", "bound x M"});
+  for (const int m_flits : {8, 16, 32, 64, 128}) {
+    mcs::model::NetworkParams p = params;
+    p.message_flits = m_flits;
+    const double bound =
+        mcs::model::load_at_worst_utilization(config, p, 1.0);
+    const mcs::model::RefinedModel model(config, p);
+    const double model_knee = mcs::model::find_saturation(model).lambda_sat;
+    sweep.add_row({std::to_string(m_flits),
+                   mcs::util::TextTable::sci(bound, 3),
+                   mcs::util::TextTable::sci(model_knee, 3),
+                   mcs::util::TextTable::sci(bound * m_flits, 3)});
+  }
+  sweep.print();
+  std::printf(
+      "\nReading: the product (bound x M) is constant — the sustainable\n"
+      "load is inversely proportional to the message length, because the\n"
+      "binding constraint is channel occupancy M*t_cs on the hottest\n"
+      "d-mod-k funnel. The queueing knee sits below the pure flow bound\n"
+      "(waits explode before utilization reaches 1).\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+#include "model/bottleneck.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "model/icn2_funnel.hpp"
+#include "topology/tree_math.hpp"
+#include "util/contracts.hpp"
+
+namespace mcs::model {
+
+const char* to_string(NetworkLayer layer) {
+  switch (layer) {
+    case NetworkLayer::kIcn1: return "ICN1";
+    case NetworkLayer::kEcn1: return "ECN1";
+    case NetworkLayer::kIcn2: return "ICN2";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> tail_of(const std::vector<double>& p) {
+  std::vector<double> tail(p.size() + 1, 0.0);
+  for (std::size_t l = p.size(); l-- > 0;) tail[l] = tail[l + 1] + p[l];
+  return tail;
+}
+
+struct Acc {
+  std::int64_t channels = 0;
+  double total = 0.0;
+  double worst = 0.0;
+  std::string worst_desc;
+};
+
+}  // namespace
+
+std::vector<ClassLoad> analyze_bottlenecks(const topo::SystemConfig& config,
+                                           const NetworkParams& params,
+                                           double lambda_g) {
+  config.validate();
+  params.validate();
+  MCS_EXPECTS(lambda_g >= 0.0);
+
+  std::map<std::tuple<int, int, int>, Acc> acc;
+  auto add = [&](NetworkLayer net, topo::ChannelKind kind, int level,
+                 std::int64_t channels, double total, double worst,
+                 const std::string& desc) {
+    Acc& a = acc[{static_cast<int>(net), static_cast<int>(kind), level}];
+    a.channels += channels;
+    a.total += total;
+    if (worst > a.worst) {
+      a.worst = worst;
+      a.worst_desc = desc;
+    }
+  };
+
+  using topo::ChannelKind;
+  for (int i = 0; i < config.cluster_count(); ++i) {
+    const topo::TreeShape shape{
+        config.m, config.cluster_heights[static_cast<std::size_t>(i)]};
+    const auto ni = static_cast<double>(shape.node_count());
+    const double po = config.p_outgoing(i);
+    const double node_int = (1.0 - po) * lambda_g;  // per ICN1 NIC
+    const double node_ext = po * lambda_g;          // per ECN1 NIC
+    const double funnel = ni * node_ext;            // conc/disp flow
+    const auto hop_tail = tail_of(shape.hop_distribution());
+    const auto conc_tail =
+        tail_of(topo::concentrator_hop_distribution(shape));
+    const std::string cname = "cluster of " +
+                              std::to_string(shape.node_count()) + " nodes";
+
+    // ICN1: perfectly balanced within each class.
+    add(NetworkLayer::kIcn1, ChannelKind::kInjection, 0,
+        shape.node_count(), ni * node_int, node_int, "node NIC, " + cname);
+    add(NetworkLayer::kIcn1, ChannelKind::kEjection, 0, shape.node_count(),
+        ni * node_int, node_int, "node, " + cname);
+    for (int l = 1; l < shape.n; ++l) {
+      const double per_channel =
+          node_int * hop_tail[static_cast<std::size_t>(l)];
+      add(NetworkLayer::kIcn1, ChannelKind::kUp, l, shape.node_count(),
+          ni * per_channel, per_channel, "switch link, " + cname);
+      add(NetworkLayer::kIcn1, ChannelKind::kDown, l, shape.node_count(),
+          ni * per_channel, per_channel, "switch link, " + cname);
+    }
+
+    // ECN1: the concentrator/dispatcher attachment and the d-mod-k chain
+    // toward the concentrator are serial funnels.
+    add(NetworkLayer::kEcn1, ChannelKind::kInjection, 0,
+        shape.node_count() + 1, ni * node_ext + funnel, funnel,
+        "dispatcher injection, " + cname);
+    add(NetworkLayer::kEcn1, ChannelKind::kEjection, 0,
+        shape.node_count() + 1, ni * node_ext + funnel, funnel,
+        "concentrator ejection, " + cname);
+    for (int l = 1; l < shape.n; ++l) {
+      const double crossing =
+          2.0 * funnel * conc_tail[static_cast<std::size_t>(l)];
+      const auto k_l = static_cast<double>(
+          topo::checked_pow(shape.k(), l));
+      const double worst_up = std::max(
+          k_l * node_ext,  // outbound port-0 chain of a level-l group
+          funnel * conc_tail[static_cast<std::size_t>(l)] / k_l);
+      const double worst_down = (ni - k_l) * node_ext;
+      add(NetworkLayer::kEcn1, ChannelKind::kUp, l, shape.node_count(),
+          crossing, worst_up, "ascent chain, " + cname);
+      add(NetworkLayer::kEcn1, ChannelKind::kDown, l, shape.node_count(),
+          crossing, worst_down,
+          "descent chain into concentrator, " + cname);
+    }
+  }
+
+  // ICN2: exact pairwise funnel coefficients.
+  const Icn2Funnel funnel = Icn2Funnel::compute(config);
+  const topo::TreeShape icn2{config.m, config.icn2_height()};
+  double total_external = 0.0;
+  double worst_endpoint = 0.0;
+  int worst_cluster = 0;
+  for (int i = 0; i < config.cluster_count(); ++i) {
+    const double coeff = funnel.out_coeff[static_cast<std::size_t>(i)];
+    total_external += coeff * lambda_g;
+    if (coeff > worst_endpoint) {
+      worst_endpoint = coeff;
+      worst_cluster = i;
+    }
+  }
+  const std::string biggest =
+      "concentrator of the " +
+      std::to_string(config.cluster_size(worst_cluster)) + "-node cluster";
+  add(NetworkLayer::kIcn2, ChannelKind::kInjection, 0,
+      config.cluster_count(), total_external, worst_endpoint * lambda_g,
+      biggest);
+  add(NetworkLayer::kIcn2, ChannelKind::kEjection, 0, config.cluster_count(),
+      total_external, worst_endpoint * lambda_g, biggest);
+  for (int l = 1; l < icn2.n; ++l) {
+    double total_up = 0.0, total_down = 0.0;
+    double worst_up = 0.0, worst_down = 0.0;
+    int worst_down_v = 0;
+    for (int v = 0; v < config.cluster_count(); ++v) {
+      const double down =
+          funnel.down_coeff[static_cast<std::size_t>(v)]
+                           [static_cast<std::size_t>(l)] *
+          lambda_g;
+      const double up = funnel.up_coeff[static_cast<std::size_t>(v)]
+                                       [static_cast<std::size_t>(l)] *
+                        lambda_g;
+      // Leaf groups share their funnel channel; count it once per group
+      // by dividing the per-endpoint view by the group size when
+      // totalling (each group member reports the same shared channel).
+      total_down += down / config.m * 2;  // k endpoints share; k = m/2
+      total_up += up;
+      worst_up = std::max(worst_up, up);
+      if (down > worst_down) {
+        worst_down = down;
+        worst_down_v = v;
+      }
+    }
+    add(NetworkLayer::kIcn2, ChannelKind::kUp, l, icn2.node_count(),
+        total_up, worst_up, "ICN2 ascent");
+    add(NetworkLayer::kIcn2, ChannelKind::kDown, l, icn2.node_count(),
+        total_down, worst_down,
+        "ICN2 descent toward the leaf group of the " +
+            std::to_string(config.cluster_size(worst_down_v)) +
+            "-node cluster");
+  }
+
+  // Wormhole occupancy per message: the body drains at the slowest
+  // channel's rhythm.
+  const double occupancy =
+      params.message_flits * std::max(params.t_cs(), params.t_cn());
+
+  std::vector<ClassLoad> out;
+  for (const auto& [key, a] : acc) {
+    ClassLoad load;
+    load.net = static_cast<NetworkLayer>(std::get<0>(key));
+    load.kind = static_cast<topo::ChannelKind>(std::get<1>(key));
+    load.level = std::get<2>(key);
+    load.channels = a.channels;
+    load.total_rate = a.total;
+    load.mean_rate = a.channels > 0
+                         ? a.total / static_cast<double>(a.channels)
+                         : 0.0;
+    load.worst_rate = a.worst;
+    load.mean_utilization = load.mean_rate * occupancy;
+    load.worst_utilization = load.worst_rate * occupancy;
+    load.hottest = a.worst_desc;
+    out.push_back(std::move(load));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClassLoad& a, const ClassLoad& b) {
+              return a.worst_utilization > b.worst_utilization;
+            });
+  return out;
+}
+
+double load_at_worst_utilization(const topo::SystemConfig& config,
+                                 const NetworkParams& params,
+                                 double utilization) {
+  MCS_EXPECTS(utilization > 0.0);
+  const auto loads = analyze_bottlenecks(config, params, 1.0);
+  MCS_ASSERT(!loads.empty());
+  const double worst_per_unit = loads.front().worst_utilization;
+  MCS_ASSERT(worst_per_unit > 0.0);
+  return utilization / worst_per_unit;
+}
+
+}  // namespace mcs::model

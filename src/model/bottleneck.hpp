@@ -1,0 +1,56 @@
+// Bottleneck analysis: closed-form per-channel-class traffic rates and
+// utilizations from flow conservation under uniform traffic. This is the
+// analytical counterpart of the simulator's measured channel statistics
+// (SimResult::channel_classes) and the tool a designer uses to see *what*
+// saturates first — typically the d-mod-k funnel into the largest
+// cluster's concentrator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+#include "topology/multi_cluster.hpp"
+
+namespace mcs::model {
+
+/// Network layer of a channel class (mirrors sim::NetKind without
+/// depending on the sim layer).
+enum class NetworkLayer : std::uint8_t { kIcn1, kEcn1, kIcn2 };
+
+[[nodiscard]] const char* to_string(NetworkLayer layer);
+
+/// One channel class with its analytic traffic figures. `mean_rate` is
+/// the class-average messages/time per channel; `worst_rate` the rate of
+/// the single hottest channel of the class (funnels make the two differ
+/// by orders of magnitude); utilizations multiply by the wormhole
+/// occupancy per message, M * max(t_cs, t_cn).
+struct ClassLoad {
+  NetworkLayer net;
+  topo::ChannelKind kind;
+  int level = 0;             ///< boundary level (0 for inject/eject)
+  std::int64_t channels = 0;
+  double total_rate = 0.0;   ///< messages/time summed over the class
+  double mean_rate = 0.0;
+  double worst_rate = 0.0;
+  double mean_utilization = 0.0;
+  double worst_utilization = 0.0;
+  std::string hottest;       ///< human description of the hottest channel
+};
+
+/// All channel classes at the given offered load, sorted by descending
+/// worst-channel utilization (the head of the list is the system
+/// bottleneck). Uniform destinations (Eq. 13) are assumed.
+[[nodiscard]] std::vector<ClassLoad> analyze_bottlenecks(
+    const topo::SystemConfig& config, const NetworkParams& params,
+    double lambda_g);
+
+/// Offered load at which the worst channel of any class reaches the given
+/// utilization (1.0 = the funnel saturation bound). Linear in lambda, so
+/// this is exact for the flow model.
+[[nodiscard]] double load_at_worst_utilization(
+    const topo::SystemConfig& config, const NetworkParams& params,
+    double utilization);
+
+}  // namespace mcs::model

@@ -1,0 +1,84 @@
+#include "model/icn2_funnel.hpp"
+
+#include "topology/fat_tree.hpp"
+#include "util/contracts.hpp"
+
+namespace mcs::model {
+
+Icn2Funnel Icn2Funnel::compute(const topo::SystemConfig& config,
+                               const std::vector<double>& p_outgoing) {
+  config.validate();
+  MCS_EXPECTS(p_outgoing.empty() ||
+              p_outgoing.size() ==
+                  static_cast<std::size_t>(config.cluster_count()));
+
+  const int c_count = config.cluster_count();
+  const int kk = config.m / 2;
+  const auto n_total = static_cast<double>(config.total_nodes());
+  const topo::FatTree icn2(topo::TreeShape{config.m, config.icn2_height()});
+
+  Icn2Funnel funnel;
+  funnel.height = config.icn2_height();
+  for (int i = 0; i < c_count; ++i) {
+    const double po = p_outgoing.empty()
+                          ? config.p_outgoing(i)
+                          : p_outgoing[static_cast<std::size_t>(i)];
+    funnel.out_coeff.push_back(
+        static_cast<double>(config.cluster_size(i)) * po);
+  }
+
+  // rate_{i,v} per unit lambda: cluster i's outbound, split over the
+  // destination clusters in proportion to their node counts.
+  auto pair_coeff = [&](int i, int v) {
+    const auto ni = static_cast<double>(config.cluster_size(i));
+    const auto nv = static_cast<double>(config.cluster_size(v));
+    return funnel.out_coeff[static_cast<std::size_t>(i)] * nv /
+           (n_total - ni);
+  };
+  auto leaf_group = [&](int v) {
+    std::vector<int> group;
+    const int first = (v / kk) * kk;
+    for (int w = first; w < first + kk && w < c_count; ++w)
+      group.push_back(w);
+    return group;
+  };
+
+  const auto levels = static_cast<std::size_t>(funnel.height);
+  funnel.down_coeff.assign(static_cast<std::size_t>(c_count),
+                           std::vector<double>(levels, 0.0));
+  funnel.up_coeff.assign(static_cast<std::size_t>(c_count),
+                         std::vector<double>(levels, 0.0));
+
+  for (int v = 0; v < c_count; ++v) {
+    for (const int w : leaf_group(v)) {
+      for (int i = 0; i < c_count; ++i) {
+        if (i == w) continue;
+        const int h = icn2.nca_level(static_cast<topo::EndpointId>(i),
+                                     static_cast<topo::EndpointId>(w));
+        const double coeff = pair_coeff(i, w);
+        for (int l = 1; l < h; ++l)
+          funnel.down_coeff[static_cast<std::size_t>(v)]
+                           [static_cast<std::size_t>(l)] += coeff;
+      }
+    }
+  }
+  for (int i = 0; i < c_count; ++i) {
+    for (const int w : leaf_group(i)) {
+      for (int v = 0; v < c_count; ++v) {
+        if (v == w) continue;
+        const int h = icn2.nca_level(static_cast<topo::EndpointId>(w),
+                                     static_cast<topo::EndpointId>(v));
+        const double coeff = pair_coeff(w, v);
+        double spread = 1.0;
+        for (int l = 1; l < h; ++l) {
+          spread *= kk;
+          funnel.up_coeff[static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(l)] += coeff / spread;
+        }
+      }
+    }
+  }
+  return funnel;
+}
+
+}  // namespace mcs::model

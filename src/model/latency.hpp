@@ -1,0 +1,49 @@
+// Public interface of the analytical latency models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+#include "topology/multi_cluster.hpp"
+
+namespace mcs::model {
+
+/// Per-cluster latency components ("from cluster i's point of view",
+/// Sec. 3). All times are in the paper's abstract time units.
+struct ClusterLatency {
+  double p_outgoing = 0.0;   ///< Eq. (13)
+  double t_internal = 0.0;   ///< T_I1: mean latency of intra-cluster messages
+  double t_external = 0.0;   ///< mean latency of inter-cluster messages
+                             ///< (including concentrator/dispatcher waits)
+  double w_source_internal = 0.0;  ///< M/G/1 wait at the ICN1 source queue
+  double w_source_external = 0.0;  ///< M/G/1 wait at the ECN1 source queue
+  double w_conc_disp = 0.0;        ///< W_d (Eq. 34): conc + disp waits
+  double s_internal = 0.0;   ///< mean ICN1 network latency S̄ (Eq. 3)
+  double s_external = 0.0;   ///< mean external network latency
+  double latency = 0.0;      ///< ℓ^(i) (Eq. 35)
+  bool stable = true;
+};
+
+/// Whole-system prediction at one offered load.
+struct LatencyPrediction {
+  double lambda_g = 0.0;
+  double mean_latency = 0.0;  ///< ℓ̄ (Eq. 36), node-weighted cluster mix
+  bool stable = true;         ///< false once any queue/channel saturates
+  std::vector<ClusterLatency> clusters;
+};
+
+/// Common interface of the two model variants (paper-literal and refined).
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Predict the mean message latency at per-node Poisson rate lambda_g.
+  [[nodiscard]] virtual LatencyPrediction predict(double lambda_g) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual const topo::SystemConfig& config() const = 0;
+  [[nodiscard]] virtual const NetworkParams& params() const = 0;
+};
+
+}  // namespace mcs::model

@@ -1,0 +1,25 @@
+#include "model/mg1.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mcs::model {
+
+double mg1_wait(double lambda, double mean_service, double service_variance) {
+  MCS_EXPECTS(lambda >= 0.0 && mean_service >= 0.0 && service_variance >= 0.0);
+  if (lambda == 0.0) return 0.0;
+  const double rho = lambda * mean_service;
+  if (rho >= 1.0) return kInfinity;
+  return lambda * (mean_service * mean_service + service_variance) /
+         (2.0 * (1.0 - rho));
+}
+
+double md1_wait(double lambda, double service) {
+  return mg1_wait(lambda, service, 0.0);
+}
+
+double draper_ghosh_variance(double mean_service, double min_service) {
+  const double gap = mean_service - min_service;
+  return gap * gap;
+}
+
+}  // namespace mcs::model

@@ -1,0 +1,35 @@
+// Queueing building blocks of the analytical model: the M/G/1 waiting time
+// (Kleinrock [19], Eqs. 19-21), its M/D/1 specialization used for the
+// concentrator/dispatcher (Eq. 33), and the Draper-Ghosh service-variance
+// approximation (Eq. 22).
+#pragma once
+
+#include <limits>
+
+namespace mcs::model {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Eq. (19): mean M/G/1 waiting time
+///   W = lambda * (x̄^2 + sigma^2) / (2 * (1 - rho)),   rho = lambda * x̄.
+/// Returns +infinity when rho >= 1 (queue unstable).
+[[nodiscard]] double mg1_wait(double lambda, double mean_service,
+                              double service_variance);
+
+/// Eq. (33): M/D/1 waiting time (zero service variance),
+///   W = lambda * x̄^2 / (2 * (1 - lambda * x̄)).
+[[nodiscard]] double md1_wait(double lambda, double service);
+
+/// Eq. (22): the variance of the service-time distribution seen by a
+/// message is approximated from the gap between the mean service time and
+/// the contention-free minimum (Draper & Ghosh [8]):
+///   sigma^2 = (S̄ - min_service)^2.
+[[nodiscard]] double draper_ghosh_variance(double mean_service,
+                                           double min_service);
+
+/// Utilization rho = lambda * x̄.
+[[nodiscard]] inline double utilization(double lambda, double mean_service) {
+  return lambda * mean_service;
+}
+
+}  // namespace mcs::model

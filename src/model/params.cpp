@@ -1,0 +1,21 @@
+#include "model/params.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mcs::model {
+
+void NetworkParams::validate() const {
+  if (!(alpha_net >= 0.0) || !(alpha_sw >= 0.0))
+    throw ConfigError("NetworkParams: latencies must be >= 0");
+  if (!(beta_net > 0.0))
+    throw ConfigError("NetworkParams: beta_net must be > 0");
+  if (message_flits < 1)
+    throw ConfigError("NetworkParams: message_flits must be >= 1, got " +
+                      std::to_string(message_flits));
+  if (!(flit_bytes > 0.0))
+    throw ConfigError("NetworkParams: flit_bytes must be > 0");
+}
+
+}  // namespace mcs::model

@@ -1,0 +1,33 @@
+// Network technology and message parameters shared by the analytical model
+// and the simulator (Sec. 3.1.2 and Sec. 4 of the paper).
+#pragma once
+
+namespace mcs::model {
+
+/// Channel timing and message-shape parameters. Defaults are the paper's
+/// validation values: bandwidth 500 bytes/time-unit, network latency 0.02,
+/// switch latency 0.01.
+struct NetworkParams {
+  double alpha_net = 0.02;      ///< network (node link) latency per flit hop
+  double alpha_sw = 0.01;       ///< switch latency per flit hop
+  double beta_net = 1.0 / 500;  ///< transmission time of one byte (1/BW)
+  int message_flits = 32;       ///< M: message length in flits
+  double flit_bytes = 256;      ///< L_m: flit length in bytes
+
+  /// Eq. (14): node<->switch flit transfer time,
+  /// t_cn = alpha_net + (1/2) * beta_net * L_m.
+  [[nodiscard]] double t_cn() const {
+    return alpha_net + 0.5 * beta_net * flit_bytes;
+  }
+
+  /// Eq. (15): switch<->switch flit transfer time,
+  /// t_cs = alpha_sw + beta_net * L_m.
+  [[nodiscard]] double t_cs() const {
+    return alpha_sw + beta_net * flit_bytes;
+  }
+
+  /// Throws mcs::ConfigError on non-physical values.
+  void validate() const;
+};
+
+}  // namespace mcs::model

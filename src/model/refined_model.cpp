@@ -1,0 +1,341 @@
+#include "model/refined_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/icn2_funnel.hpp"
+#include "model/mg1.hpp"
+#include "model/service_recursion.hpp"
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace mcs::model {
+
+namespace {
+
+/// tail[l] = sum_{j > l} p[j-1], for l = 0..n.
+std::vector<double> tail_of(const std::vector<double>& p) {
+  std::vector<double> tail(p.size() + 1, 0.0);
+  for (std::size_t l = p.size(); l-- > 0;) tail[l] = tail[l + 1] + p[l];
+  return tail;
+}
+
+/// Remaining header pipeline time after the first of 2j physical stages:
+/// 2(j-1) switch channels plus the ejection channel.
+double pipeline_r(int j, const NetworkParams& p) {
+  return (2.0 * j - 2.0) * p.t_cs() + p.t_cn();
+}
+
+/// One physical channel along a journey: flit time and message rate.
+struct PhysStage {
+  double t;
+  double rate;
+};
+
+/// Convert physical stages to recursion stages. A worm occupies channel k
+/// for roughly M times the slowest channel at or beyond k (the body drains
+/// at the downstream bottleneck's rate), so
+///   base_k = M * max_{k' >= k} t_{k'}.
+/// Returns the recursion result (with the M/D/1-style residual waits) and,
+/// via `zero_load`, the contention-free occupancy of the first channel.
+RecursionResult run_stages(const std::vector<PhysStage>& phys, int flits,
+                           double& zero_load) {
+  std::vector<Stage> stages(phys.size());
+  double run_max = 0.0;
+  for (std::size_t idx = phys.size(); idx-- > 0;) {
+    run_max = std::max(run_max, phys[idx].t);
+    stages[idx] = Stage{flits * run_max, phys[idx].rate};
+  }
+  zero_load = stages.front().base;
+  return stage_recursion(stages, WaitModel::kResidual);
+}
+
+}  // namespace
+
+RefinedModel::RefinedModel(topo::SystemConfig config, NetworkParams params,
+                           std::vector<double> p_out_override)
+    : config_(std::move(config)), params_(std::move(params)) {
+  config_.validate();
+  params_.validate();
+  if (!p_out_override.empty() &&
+      p_out_override.size() !=
+          static_cast<std::size_t>(config_.cluster_count()))
+    throw ConfigError("RefinedModel: p_out_override size mismatch");
+  total_nodes_ = static_cast<double>(config_.total_nodes());
+
+  for (int i = 0; i < config_.cluster_count(); ++i) {
+    const topo::TreeShape shape{
+        config_.m, config_.cluster_heights[static_cast<std::size_t>(i)]};
+    ClusterCache c;
+    c.height = shape.n;
+    c.nodes = static_cast<double>(shape.node_count());
+    c.p_out = p_out_override.empty()
+                  ? config_.p_outgoing(i)
+                  : p_out_override[static_cast<std::size_t>(i)];
+    c.hop_prob = shape.hop_distribution();
+    c.hop_tail = tail_of(c.hop_prob);
+    c.conc_prob = topo::concentrator_hop_distribution(shape);
+    c.conc_tail = tail_of(c.conc_prob);
+    for (int l = 0; l <= shape.n; ++l)
+      c.k_pow.push_back(topo::checked_pow(shape.k(), l));
+    clusters_.push_back(std::move(c));
+    total_external_rate_coeff_ += c.nodes * c.p_out;
+  }
+
+  icn2_shape_ = topo::TreeShape{config_.m, config_.icn2_height()};
+  icn2_tail_ = tail_of(icn2_shape_.hop_distribution());
+  icn2_ = std::make_unique<topo::FatTree>(icn2_shape_);
+
+  // Exact d-mod-k concentration coefficients (see icn2_funnel.hpp).
+  std::vector<double> p_out;
+  for (const ClusterCache& c : clusters_) p_out.push_back(c.p_out);
+  const Icn2Funnel funnel = Icn2Funnel::compute(config_, p_out);
+  icn2_down_coeff_ = funnel.down_coeff;
+  icn2_up_coeff_ = funnel.up_coeff;
+}
+
+RefinedModel::SegmentResult RefinedModel::internal_segment(
+    int cluster, double lambda_g) const {
+  const ClusterCache& c = clusters_[static_cast<std::size_t>(cluster)];
+  const double tcn = params_.t_cn();
+  const double tcs = params_.t_cs();
+  const double lambda_int = (1.0 - c.p_out) * lambda_g;  // per-NIC rate
+
+  SegmentResult out;
+  std::vector<PhysStage> phys;
+  for (int j = 1; j <= c.height; ++j) {
+    phys.clear();
+    phys.push_back({tcn, lambda_int});  // injection channel
+    // Up then down boundaries; a boundary-l channel carries the cluster's
+    // internal traffic whose NCA lies above l, spread over N_i channels:
+    // rate = Lambda * Pr(j' > l) / N_i = lambda_int * tail[l].
+    for (int l = 1; l < j; ++l)
+      phys.push_back(
+          {tcs, lambda_int * c.hop_tail[static_cast<std::size_t>(l)]});
+    for (int l = j - 1; l >= 1; --l)
+      phys.push_back(
+          {tcs, lambda_int * c.hop_tail[static_cast<std::size_t>(l)]});
+    phys.push_back({tcn, lambda_int});  // ejection channel
+    double zero_load = 0.0;
+    const RecursionResult rec = run_stages(phys, params_.message_flits,
+                                           zero_load);
+    out.stable = out.stable && rec.stable;
+    const double pj = c.hop_prob[static_cast<std::size_t>(j - 1)];
+    out.s_mean += pj * rec.s0;
+    out.s_zero += pj * zero_load;
+    out.r_mean += pj * pipeline_r(j, params_);
+  }
+  return out;
+}
+
+RefinedModel::SegmentResult RefinedModel::ecn1_outbound_segment(
+    int cluster, double lambda_g) const {
+  const ClusterCache& c = clusters_[static_cast<std::size_t>(cluster)];
+  const double tcn = params_.t_cn();
+  const double tcs = params_.t_cs();
+  const double per_node = c.p_out * lambda_g;
+  const double funnel = c.nodes * per_node;  // whole cluster's outbound
+
+  SegmentResult out;
+  std::vector<PhysStage> phys;
+  for (int j = 1; j <= c.height; ++j) {
+    phys.clear();
+    phys.push_back({tcn, per_node});
+    // Ascending toward the concentrator, d-mod-k picks port 0 everywhere,
+    // so the boundary-l channel carries the outbound traffic of the whole
+    // level-l source group: k^l * per_node.
+    for (int l = 1; l < j; ++l)
+      phys.push_back(
+          {tcs,
+           static_cast<double>(c.k_pow[static_cast<std::size_t>(l)]) *
+               per_node});
+    // Descending into the concentrator's leaf: the boundary-l channel is
+    // the single chain link carrying all outbound whose source lies
+    // outside the concentrator's level-l group: (N_i - k^l) * per_node.
+    for (int l = j - 1; l >= 1; --l)
+      phys.push_back(
+          {tcs,
+           (c.nodes -
+            static_cast<double>(c.k_pow[static_cast<std::size_t>(l)])) *
+               per_node});
+    phys.push_back({tcn, funnel});  // ejection into the concentrator
+    double zero_load = 0.0;
+    const RecursionResult rec = run_stages(phys, params_.message_flits,
+                                           zero_load);
+    out.stable = out.stable && rec.stable;
+    const double pj = c.conc_prob[static_cast<std::size_t>(j - 1)];
+    out.s_mean += pj * rec.s0;
+    out.s_zero += pj * zero_load;
+    out.r_mean += pj * pipeline_r(j, params_);
+  }
+  return out;
+}
+
+RefinedModel::SegmentResult RefinedModel::icn2_segment(
+    int i, int v, double lambda_g) const {
+  const ClusterCache& ci = clusters_[static_cast<std::size_t>(i)];
+  const ClusterCache& cv = clusters_[static_cast<std::size_t>(v)];
+  const double tcn = params_.t_cn();
+  const double tcs = params_.t_cs();
+  const double out_rate = ci.nodes * ci.p_out * lambda_g;  // conc_i outbound
+  const double in_rate = cv.nodes * cv.p_out * lambda_g;   // conc_v inbound
+
+  // Exact distance between the two concentrators in the ICN2 tree.
+  const int h = icn2_->nca_level(static_cast<topo::EndpointId>(i),
+                                 static_cast<topo::EndpointId>(v));
+
+  std::vector<PhysStage> phys;
+  phys.push_back({tcn, out_rate});
+  // Ascending and descending rates use the precomputed exact d-mod-k
+  // funnel coefficients (see the constructor): the down chain toward
+  // conc_v aggregates the inbound traffic of v's whole ICN2 leaf group —
+  // the true system bottleneck when large clusters share a leaf.
+  for (int l = 1; l < h; ++l)
+    phys.push_back({tcs, icn2_up_coeff_[static_cast<std::size_t>(i)]
+                                       [static_cast<std::size_t>(l)] *
+                             lambda_g});
+  for (int l = h - 1; l >= 1; --l)
+    phys.push_back({tcs, icn2_down_coeff_[static_cast<std::size_t>(v)]
+                                         [static_cast<std::size_t>(l)] *
+                             lambda_g});
+  phys.push_back({tcn, in_rate});
+
+  SegmentResult out;
+  double zero_load = 0.0;
+  const RecursionResult rec = run_stages(phys, params_.message_flits,
+                                         zero_load);
+  out.stable = rec.stable;
+  out.s_mean = rec.s0;
+  out.s_zero = zero_load;
+  out.r_mean = pipeline_r(h, params_);
+  return out;
+}
+
+RefinedModel::SegmentResult RefinedModel::ecn1_inbound_segment(
+    int cluster, double lambda_g) const {
+  const ClusterCache& c = clusters_[static_cast<std::size_t>(cluster)];
+  const double tcn = params_.t_cn();
+  const double tcs = params_.t_cs();
+  const double funnel = c.nodes * c.p_out * lambda_g;  // dispatcher inbound
+  const double per_node = c.p_out * lambda_g;
+
+  SegmentResult out;
+  std::vector<PhysStage> phys;
+  for (int j = 1; j <= c.height; ++j) {
+    phys.clear();
+    phys.push_back({tcn, funnel});  // dispatcher injection channel
+    // Ascending from the concentrator's leaf, spread over destinations:
+    // 1/k^l of the inbound flow shares each boundary-l channel.
+    for (int l = 1; l < j; ++l)
+      phys.push_back(
+          {tcs,
+           funnel * c.conc_tail[static_cast<std::size_t>(l)] /
+               static_cast<double>(c.k_pow[static_cast<std::size_t>(l)])});
+    // Descending to the destination node: generic down channels, inbound
+    // flow spread over the N_i channels of each boundary.
+    for (int l = j - 1; l >= 1; --l)
+      phys.push_back(
+          {tcs, per_node * c.conc_tail[static_cast<std::size_t>(l)]});
+    phys.push_back({tcn, per_node});
+    double zero_load = 0.0;
+    const RecursionResult rec = run_stages(phys, params_.message_flits,
+                                           zero_load);
+    out.stable = out.stable && rec.stable;
+    const double pj = c.conc_prob[static_cast<std::size_t>(j - 1)];
+    out.s_mean += pj * rec.s0;
+    out.s_zero += pj * zero_load;
+    out.r_mean += pj * pipeline_r(j, params_);
+  }
+  return out;
+}
+
+LatencyPrediction RefinedModel::predict(double lambda_g) const {
+  MCS_EXPECTS(lambda_g >= 0.0);
+  LatencyPrediction prediction;
+  prediction.lambda_g = lambda_g;
+  const int c_count = config_.cluster_count();
+
+  // Per-cluster inbound legs are destination properties; compute once.
+  std::vector<SegmentResult> seg3(static_cast<std::size_t>(c_count));
+  std::vector<double> w_disp(static_cast<std::size_t>(c_count));
+  for (int v = 0; v < c_count; ++v) {
+    const ClusterCache& cv = clusters_[static_cast<std::size_t>(v)];
+    seg3[static_cast<std::size_t>(v)] = ecn1_inbound_segment(v, lambda_g);
+    const SegmentResult& s3 = seg3[static_cast<std::size_t>(v)];
+    w_disp[static_cast<std::size_t>(v)] =
+        mg1_wait(cv.nodes * cv.p_out * lambda_g, s3.s_mean,
+                 draper_ghosh_variance(s3.s_mean, s3.s_zero));
+  }
+
+  double weighted = 0.0;
+  for (int i = 0; i < c_count; ++i) {
+    const ClusterCache& ci = clusters_[static_cast<std::size_t>(i)];
+    ClusterLatency cl;
+    cl.p_outgoing = ci.p_out;
+
+    // Internal messages: M/G/1 NIC queue with per-queue arrival rate.
+    const SegmentResult internal = internal_segment(i, lambda_g);
+    cl.s_internal = internal.s_mean;
+    cl.w_source_internal =
+        mg1_wait((1.0 - ci.p_out) * lambda_g, internal.s_mean,
+                 draper_ghosh_variance(internal.s_mean, internal.s_zero));
+    cl.t_internal = cl.w_source_internal + internal.s_mean + internal.r_mean;
+    cl.stable = internal.stable && std::isfinite(cl.t_internal);
+
+    // External messages: three chained segments.
+    const SegmentResult seg1 = ecn1_outbound_segment(i, lambda_g);
+    cl.w_source_external =
+        mg1_wait(ci.p_out * lambda_g, seg1.s_mean,
+                 draper_ghosh_variance(seg1.s_mean, seg1.s_zero));
+    cl.stable = cl.stable && seg1.stable;
+
+    // ICN2 leg averaged over destination clusters with uniform-destination
+    // weights N_v / (N - N_i).
+    double s2_mean = 0.0;
+    double s2_zero = 0.0;
+    double r2_mean = 0.0;
+    double t_tail = 0.0;  // dispatcher wait + inbound leg, v-averaged
+    for (int v = 0; v < c_count; ++v) {
+      if (v == i) continue;
+      const ClusterCache& cv = clusters_[static_cast<std::size_t>(v)];
+      const double w = cv.nodes / (total_nodes_ - ci.nodes);
+      const SegmentResult seg2 = icn2_segment(i, v, lambda_g);
+      const SegmentResult& s3 = seg3[static_cast<std::size_t>(v)];
+      cl.stable = cl.stable && seg2.stable && s3.stable;
+      s2_mean += w * seg2.s_mean;
+      s2_zero += w * seg2.s_zero;
+      r2_mean += w * seg2.r_mean;
+      t_tail += w * (w_disp[static_cast<std::size_t>(v)] + s3.s_mean +
+                     s3.r_mean);
+    }
+
+    // Concentrator queue: arrivals are the cluster's whole outbound flow;
+    // service is the ICN2 injection occupancy (the next segment's S_0).
+    const double w_conc =
+        mg1_wait(ci.nodes * ci.p_out * lambda_g, s2_mean,
+                 draper_ghosh_variance(s2_mean, s2_zero));
+    double w_disp_avg = 0.0;
+    for (int v = 0; v < c_count; ++v) {
+      if (v == i) continue;
+      const ClusterCache& cv = clusters_[static_cast<std::size_t>(v)];
+      w_disp_avg += cv.nodes / (total_nodes_ - ci.nodes) *
+                    w_disp[static_cast<std::size_t>(v)];
+    }
+    cl.w_conc_disp = w_conc + w_disp_avg;
+    cl.s_external = seg1.s_mean + s2_mean;  // plus seg3 inside t_tail
+
+    cl.t_external = cl.w_source_external + seg1.s_mean + seg1.r_mean +
+                    w_conc + s2_mean + r2_mean + t_tail;
+    cl.stable = cl.stable && std::isfinite(cl.t_external);
+
+    cl.latency = (1.0 - ci.p_out) * cl.t_internal + ci.p_out * cl.t_external;
+    prediction.stable = prediction.stable && cl.stable;
+    weighted += (ci.nodes / total_nodes_) * cl.latency;
+    prediction.clusters.push_back(cl);
+  }
+  prediction.mean_latency = weighted;
+  if (!std::isfinite(prediction.mean_latency)) prediction.stable = false;
+  return prediction;
+}
+
+}  // namespace mcs::model

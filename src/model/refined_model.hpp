@@ -1,0 +1,89 @@
+// Refined analytical model: the same Draper-Ghosh/M-G-1 skeleton as the
+// paper (Eqs. 16-23), but with inputs that match the physical system the
+// simulator implements (DESIGN.md §3.2):
+//
+//  * per-queue arrival rates — a node's ICN1 NIC sees (1-P_o)*lambda_g,
+//    its ECN1 NIC P_o*lambda_g, the concentrator and dispatcher
+//    N_i*P_o*lambda_g each;
+//  * flow-conservation channel rates that depend on the stage's level
+//    boundary, including the hot converging chain of channels into (and
+//    out of) the concentrator;
+//  * the external path decomposed into three worm segments with
+//    store-and-forward relays, using the exact ICN2 distance per cluster
+//    pair and destination-cluster weights N_v/(N - N_i) instead of the
+//    paper's arithmetic 1/(C-1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/latency.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace mcs::model {
+
+class RefinedModel final : public LatencyModel {
+ public:
+  /// `p_out_override` as in PaperModel: per-cluster outgoing probabilities
+  /// replacing Eq. (13) for locality-biased traffic patterns.
+  RefinedModel(topo::SystemConfig config, NetworkParams params,
+               std::vector<double> p_out_override = {});
+
+  [[nodiscard]] LatencyPrediction predict(double lambda_g) const override;
+  [[nodiscard]] std::string name() const override { return "refined"; }
+  [[nodiscard]] const topo::SystemConfig& config() const override {
+    return config_;
+  }
+  [[nodiscard]] const NetworkParams& params() const override {
+    return params_;
+  }
+
+ private:
+  struct ClusterCache {
+    int height = 0;
+    double nodes = 0.0;
+    double p_out = 0.0;
+    std::vector<double> hop_prob;       ///< node-to-node, Eq. (4)
+    std::vector<double> hop_tail;       ///< tail[l] = Pr(j > l), l = 0..n
+    std::vector<double> conc_prob;      ///< node-to-concentrator
+    std::vector<double> conc_tail;      ///< Pr(distance to conc > l)
+    std::vector<std::int64_t> k_pow;    ///< k^l, l = 0..n
+  };
+
+  /// Mean journey stats for one segment kind, averaged over hop counts.
+  struct SegmentResult {
+    double s_mean = 0.0;  ///< hop-weighted S_0 of the stage recursion
+    double s_zero = 0.0;  ///< hop-weighted zero-load S_0 (contention-free)
+    double r_mean = 0.0;  ///< hop-weighted remaining header pipeline time
+    bool stable = true;
+  };
+
+  [[nodiscard]] SegmentResult internal_segment(int cluster,
+                                               double lambda_g) const;
+  [[nodiscard]] SegmentResult ecn1_outbound_segment(int cluster,
+                                                    double lambda_g) const;
+  [[nodiscard]] SegmentResult icn2_segment(int i, int v,
+                                           double lambda_g) const;
+  [[nodiscard]] SegmentResult ecn1_inbound_segment(int cluster,
+                                                   double lambda_g) const;
+
+  topo::SystemConfig config_;
+  NetworkParams params_;
+  std::vector<ClusterCache> clusters_;
+  std::vector<double> icn2_tail_;  ///< Pr(h > l) in the ICN2 tree
+  topo::TreeShape icn2_shape_{};
+  std::unique_ptr<topo::FatTree> icn2_;  ///< for exact per-pair distances
+  double total_nodes_ = 0.0;
+  double total_external_rate_coeff_ = 0.0;  ///< sum_i N_i * P_o^i
+
+  // Exact d-mod-k funnel rates in the ICN2 (coefficients of lambda_g),
+  // precomputed from pairwise concentrator distances. The boundary-l down
+  // channel toward endpoint v is shared by v's whole *leaf group* (all
+  // paths to one destination — and, through the sigma digits, to its leaf
+  // siblings — converge); ascending traffic from a leaf group spreads
+  // over k^l (sigma, port) combinations.
+  std::vector<std::vector<double>> icn2_down_coeff_;  ///< [v][l]
+  std::vector<std::vector<double>> icn2_up_coeff_;    ///< [i][l]
+};
+
+}  // namespace mcs::model

@@ -1,0 +1,53 @@
+#include "model/saturation.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mcs::model {
+
+SaturationResult find_saturation(const LatencyModel& model, double rel_tol) {
+  MCS_EXPECTS(rel_tol > 0.0);
+  SaturationResult result;
+
+  // Bracket: grow hi geometrically from the closed-form estimate until the
+  // model goes unstable.
+  double hi = concentrator_saturation_estimate(model.config(), model.params());
+  MCS_ASSERT(hi > 0.0);
+  double lo = 0.0;
+  int guard = 0;
+  while (model.predict(hi).stable) {
+    lo = hi;
+    hi *= 2.0;
+    if (++guard > 64) {  // model never saturates (e.g. zero-load corner)
+      result.lambda_sat = lo;
+      return result;
+    }
+  }
+
+  while ((hi - lo) > rel_tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    const LatencyPrediction p = model.predict(mid);
+    if (p.stable) {
+      lo = mid;
+      result.latency_at = p.mean_latency;
+    } else {
+      hi = mid;
+    }
+    ++result.iterations;
+  }
+  result.lambda_sat = lo;
+  return result;
+}
+
+double concentrator_saturation_estimate(const topo::SystemConfig& config,
+                                        const NetworkParams& params) {
+  double worst = 0.0;
+  for (int i = 0; i < config.cluster_count(); ++i) {
+    worst = std::max(worst, static_cast<double>(config.cluster_size(i)) *
+                                config.p_outgoing(i));
+  }
+  return 1.0 / (worst * params.message_flits * params.t_cs());
+}
+
+}  // namespace mcs::model

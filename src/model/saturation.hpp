@@ -1,0 +1,29 @@
+// Saturation-point analysis: the offered load lambda_g* beyond which the
+// model predicts unbounded latency. In this system the binding constraint
+// is almost always the concentrator/dispatcher funnel (every external
+// message of cluster i serializes through one relay whose effective
+// service time is ~M*t_cs), giving the closed-form estimate
+//   lambda* ~= 1 / (max_i N_i * P_o^(i) * M * t_cs)
+// which matches the knees of Figs. 3-4 (DESIGN.md §6).
+#pragma once
+
+#include "model/latency.hpp"
+
+namespace mcs::model {
+
+struct SaturationResult {
+  double lambda_sat = 0.0;   ///< largest stable offered load found
+  double latency_at = 0.0;   ///< model latency just below saturation
+  int iterations = 0;
+};
+
+/// Bisect for the largest lambda_g the model reports as stable.
+/// `rel_tol` is the relative width of the final bracket.
+[[nodiscard]] SaturationResult find_saturation(const LatencyModel& model,
+                                               double rel_tol = 1e-3);
+
+/// Closed-form concentrator-funnel estimate (see header comment).
+[[nodiscard]] double concentrator_saturation_estimate(
+    const topo::SystemConfig& config, const NetworkParams& params);
+
+}  // namespace mcs::model

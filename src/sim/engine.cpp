@@ -1,0 +1,202 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace mcs::sim {
+
+WormholeEngine::WormholeEngine(std::vector<double> channel_service,
+                               int message_flits, EventQueue& queue,
+                               Listener& listener, FlowControl flow_control)
+    : service_(std::move(channel_service)),
+      flits_(message_flits),
+      flow_control_(flow_control),
+      queue_(queue),
+      listener_(listener),
+      channels_(service_.size()) {
+  MCS_EXPECTS(flits_ >= 1);
+  busy_time_.assign(service_.size(), 0.0);
+  traversals_.assign(service_.size(), 0);
+}
+
+void WormholeEngine::enable_channel_stats() {
+  stats_enabled_ = true;
+  window_start_ = std::numeric_limits<double>::infinity();
+}
+
+WormId WormholeEngine::spawn(std::int32_t msg,
+                             std::span<const GlobalChannelId> path,
+                             double now) {
+  MCS_EXPECTS(!path.empty());
+  // A wormhole worm must be able to span its whole path; see the header
+  // comment. Store-and-forward holds one channel at a time.
+  MCS_EXPECTS(flow_control_ == FlowControl::kStoreAndForward ||
+              static_cast<int>(path.size()) <= flits_);
+
+  WormId id;
+  if (!free_worms_.empty()) {
+    id = free_worms_.back();
+    free_worms_.pop_back();
+  } else {
+    id = static_cast<WormId>(worms_.size());
+    worms_.emplace_back();
+  }
+  Worm& w = worms_[static_cast<std::size_t>(id)];
+  w.path.assign(path.begin(), path.end());
+  w.acquire.assign(path.size(), 0.0);
+  w.enqueue_time = now;
+  w.msg = msg;
+  w.hop = 0;
+  w.next_waiter = Worm::kNoWorm;
+  ++live_worms_;
+
+  request(id, now);
+  return id;
+}
+
+void WormholeEngine::request(WormId id, double now) {
+  Worm& w = worms_[static_cast<std::size_t>(id)];
+  const GlobalChannelId c = w.path[static_cast<std::size_t>(w.hop)];
+  ChannelState& ch = channels_[static_cast<std::size_t>(c)];
+  if (ch.holder == Worm::kNoWorm) {
+    MCS_ASSERT(ch.wait_head == Worm::kNoWorm);
+    acquire(id, now);
+    return;
+  }
+  // FIFO enqueue via the intrusive list.
+  w.next_waiter = Worm::kNoWorm;
+  if (ch.wait_tail == Worm::kNoWorm) {
+    ch.wait_head = ch.wait_tail = id;
+  } else {
+    worms_[static_cast<std::size_t>(ch.wait_tail)].next_waiter = id;
+    ch.wait_tail = id;
+  }
+  ++waiting_;
+}
+
+void WormholeEngine::acquire(WormId id, double now) {
+  Worm& w = worms_[static_cast<std::size_t>(id)];
+  const GlobalChannelId c = w.path[static_cast<std::size_t>(w.hop)];
+  ChannelState& ch = channels_[static_cast<std::size_t>(c)];
+  MCS_ASSERT(ch.holder == Worm::kNoWorm);
+  ch.holder = id;
+  w.acquire[static_cast<std::size_t>(w.hop)] = now;
+  // Wormhole: the header crosses in one flit time. Store-and-forward: the
+  // entire message crosses before anything else happens.
+  const double crossing =
+      flow_control_ == FlowControl::kWormhole
+          ? service_[static_cast<std::size_t>(c)]
+          : flits_ * service_[static_cast<std::size_t>(c)];
+  queue_.push(now + crossing, EventKind::kHeaderAdvance, id);
+}
+
+void WormholeEngine::handle(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kHeaderAdvance:
+      header_advanced(event.a, event.time);
+      break;
+    case EventKind::kRelease:
+      release(event.a, event.time);
+      break;
+    case EventKind::kWormDone: {
+      const WormId id = event.a;
+      listener_.on_worm_done(id, event.time);
+      --live_worms_;
+      free_worms_.push_back(id);
+      break;
+    }
+    case EventKind::kGenerate:
+      MCS_ASSERT(false);  // traffic events belong to the Simulator
+  }
+}
+
+void WormholeEngine::header_advanced(WormId id, double now) {
+  Worm& w = worms_[static_cast<std::size_t>(id)];
+  if (flow_control_ == FlowControl::kStoreAndForward) {
+    // The full message crossed this channel: release it immediately, then
+    // queue for the next hop (or deliver).
+    const auto hop = static_cast<std::size_t>(w.hop);
+    account(w.path[hop], w.acquire[hop], now);
+    release(w.path[hop], now);
+    ++w.hop;
+    if (w.hop < static_cast<std::int32_t>(w.path.size())) {
+      request(id, now);
+    } else {
+      queue_.push(now, EventKind::kWormDone, id);
+    }
+    return;
+  }
+  ++w.hop;
+  if (w.hop < static_cast<std::int32_t>(w.path.size())) {
+    request(id, now);
+  } else {
+    finish_header(id, now);
+  }
+}
+
+void WormholeEngine::finish_header(WormId id, double now) {
+  Worm& w = worms_[static_cast<std::size_t>(id)];
+  const std::size_t hops = w.path.size();
+
+  // Evaluate the drain recurrence. Row f holds start(f, j); the header row
+  // is start(0, j) = acquire[j].
+  drain_prev_.assign(w.acquire.begin(), w.acquire.end());
+  drain_cur_.resize(hops);
+  auto svc = [&](std::size_t j) {
+    return service_[static_cast<std::size_t>(w.path[j])];
+  };
+  for (int f = 1; f < flits_; ++f) {
+    // j = 0: flits wait in the source; constrained by channel reuse and
+    // the buffer one stage ahead (if any).
+    drain_cur_[0] = drain_prev_[0] + svc(0);
+    if (hops > 1) drain_cur_[0] = std::max(drain_cur_[0], drain_prev_[1]);
+    for (std::size_t j = 1; j + 1 < hops; ++j) {
+      drain_cur_[j] =
+          std::max(drain_cur_[j - 1] + svc(j - 1), drain_prev_[j + 1]);
+    }
+    if (hops > 1) {
+      const std::size_t last = hops - 1;
+      drain_cur_[last] = std::max(drain_cur_[last - 1] + svc(last - 1),
+                                  drain_prev_[last] + svc(last));
+    }
+    std::swap(drain_prev_, drain_cur_);
+  }
+
+  // Release channel j when the tail finishes crossing it. Releases are
+  // non-decreasing in j; the worm is done when the tail crosses the last
+  // channel. The max() guards the M == path-length edge case where a
+  // release could precede this event (see engine.hpp).
+  double done = now;
+  for (std::size_t j = 0; j < hops; ++j) {
+    const double rel = std::max(drain_prev_[j] + svc(j), now);
+    account(w.path[j], w.acquire[j], rel);
+    queue_.push(rel, EventKind::kRelease, w.path[j]);
+    done = std::max(done, rel);
+  }
+  queue_.push(done, EventKind::kWormDone, id);
+}
+
+void WormholeEngine::release(GlobalChannelId c, double now) {
+  ChannelState& ch = channels_[static_cast<std::size_t>(c)];
+  MCS_ASSERT(ch.holder != Worm::kNoWorm);
+  ch.holder = Worm::kNoWorm;
+  const WormId next = ch.wait_head;
+  if (next == Worm::kNoWorm) return;
+  Worm& w = worms_[static_cast<std::size_t>(next)];
+  ch.wait_head = w.next_waiter;
+  if (ch.wait_head == Worm::kNoWorm) ch.wait_tail = Worm::kNoWorm;
+  w.next_waiter = Worm::kNoWorm;
+  --waiting_;
+  acquire(next, now);
+}
+
+void WormholeEngine::account(GlobalChannelId c, double from, double to) {
+  if (!stats_enabled_) return;
+  const double lo = std::max(from, window_start_);
+  if (to > lo) busy_time_[static_cast<std::size_t>(c)] += to - lo;
+  if (from >= window_start_) ++traversals_[static_cast<std::size_t>(c)];
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,142 @@
+// Worm-granularity wormhole-switching engine.
+//
+// Semantics (paper Sec. 2/4 assumptions): single-flit input buffers, FIFO
+// arbitration per channel, destinations always accept, infinite source
+// queues. A worm acquires the channels of its precomputed path one by one;
+// while its header waits for the next channel it holds everything acquired
+// so far. Because every path in the studied systems is shorter than the
+// message length M, a worm spans its entire path when the header reaches
+// the destination; from that moment no other worm can interfere with it,
+// so the tail's crossing time of every held channel — and hence each
+// channel-release instant — follows deterministically from the single-flit
+// buffer recurrence
+//
+//     start(f, j) = max( finish(f, j-1),        [flit f arrives at stage j]
+//                        finish(f-1, j),        [channel j free again]
+//                        start(f-1, j+1) )      [buffer ahead vacated]
+//
+// evaluated in closed form at header arrival (O(M*K) arithmetic instead of
+// O(M*K) heap events). A brute-force per-flit event simulator in the test
+// suite verifies the recurrence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace mcs::sim {
+
+using GlobalChannelId = std::int32_t;
+using WormId = std::int32_t;
+
+/// Switching mechanism (Sec. 2 of the paper names both).
+enum class FlowControl : std::uint8_t {
+  /// Wormhole: the worm pipelines across its path, holding every acquired
+  /// channel until its tail passes (single-flit buffers).
+  kWormhole,
+  /// Store-and-forward: the whole message is buffered at each switch; a
+  /// channel is held for exactly M flit times and released before the
+  /// next channel is requested (infinite switch buffers assumed).
+  kStoreAndForward,
+};
+
+/// One in-flight worm. `acquire[h]` is when channel `path[h]` was granted.
+struct Worm {
+  std::vector<GlobalChannelId> path;
+  std::vector<double> acquire;
+  double enqueue_time = 0.0;
+  std::int32_t msg = -1;      ///< owning message, opaque to the engine
+  std::int32_t hop = 0;       ///< next channel index to acquire
+  std::int32_t next_waiter = kNoWorm;  ///< intrusive FIFO link
+
+  static constexpr std::int32_t kNoWorm = -1;
+};
+
+class WormholeEngine {
+ public:
+  /// Receives worm-completion notifications (tail fully at endpoint).
+  /// The worm record remains valid during the call and is recycled after.
+  class Listener {
+   public:
+    virtual void on_worm_done(WormId worm, double time) = 0;
+    virtual ~Listener() = default;
+  };
+
+  /// `channel_service[c]` is the flit transfer time of global channel c.
+  WormholeEngine(std::vector<double> channel_service, int message_flits,
+                 EventQueue& queue, Listener& listener,
+                 FlowControl flow_control = FlowControl::kWormhole);
+
+  /// Spawn a worm at `now`: it joins the FIFO of path[0] (the source/relay
+  /// queue) and is granted immediately when that channel is idle.
+  WormId spawn(std::int32_t msg, std::span<const GlobalChannelId> path,
+               double now);
+
+  /// Dispatch kHeaderAdvance / kRelease / kWormDone events.
+  void handle(const Event& event);
+
+  [[nodiscard]] const Worm& worm(WormId id) const {
+    return worms_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::int64_t live_worms() const { return live_worms_; }
+  /// Worms currently blocked in some channel FIFO (saturation signal).
+  [[nodiscard]] std::int64_t waiting_worms() const { return waiting_; }
+  [[nodiscard]] int message_flits() const { return flits_; }
+  [[nodiscard]] FlowControl flow_control() const { return flow_control_; }
+
+  // --- channel statistics (enable before running) -------------------------
+
+  /// Turn on per-channel busy-time and traversal accounting. Nothing is
+  /// accumulated until set_stats_window_start() opens the window (the
+  /// simulator opens it when the warm-up phase ends).
+  void enable_channel_stats();
+  void set_stats_window_start(double t) { window_start_ = t; }
+  [[nodiscard]] double busy_time(GlobalChannelId c) const {
+    return busy_time_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t traversals(GlobalChannelId c) const {
+    return traversals_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::size_t channel_count() const {
+    return service_.size();
+  }
+
+ private:
+  struct ChannelState {
+    WormId holder = Worm::kNoWorm;
+    WormId wait_head = Worm::kNoWorm;
+    WormId wait_tail = Worm::kNoWorm;
+  };
+
+  void request(WormId w, double now);
+  void acquire(WormId w, double now);
+  void header_advanced(WormId w, double now);
+  void release(GlobalChannelId c, double now);
+  void finish_header(WormId w, double now);
+  void account(GlobalChannelId c, double from, double to);
+
+  std::vector<double> service_;
+  int flits_;
+  FlowControl flow_control_;
+  EventQueue& queue_;
+  Listener& listener_;
+
+  std::vector<ChannelState> channels_;
+  std::vector<Worm> worms_;
+  std::vector<WormId> free_worms_;
+  std::int64_t live_worms_ = 0;
+  std::int64_t waiting_ = 0;
+
+  bool stats_enabled_ = false;
+  double window_start_ = 0.0;
+  std::vector<double> busy_time_;
+  std::vector<std::uint64_t> traversals_;
+
+  // Scratch rows for the drain recurrence (avoid per-worm allocation).
+  std::vector<double> drain_prev_;
+  std::vector<double> drain_cur_;
+};
+
+}  // namespace mcs::sim

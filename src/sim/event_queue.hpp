@@ -1,0 +1,85 @@
+// Pending-event set for the discrete-event simulator: a binary min-heap
+// ordered by (time, sequence number). The sequence tie-break makes event
+// ordering — and therefore every simulation — fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mcs::sim {
+
+enum class EventKind : std::uint8_t {
+  kGenerate,       ///< a = global node id
+  kHeaderAdvance,  ///< a = worm id (header finished crossing a channel)
+  kRelease,        ///< a = global channel id (tail crossed; free it)
+  kWormDone        ///< a = worm id (tail fully at endpoint)
+};
+
+struct Event {
+  double time;
+  std::uint64_t seq;
+  EventKind kind;
+  std::int32_t a = -1;
+
+  [[nodiscard]] bool after(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+class EventQueue {
+ public:
+  void push(double time, EventKind kind, std::int32_t a) {
+    MCS_EXPECTS(time >= last_pop_time_);
+    heap_.push_back(Event{time, next_seq_++, kind, a});
+    sift_up(heap_.size() - 1);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] const Event& top() const { return heap_.front(); }
+
+  Event pop() {
+    MCS_EXPECTS(!heap_.empty());
+    Event out = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    last_pop_time_ = out.time;
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_[parent].after(heap_[i])) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = l + 1;
+      std::size_t smallest = i;
+      if (l < n && heap_[smallest].after(heap_[l])) smallest = l;
+      if (r < n && heap_[smallest].after(heap_[r])) smallest = r;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+  double last_pop_time_ = 0.0;
+};
+
+}  // namespace mcs::sim

@@ -1,0 +1,54 @@
+#include "sim/replication.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace mcs::sim {
+
+namespace {
+
+util::ConfidenceInterval across(const util::OnlineMoments& m) {
+  util::ConfidenceInterval ci;
+  ci.mean = m.mean();
+  if (m.count() >= 2) {
+    const double se = m.stddev() / std::sqrt(static_cast<double>(m.count()));
+    ci.half_width = util::student_t_975(m.count() - 1) * se;
+  }
+  return ci;
+}
+
+}  // namespace
+
+ReplicationResult run_replications(const topo::MultiClusterTopology& topology,
+                                   const model::NetworkParams& params,
+                                   double lambda_g, const SimConfig& base,
+                                   int replications) {
+  if (replications < 1)
+    throw ConfigError("run_replications: need at least one replication");
+
+  ReplicationResult result;
+  util::OnlineMoments latency, internal, external;
+  for (int r = 0; r < replications; ++r) {
+    SimConfig cfg = base;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(r);
+    Simulator simulator(topology, params, lambda_g, cfg);
+    SimResult run = simulator.run();
+    if (run.saturated) {
+      ++result.saturated;
+    } else {
+      ++result.completed;
+      latency.add(run.latency.mean);
+      internal.add(run.internal_latency.mean);
+      external.add(run.external_latency.mean);
+    }
+    result.runs.push_back(std::move(run));
+  }
+  result.latency = across(latency);
+  result.internal_latency = across(internal);
+  result.external_latency = across(external);
+  return result;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,33 @@
+// Independent replications: run the same operating point under K
+// different seeds and derive confidence intervals across the replication
+// means. Stronger methodology than the single-run batch-means CI the
+// paper's 100k-message experiments imply (replications are genuinely
+// independent; batches are only approximately so).
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mcs::sim {
+
+struct ReplicationResult {
+  /// 95% CI of the mean latency across replication means (Student-t with
+  /// R-1 degrees of freedom). Computed over non-saturated runs only.
+  util::ConfidenceInterval latency;
+  util::ConfidenceInterval internal_latency;
+  util::ConfidenceInterval external_latency;
+  int completed = 0;  ///< replications that reached steady completion
+  int saturated = 0;  ///< replications that hit a saturation cap
+  std::vector<SimResult> runs;  ///< per-replication detail
+};
+
+/// Run `replications` independent simulations; replication r uses seed
+/// base.seed + r (each expands to a fully decorrelated stream set via
+/// splitmix64). Throws mcs::ConfigError for replications < 1.
+[[nodiscard]] ReplicationResult run_replications(
+    const topo::MultiClusterTopology& topology,
+    const model::NetworkParams& params, double lambda_g,
+    const SimConfig& base, int replications);
+
+}  // namespace mcs::sim

@@ -1,0 +1,396 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace mcs::sim {
+
+const char* to_string(NetKind kind) {
+  switch (kind) {
+    case NetKind::kIcn1: return "ICN1";
+    case NetKind::kEcn1: return "ECN1";
+    case NetKind::kIcn2: return "ICN2";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const topo::MultiClusterTopology& topology,
+                     const model::NetworkParams& params, double lambda_g,
+                     SimConfig config)
+    : topology_(topology),
+      params_(params),
+      lambda_(lambda_g),
+      config_(std::move(config)),
+      engine_([&] {
+        params_.validate();
+        if (!(lambda_ > 0.0))
+          throw ConfigError("Simulator: lambda_g must be > 0");
+        if (config_.measured_messages < 1 || config_.warmup_messages < 0)
+          throw ConfigError("Simulator: bad phase configuration");
+
+        // Canonical network order: (ICN1_0, ECN1_0, ICN1_1, ECN1_1, ...,
+        // ICN2). Build the registry and the global service-time table.
+        const auto& cfg = topology_.config();
+        GlobalChannelId base = 0;
+        int longest = 0;
+        for (int i = 0; i < cfg.cluster_count(); ++i) {
+          nets_.push_back(Net{NetKind::kIcn1, i, &topology_.icn1(i), base});
+          icn1_base_.push_back(base);
+          base += static_cast<GlobalChannelId>(
+              topology_.icn1(i).channel_count());
+          nets_.push_back(Net{NetKind::kEcn1, i, &topology_.ecn1(i), base});
+          ecn1_base_.push_back(base);
+          base += static_cast<GlobalChannelId>(
+              topology_.ecn1(i).channel_count());
+          longest = std::max(longest, 2 * topology_.icn1(i).height());
+        }
+        nets_.push_back(Net{NetKind::kIcn2, -1, &topology_.icn2(), base});
+        icn2_base_ = base;
+        base += static_cast<GlobalChannelId>(topology_.icn2().channel_count());
+        if (config_.relay_mode == RelayMode::kCutThrough) {
+          // One merged worm spans both ECN1 legs plus the ICN2 crossing.
+          int max_cluster = 0;
+          for (int i = 0; i < cfg.cluster_count(); ++i)
+            max_cluster = std::max(max_cluster, topology_.icn1(i).height());
+          longest = std::max(longest, 4 * max_cluster +
+                                          2 * topology_.icn2().height());
+        } else {
+          longest = std::max(longest, 2 * topology_.icn2().height());
+        }
+
+        if (config_.flow_control == FlowControl::kWormhole &&
+            longest > params_.message_flits)
+          throw ConfigError(
+              "Simulator: message_flits (M=" +
+              std::to_string(params_.message_flits) +
+              ") is shorter than the longest path (" +
+              std::to_string(longest) +
+              " channels); the wormhole engine requires a worm to span its "
+              "path (see DESIGN.md)");
+
+        std::vector<double> service(static_cast<std::size_t>(base));
+        channel_net_.assign(static_cast<std::size_t>(base), 0);
+        for (std::size_t n = 0; n < nets_.size(); ++n) {
+          const Net& net = nets_[n];
+          for (std::size_t c = 0; c < net.tree->channel_count(); ++c) {
+            const auto g = static_cast<std::size_t>(net.base) + c;
+            channel_net_[g] = static_cast<std::int32_t>(n);
+            service[g] =
+                topo::is_node_link(
+                    net.tree->channel(static_cast<topo::ChannelId>(c)).kind)
+                    ? params_.t_cn()
+                    : params_.t_cs();
+          }
+        }
+        return service;
+      }(),
+              params_.message_flits, queue_, *this, config_.flow_control),
+      sampler_(topology_, config_.pattern),
+      latency_(config_.batch_size),
+      internal_latency_(config_.batch_size),
+      external_latency_(config_.batch_size) {
+  const std::int64_t n = topology_.total_nodes();
+  cluster_of_.reserve(static_cast<std::size_t>(n));
+  local_of_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < topology_.config().cluster_count(); ++i) {
+    const auto size =
+        static_cast<topo::EndpointId>(topology_.config().cluster_size(i));
+    for (topo::EndpointId l = 0; l < size; ++l) {
+      cluster_of_.push_back(i);
+      local_of_.push_back(l);
+    }
+  }
+  MCS_ENSURES(static_cast<std::int64_t>(cluster_of_.size()) == n);
+
+  util::Rng master(config_.seed);
+  node_rng_.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t g = 0; g < n; ++g)
+    node_rng_.push_back(master.fork(static_cast<std::uint64_t>(g)));
+
+  per_cluster_.resize(
+      static_cast<std::size_t>(topology_.config().cluster_count()));
+
+  waiting_cap_ = config_.max_waiting_worms > 0
+                     ? config_.max_waiting_worms
+                     : std::max<std::int64_t>(10'000, 50 * n);
+  generated_cap_ =
+      config_.max_generated > 0
+          ? config_.max_generated
+          : 4 * (config_.warmup_messages + config_.measured_messages);
+}
+
+bool Simulator::should_stop(double now, std::string& reason) const {
+  if (events_processed_ > config_.max_events) {
+    reason = "event budget exhausted";
+    return true;
+  }
+  if (now > config_.max_time) {
+    reason = "simulated-time budget exhausted";
+    return true;
+  }
+  if (engine_.waiting_worms() > waiting_cap_) {
+    reason = "blocked-worm cap exceeded (queues growing without bound)";
+    return true;
+  }
+  if (generated_ > generated_cap_) {
+    reason = "generation cap exceeded before measured messages drained";
+    return true;
+  }
+  return false;
+}
+
+SimResult Simulator::run() {
+  if (config_.collect_channel_stats) engine_.enable_channel_stats();
+
+  const std::int64_t n = topology_.total_nodes();
+  for (std::int64_t g = 0; g < n; ++g) {
+    const auto node = static_cast<std::int32_t>(g);
+    queue_.push(node_rng_[static_cast<std::size_t>(g)].exponential(lambda_),
+                EventKind::kGenerate, node);
+  }
+
+  SimResult result;
+  double now = 0.0;
+  while (delivered_measured_ < config_.measured_messages) {
+    MCS_ASSERT(!queue_.empty());
+    if ((events_processed_ & 0xFFF) == 0 &&
+        should_stop(now, result.saturation_reason)) {
+      result.saturated = true;
+      break;
+    }
+    const Event ev = queue_.pop();
+    ++events_processed_;
+    now = ev.time;
+    if (ev.kind == EventKind::kGenerate) {
+      handle_generate(ev.a, now);
+    } else {
+      engine_.handle(ev);
+    }
+  }
+
+  result.latency = latency_.interval();
+  result.internal_latency = internal_latency_.interval();
+  result.external_latency = external_latency_.interval();
+  result.mean_source_wait = source_wait_.mean();
+  result.mean_conc_wait = conc_wait_.mean();
+  result.mean_disp_wait = disp_wait_.mean();
+  result.generated = generated_;
+  result.delivered_measured = delivered_measured_;
+  result.measured_internal =
+      static_cast<std::int64_t>(internal_latency_.count());
+  result.measured_external =
+      static_cast<std::int64_t>(external_latency_.count());
+  result.end_time = now;
+  result.events_processed = events_processed_;
+  for (const auto& m : per_cluster_) {
+    result.per_cluster_latency.push_back(m.mean());
+    result.per_cluster_count.push_back(static_cast<std::int64_t>(m.count()));
+  }
+  if (config_.collect_channel_stats) collect_channel_classes(result);
+  return result;
+}
+
+void Simulator::handle_generate(std::int32_t node, double now) {
+  auto& rng = node_rng_[static_cast<std::size_t>(node)];
+  queue_.push(now + rng.exponential(lambda_), EventKind::kGenerate, node);
+
+  const std::int64_t idx = generated_++;
+  if (idx == config_.warmup_messages) {
+    measure_start_time_ = now;
+    engine_.set_stats_window_start(now);
+  }
+
+  std::int32_t msg_id;
+  if (!free_msgs_.empty()) {
+    msg_id = free_msgs_.back();
+    free_msgs_.pop_back();
+  } else {
+    msg_id = static_cast<std::int32_t>(msgs_.size());
+    msgs_.emplace_back();
+  }
+  MsgRec& m = msgs_[static_cast<std::size_t>(msg_id)];
+
+  const std::int32_t src_cluster = cluster_of_[static_cast<std::size_t>(node)];
+  const std::int64_t dst_global = sampler_.sample(node, src_cluster, rng);
+  MCS_ASSERT(dst_global != node);
+
+  m.gen_time = now;
+  m.src_cluster = src_cluster;
+  m.src_local = local_of_[static_cast<std::size_t>(node)];
+  m.dst_cluster = cluster_of_[static_cast<std::size_t>(dst_global)];
+  m.dst_local = local_of_[static_cast<std::size_t>(dst_global)];
+  m.internal = m.dst_cluster == m.src_cluster;
+  if (m.internal) {
+    m.segment = 0;
+  } else {
+    m.segment =
+        config_.relay_mode == RelayMode::kCutThrough ? std::int8_t{4}
+                                                     : std::int8_t{1};
+  }
+  m.measured = idx >= config_.warmup_messages &&
+               idx < config_.warmup_messages + config_.measured_messages;
+
+  spawn_segment(msg_id, now);
+}
+
+void Simulator::spawn_segment(std::int32_t msg_id, double now) {
+  const MsgRec& m = msgs_[static_cast<std::size_t>(msg_id)];
+  const topo::FatTree* tree = nullptr;
+  GlobalChannelId base = 0;
+  topo::EndpointId src = 0;
+  topo::EndpointId dst = 0;
+
+  if (m.segment == 4) {
+    // Cut-through: concatenate the three legs into one worm. The relays
+    // act as one-flit buffers along the path instead of full queues.
+    path_scratch_.clear();
+    auto append = [&](const topo::FatTree& t, GlobalChannelId b,
+                      topo::EndpointId s, topo::EndpointId d) {
+      route_scratch_.clear();
+      t.route_into(s, d, route_scratch_);
+      for (const topo::ChannelId c : route_scratch_)
+        path_scratch_.push_back(b + c);
+    };
+    append(topology_.ecn1(m.src_cluster),
+           ecn1_base_[static_cast<std::size_t>(m.src_cluster)], m.src_local,
+           topology_.concentrator_endpoint(m.src_cluster));
+    append(topology_.icn2(), icn2_base_,
+           topology_.icn2_endpoint(m.src_cluster),
+           topology_.icn2_endpoint(m.dst_cluster));
+    append(topology_.ecn1(m.dst_cluster),
+           ecn1_base_[static_cast<std::size_t>(m.dst_cluster)],
+           topology_.concentrator_endpoint(m.dst_cluster), m.dst_local);
+    engine_.spawn(msg_id, path_scratch_, now);
+    return;
+  }
+
+  switch (m.segment) {
+    case 0:  // internal: one worm through the cluster's ICN1
+      tree = &topology_.icn1(m.src_cluster);
+      base = icn1_base_[static_cast<std::size_t>(m.src_cluster)];
+      src = m.src_local;
+      dst = m.dst_local;
+      break;
+    case 1:  // external leg 1: source ECN1, node -> concentrator
+      tree = &topology_.ecn1(m.src_cluster);
+      base = ecn1_base_[static_cast<std::size_t>(m.src_cluster)];
+      src = m.src_local;
+      dst = topology_.concentrator_endpoint(m.src_cluster);
+      break;
+    case 2:  // external leg 2: ICN2, concentrator_i -> concentrator_v
+      tree = &topology_.icn2();
+      base = icn2_base_;
+      src = topology_.icn2_endpoint(m.src_cluster);
+      dst = topology_.icn2_endpoint(m.dst_cluster);
+      break;
+    case 3:  // external leg 3: destination ECN1, concentrator -> node
+      tree = &topology_.ecn1(m.dst_cluster);
+      base = ecn1_base_[static_cast<std::size_t>(m.dst_cluster)];
+      src = topology_.concentrator_endpoint(m.dst_cluster);
+      dst = m.dst_local;
+      break;
+    default:
+      MCS_ASSERT(false);
+  }
+
+  route_scratch_.clear();
+  tree->route_into(src, dst, route_scratch_);
+  path_scratch_.clear();
+  for (const topo::ChannelId c : route_scratch_)
+    path_scratch_.push_back(base + c);
+  engine_.spawn(msg_id, path_scratch_, now);
+}
+
+void Simulator::on_worm_done(WormId worm, double time) {
+  const Worm& w = engine_.worm(worm);
+  MsgRec& m = msgs_[static_cast<std::size_t>(w.msg)];
+
+  if (m.measured) {
+    const double wait = w.acquire.front() - w.enqueue_time;
+    switch (m.segment) {
+      case 0:
+      case 1:
+      case 4:
+        source_wait_.add(wait);
+        break;
+      case 2:
+        conc_wait_.add(wait);
+        break;
+      case 3:
+        disp_wait_.add(wait);
+        break;
+      default:
+        MCS_ASSERT(false);
+    }
+  }
+
+  if (m.segment == 0 || m.segment == 3 || m.segment == 4) {
+    finalize(w.msg, time);
+  } else {
+    ++m.segment;
+    spawn_segment(w.msg, time);
+  }
+}
+
+void Simulator::finalize(std::int32_t msg_id, double now) {
+  MsgRec& m = msgs_[static_cast<std::size_t>(msg_id)];
+  if (m.measured) {
+    const double latency = now - m.gen_time;
+    latency_.add(latency);
+    (m.internal ? internal_latency_ : external_latency_).add(latency);
+    per_cluster_[static_cast<std::size_t>(m.src_cluster)].add(latency);
+    ++delivered_measured_;
+  }
+  free_msgs_.push_back(msg_id);
+}
+
+void Simulator::collect_channel_classes(SimResult& result) const {
+  const double duration = result.end_time - measure_start_time_;
+  if (!(duration > 0.0)) return;
+
+  struct Accum {
+    std::size_t channels = 0;
+    double util_sum = 0.0;
+    double util_max = 0.0;
+    double rate_sum = 0.0;
+  };
+  std::map<std::tuple<int, int, int>, Accum> classes;
+
+  for (std::size_t c = 0; c < engine_.channel_count(); ++c) {
+    const Net& net = nets_[static_cast<std::size_t>(channel_net_[c])];
+    const auto local = static_cast<topo::ChannelId>(
+        static_cast<GlobalChannelId>(c) - net.base);
+    const topo::Channel& ch = net.tree->channel(local);
+    const double util =
+        engine_.busy_time(static_cast<GlobalChannelId>(c)) / duration;
+    const double rate =
+        static_cast<double>(
+            engine_.traversals(static_cast<GlobalChannelId>(c))) /
+        duration;
+    Accum& a = classes[{static_cast<int>(net.kind), static_cast<int>(ch.kind),
+                        ch.level}];
+    ++a.channels;
+    a.util_sum += util;
+    a.util_max = std::max(a.util_max, util);
+    a.rate_sum += rate;
+  }
+
+  for (const auto& [key, a] : classes) {
+    ChannelClassStat stat;
+    stat.net = static_cast<NetKind>(std::get<0>(key));
+    stat.kind = static_cast<topo::ChannelKind>(std::get<1>(key));
+    stat.level = std::get<2>(key);
+    stat.channels = a.channels;
+    stat.mean_utilization = a.util_sum / static_cast<double>(a.channels);
+    stat.max_utilization = a.util_max;
+    stat.mean_message_rate = a.rate_sum / static_cast<double>(a.channels);
+    result.channel_classes.push_back(stat);
+  }
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,148 @@
+// Top-level discrete-event simulator of the heterogeneous multi-cluster
+// system (the paper's validation substrate, Sec. 4): Poisson sources on
+// every node, uniform (or patterned) destinations, wormhole transport on
+// the per-cluster ICN1/ECN1 trees and the global ICN2, store-and-forward
+// relays at the concentrator/dispatcher, warm-up / measurement / drain
+// phasing, and full determinism from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "model/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/traffic.hpp"
+#include "topology/multi_cluster.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mcs::sim {
+
+/// How external messages traverse the concentrator/dispatcher relays.
+enum class RelayMode : std::uint8_t {
+  /// The relay receives the whole message, then re-injects it (three
+  /// chained worms). Matches the M/D/1 relay model of Eq. (33) and is the
+  /// physically faithful reading of "simple bi-directional buffers".
+  kStoreForward,
+  /// The relay cuts the worm through: one worm spans source ECN1, ICN2 and
+  /// destination ECN1 (the merged-journey abstraction of Eq. (26)).
+  kCutThrough,
+};
+
+struct SimConfig {
+  std::uint64_t seed = 20060814;  ///< any value; runs are reproducible
+
+  RelayMode relay_mode = RelayMode::kStoreForward;
+  FlowControl flow_control = FlowControl::kWormhole;
+
+  /// Paper-scale phases are 10k warm-up / 100k measured; benches default
+  /// to smaller counts for wall-clock reasons and offer --paper-scale.
+  std::int64_t warmup_messages = 10'000;
+  std::int64_t measured_messages = 100'000;
+  std::size_t batch_size = 1'000;  ///< batch-means CI granularity
+
+  // Saturation guards: the run stops and is flagged `saturated` when any
+  // cap is hit before all measured messages are delivered.
+  std::uint64_t max_events = 400'000'000;
+  double max_time = std::numeric_limits<double>::infinity();
+  /// Cap on simultaneously blocked worms; <= 0 selects 50 * total nodes.
+  std::int64_t max_waiting_worms = -1;
+  /// Cap on generated messages; <= 0 selects 4 * (warmup + measured).
+  std::int64_t max_generated = -1;
+
+  bool collect_channel_stats = false;
+  TrafficPattern pattern;
+};
+
+class Simulator : private WormholeEngine::Listener {
+ public:
+  /// The topology must outlive the simulator. Throws mcs::ConfigError when
+  /// a worm could not span the longest path (message_flits too small for
+  /// the engine's wormhole semantics; the paper's configs satisfy it).
+  Simulator(const topo::MultiClusterTopology& topology,
+            const model::NetworkParams& params, double lambda_g,
+            SimConfig config);
+
+  /// Run to completion (all measured messages delivered, or a saturation
+  /// cap). Single-use: construct a fresh Simulator per run.
+  SimResult run();
+
+ private:
+  struct Net {
+    NetKind kind;
+    int cluster;  ///< -1 for ICN2
+    const topo::FatTree* tree;
+    GlobalChannelId base;
+  };
+
+  /// In-flight message; recycled through a free list.
+  struct MsgRec {
+    double gen_time = 0.0;
+    std::int32_t src_cluster = 0;
+    std::int32_t dst_cluster = 0;
+    topo::EndpointId src_local = 0;
+    topo::EndpointId dst_local = 0;
+    /// 0: internal; 1..3: external store-and-forward legs;
+    /// 4: external cut-through (single merged worm).
+    std::int8_t segment = 0;
+    bool measured = false;
+    bool internal = false;
+  };
+
+  void on_worm_done(WormId worm, double time) override;
+
+  void handle_generate(std::int32_t node, double now);
+  void spawn_segment(std::int32_t msg_id, double now);
+  void finalize(std::int32_t msg_id, double now);
+  [[nodiscard]] bool should_stop(double now, std::string& reason) const;
+  void collect_channel_classes(SimResult& result) const;
+
+  const topo::MultiClusterTopology& topology_;
+  model::NetworkParams params_;
+  double lambda_;
+  SimConfig config_;
+
+  EventQueue queue_;
+  std::vector<Net> nets_;
+  std::vector<std::int32_t> channel_net_;  ///< global channel -> nets_ index
+  // ICN1/ECN1/ICN2 base offsets per cluster for fast path building. These
+  // (and nets_/channel_net_) are filled by engine_'s initializer, so they
+  // must be declared — i.e. constructed — before it.
+  std::vector<GlobalChannelId> icn1_base_;
+  std::vector<GlobalChannelId> ecn1_base_;
+  GlobalChannelId icn2_base_ = 0;
+  WormholeEngine engine_;
+
+  // Node addressing and per-node RNG streams.
+  std::vector<std::int32_t> cluster_of_;
+  std::vector<topo::EndpointId> local_of_;
+  std::vector<util::Rng> node_rng_;
+  DestinationSampler sampler_;
+
+  // Message pool.
+  std::vector<MsgRec> msgs_;
+  std::vector<std::int32_t> free_msgs_;
+
+  // Phase bookkeeping and statistics.
+  std::int64_t generated_ = 0;
+  std::int64_t delivered_measured_ = 0;
+  double measure_start_time_ = 0.0;
+  util::BatchMeans latency_;
+  util::BatchMeans internal_latency_;
+  util::BatchMeans external_latency_;
+  util::OnlineMoments source_wait_;
+  util::OnlineMoments conc_wait_;
+  util::OnlineMoments disp_wait_;
+  std::vector<util::OnlineMoments> per_cluster_;
+  std::int64_t waiting_cap_ = 0;
+  std::int64_t generated_cap_ = 0;
+  std::uint64_t events_processed_ = 0;
+
+  std::vector<topo::ChannelId> route_scratch_;
+  std::vector<GlobalChannelId> path_scratch_;
+};
+
+}  // namespace mcs::sim

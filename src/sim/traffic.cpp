@@ -1,0 +1,106 @@
+#include "sim/traffic.hpp"
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace mcs::sim {
+
+void TrafficPattern::validate(
+    const topo::MultiClusterTopology& topology) const {
+  switch (kind) {
+    case PatternKind::kUniform:
+      break;
+    case PatternKind::kHotspot:
+      if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0)
+        throw ConfigError("TrafficPattern: hotspot_fraction outside [0,1]");
+      if (hotspot_node < 0 || hotspot_node >= topology.total_nodes())
+        throw ConfigError("TrafficPattern: hotspot_node out of range");
+      break;
+    case PatternKind::kLocalFavor:
+      if (local_fraction < 0.0 || local_fraction > 1.0)
+        throw ConfigError("TrafficPattern: local_fraction outside [0,1]");
+      for (int i = 0; i < topology.config().cluster_count(); ++i) {
+        if (topology.config().cluster_size(i) < 2 && local_fraction > 0.0)
+          throw ConfigError(
+              "TrafficPattern: kLocalFavor needs >= 2 nodes per cluster");
+      }
+      break;
+  }
+}
+
+double TrafficPattern::p_outgoing(const topo::MultiClusterTopology& topology,
+                                  int cluster) const {
+  const auto& cfg = topology.config();
+  switch (kind) {
+    case PatternKind::kUniform:
+      return cfg.p_outgoing(cluster);  // Eq. (13)
+    case PatternKind::kLocalFavor:
+      return 1.0 - local_fraction;
+    case PatternKind::kHotspot: {
+      // Hotspot draws hit the own cluster iff the hotspot lives there.
+      const auto [hot_cluster, hot_local] = topology.locate(hotspot_node);
+      (void)hot_local;
+      const double uniform_part =
+          (1.0 - hotspot_fraction) * cfg.p_outgoing(cluster);
+      const double hotspot_part =
+          hot_cluster == cluster ? 0.0 : hotspot_fraction;
+      return uniform_part + hotspot_part;
+    }
+  }
+  MCS_ASSERT(false);
+  return 0.0;
+}
+
+DestinationSampler::DestinationSampler(
+    const topo::MultiClusterTopology& topology, TrafficPattern pattern)
+    : topology_(topology),
+      pattern_(pattern),
+      total_nodes_(topology.total_nodes()) {
+  pattern_.validate(topology);
+}
+
+std::int64_t DestinationSampler::sample_uniform(std::int64_t src_global,
+                                                util::Rng& rng) const {
+  auto dst = static_cast<std::int64_t>(
+      rng.next_below(static_cast<std::uint64_t>(total_nodes_ - 1)));
+  if (dst >= src_global) ++dst;  // skip self, keep uniformity
+  return dst;
+}
+
+std::int64_t DestinationSampler::sample(std::int64_t src_global,
+                                        int src_cluster,
+                                        util::Rng& rng) const {
+  switch (pattern_.kind) {
+    case PatternKind::kUniform:
+      return sample_uniform(src_global, rng);
+
+    case PatternKind::kHotspot: {
+      if (rng.bernoulli(pattern_.hotspot_fraction) &&
+          pattern_.hotspot_node != src_global)
+        return pattern_.hotspot_node;
+      return sample_uniform(src_global, rng);
+    }
+
+    case PatternKind::kLocalFavor: {
+      const auto& cfg = topology_.config();
+      const std::int64_t ni = cfg.cluster_size(src_cluster);
+      const std::int64_t first = topology_.global_id(src_cluster, 0);
+      if (rng.bernoulli(pattern_.local_fraction)) {
+        // Uniform over the other N_i - 1 nodes of the own cluster.
+        auto offset = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(ni - 1)));
+        if (first + offset >= src_global) ++offset;
+        return first + offset;
+      }
+      // Uniform over the N - N_i nodes outside the cluster.
+      auto out = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(total_nodes_ - ni)));
+      if (out >= first) out += ni;  // skip the whole own-cluster id range
+      return out;
+    }
+  }
+  MCS_ASSERT(false);
+  return 0;
+}
+
+}  // namespace mcs::sim

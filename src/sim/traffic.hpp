@@ -1,0 +1,53 @@
+// Traffic generation: Poisson sources with configurable destination
+// patterns. The paper validates under uniform destinations (assumption 2);
+// hotspot and locality-skewed patterns implement the "non-uniform traffic"
+// extension named in its future-work section.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/multi_cluster.hpp"
+#include "util/rng.hpp"
+
+namespace mcs::sim {
+
+enum class PatternKind : std::uint8_t {
+  kUniform,    ///< destination uniform over the other N-1 nodes (paper)
+  kHotspot,    ///< with probability `hotspot_fraction` target one node
+  kLocalFavor  ///< fix P(internal) = `local_fraction`, uniform within class
+};
+
+struct TrafficPattern {
+  PatternKind kind = PatternKind::kUniform;
+  double hotspot_fraction = 0.1;
+  std::int64_t hotspot_node = 0;  ///< global node id
+  double local_fraction = 0.5;    ///< P(destination inside own cluster)
+
+  void validate(const topo::MultiClusterTopology& topology) const;
+
+  /// Effective probability that a message born in `cluster` leaves it —
+  /// the generalization of Eq. (13) the analytical model consumes.
+  [[nodiscard]] double p_outgoing(const topo::MultiClusterTopology& topology,
+                                  int cluster) const;
+};
+
+/// Draws destinations for one source node. Stateless apart from the RNG.
+class DestinationSampler {
+ public:
+  DestinationSampler(const topo::MultiClusterTopology& topology,
+                     TrafficPattern pattern);
+
+  /// A destination global id != src_global, following the pattern.
+  [[nodiscard]] std::int64_t sample(std::int64_t src_global, int src_cluster,
+                                    util::Rng& rng) const;
+
+ private:
+  [[nodiscard]] std::int64_t sample_uniform(std::int64_t src_global,
+                                            util::Rng& rng) const;
+
+  const topo::MultiClusterTopology& topology_;
+  TrafficPattern pattern_;
+  std::int64_t total_nodes_;
+};
+
+}  // namespace mcs::sim

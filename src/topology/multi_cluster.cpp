@@ -1,0 +1,122 @@
+#include "topology/multi_cluster.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace mcs::topo {
+
+SystemConfig SystemConfig::table1_org_a() {
+  SystemConfig cfg;
+  cfg.m = 8;
+  cfg.cluster_heights.assign(12, 1);
+  cfg.cluster_heights.insert(cfg.cluster_heights.end(), 16, 2);
+  cfg.cluster_heights.insert(cfg.cluster_heights.end(), 4, 3);
+  return cfg;
+}
+
+SystemConfig SystemConfig::table1_org_b() {
+  SystemConfig cfg;
+  cfg.m = 4;
+  cfg.cluster_heights.assign(8, 3);
+  cfg.cluster_heights.insert(cfg.cluster_heights.end(), 3, 4);
+  cfg.cluster_heights.insert(cfg.cluster_heights.end(), 5, 5);
+  return cfg;
+}
+
+SystemConfig SystemConfig::homogeneous(int m, int height, int clusters) {
+  SystemConfig cfg;
+  cfg.m = m;
+  cfg.cluster_heights.assign(static_cast<std::size_t>(clusters), height);
+  return cfg;
+}
+
+void SystemConfig::validate() const {
+  if (cluster_heights.size() < 2)
+    throw ConfigError("SystemConfig: need at least 2 clusters, got " +
+                      std::to_string(cluster_heights.size()));
+  for (int h : cluster_heights) TreeShape{m, h}.validate();
+  TreeShape{m, icn2_height()}.validate();
+  if (total_nodes() < 2)
+    throw ConfigError("SystemConfig: need at least 2 nodes");
+}
+
+std::int64_t SystemConfig::cluster_size(int cluster) const {
+  MCS_EXPECTS(cluster >= 0 && cluster < cluster_count());
+  return TreeShape{m, cluster_heights[static_cast<std::size_t>(cluster)]}
+      .node_count();
+}
+
+std::int64_t SystemConfig::cluster_switches(int cluster) const {
+  MCS_EXPECTS(cluster >= 0 && cluster < cluster_count());
+  return TreeShape{m, cluster_heights[static_cast<std::size_t>(cluster)]}
+      .switch_count();
+}
+
+std::int64_t SystemConfig::total_nodes() const {
+  std::int64_t total = 0;
+  for (int i = 0; i < cluster_count(); ++i) total += cluster_size(i);
+  return total;
+}
+
+int SystemConfig::icn2_height() const {
+  return min_height_for(m, cluster_count());
+}
+
+double SystemConfig::p_outgoing(int cluster) const {
+  const auto n = static_cast<double>(total_nodes());
+  const auto ni = static_cast<double>(cluster_size(cluster));
+  return (n - ni) / (n - 1.0);
+}
+
+MultiClusterTopology::MultiClusterTopology(SystemConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  const int c = config_.cluster_count();
+  icn1_.reserve(static_cast<std::size_t>(c));
+  ecn1_.reserve(static_cast<std::size_t>(c));
+  conc_endpoint_.reserve(static_cast<std::size_t>(c));
+  first_global_.reserve(static_cast<std::size_t>(c) + 1);
+
+  std::int64_t next_global = 0;
+  for (int i = 0; i < c; ++i) {
+    const TreeShape shape{config_.m,
+                          config_.cluster_heights[static_cast<std::size_t>(i)]};
+    icn1_.push_back(std::make_unique<FatTree>(shape));
+    auto ecn = std::make_unique<FatTree>(shape);
+    conc_endpoint_.push_back(ecn->attach_extra_endpoint());
+    ecn1_.push_back(std::move(ecn));
+    first_global_.push_back(next_global);
+    next_global += shape.node_count();
+  }
+  first_global_.push_back(next_global);
+  total_nodes_ = next_global;
+
+  icn2_ = std::make_unique<FatTree>(TreeShape{config_.m,
+                                              config_.icn2_height()});
+  MCS_ENSURES(icn2_->endpoint_count() >= c);
+}
+
+std::int64_t MultiClusterTopology::global_id(int cluster,
+                                             EndpointId local) const {
+  MCS_EXPECTS(cluster >= 0 && cluster < config_.cluster_count());
+  MCS_EXPECTS(local >= 0 &&
+              local < icn1_[static_cast<std::size_t>(cluster)]
+                          ->endpoint_count());
+  return first_global_[static_cast<std::size_t>(cluster)] + local;
+}
+
+std::pair<int, EndpointId> MultiClusterTopology::locate(
+    std::int64_t global) const {
+  MCS_EXPECTS(global >= 0 && global < total_nodes_);
+  const auto it =
+      std::upper_bound(first_global_.begin(), first_global_.end(), global);
+  const int cluster = static_cast<int>(it - first_global_.begin()) - 1;
+  const auto local = static_cast<EndpointId>(
+      global - first_global_[static_cast<std::size_t>(cluster)]);
+  return {cluster, local};
+}
+
+}  // namespace mcs::topo

@@ -1,0 +1,99 @@
+// The heterogeneous multi-cluster system of Fig. 1: C clusters, each with
+// an intra-communication network (ICN1) and an inter-communication network
+// (ECN1) over its N_i nodes, one concentrator/dispatcher per cluster, and
+// a global second-level network (ICN2) joining the concentrators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "topology/fat_tree.hpp"
+#include "topology/tree_math.hpp"
+
+namespace mcs::topo {
+
+/// Declarative system organization: one switch arity `m` for all networks
+/// (as in the paper) and one tree height per cluster. Cluster sizes follow
+/// from Eq. (1): N_i = 2*(m/2)^{n_i}.
+struct SystemConfig {
+  int m = 4;
+  std::vector<int> cluster_heights;  ///< n_i, one entry per cluster
+
+  /// Table 1, row 1: N=1120, C=32, m=8 — 12 clusters of height 1,
+  /// 16 of height 2, 4 of height 3.
+  [[nodiscard]] static SystemConfig table1_org_a();
+  /// Table 1, row 2: N=544, C=16, m=4 — 8 clusters of height 3,
+  /// 3 of height 4, 5 of height 5.
+  [[nodiscard]] static SystemConfig table1_org_b();
+  /// A homogeneous system: `clusters` clusters of equal height.
+  [[nodiscard]] static SystemConfig homogeneous(int m, int height,
+                                                int clusters);
+
+  void validate() const;
+
+  [[nodiscard]] int cluster_count() const {
+    return static_cast<int>(cluster_heights.size());
+  }
+  /// N_i (Eq. 1).
+  [[nodiscard]] std::int64_t cluster_size(int cluster) const;
+  /// Switch count of one cluster-level tree (Eq. 2).
+  [[nodiscard]] std::int64_t cluster_switches(int cluster) const;
+  /// N = sum_i N_i.
+  [[nodiscard]] std::int64_t total_nodes() const;
+  /// ICN2 height n_c: the paper requires C = 2*(m/2)^{n_c}; when C is not
+  /// an exact tree population we take the smallest height that fits and
+  /// leave the spare ICN2 endpoints idle.
+  [[nodiscard]] int icn2_height() const;
+  /// Eq. (13): probability a message born in cluster i leaves the cluster,
+  /// P_o = (N - N_i) / (N - 1), from uniform destination choice.
+  [[nodiscard]] double p_outgoing(int cluster) const;
+
+  friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
+};
+
+/// Fully constructed topology: per-cluster ICN1 and ECN1 fat trees (the
+/// ECN1 carries the concentrator as an extra endpoint) plus the global
+/// ICN2 whose endpoint i is cluster i's concentrator.
+class MultiClusterTopology {
+ public:
+  explicit MultiClusterTopology(SystemConfig config);
+
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] const FatTree& icn1(int cluster) const {
+    return *icn1_[static_cast<std::size_t>(cluster)];
+  }
+  [[nodiscard]] const FatTree& ecn1(int cluster) const {
+    return *ecn1_[static_cast<std::size_t>(cluster)];
+  }
+  [[nodiscard]] const FatTree& icn2() const { return *icn2_; }
+
+  /// The concentrator's endpoint id inside ecn1(cluster).
+  [[nodiscard]] EndpointId concentrator_endpoint(int cluster) const {
+    return conc_endpoint_[static_cast<std::size_t>(cluster)];
+  }
+  /// The concentrator's endpoint id inside icn2() (== cluster index).
+  [[nodiscard]] EndpointId icn2_endpoint(int cluster) const {
+    return static_cast<EndpointId>(cluster);
+  }
+
+  // --- global node addressing --------------------------------------------
+
+  [[nodiscard]] std::int64_t total_nodes() const { return total_nodes_; }
+  [[nodiscard]] std::int64_t global_id(int cluster,
+                                       EndpointId local) const;
+  /// Inverse of global_id: (cluster, local endpoint).
+  [[nodiscard]] std::pair<int, EndpointId> locate(std::int64_t global) const;
+
+ private:
+  SystemConfig config_;
+  std::vector<std::unique_ptr<FatTree>> icn1_;
+  std::vector<std::unique_ptr<FatTree>> ecn1_;
+  std::unique_ptr<FatTree> icn2_;
+  std::vector<EndpointId> conc_endpoint_;
+  std::vector<std::int64_t> first_global_;  ///< per cluster, plus sentinel
+  std::int64_t total_nodes_ = 0;
+};
+
+}  // namespace mcs::topo

@@ -1,0 +1,86 @@
+#include "topology/routing.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mcs::topo {
+
+bool is_valid_path(const FatTree& tree, EndpointId src, EndpointId dst,
+                   const std::vector<ChannelId>& path) {
+  if (path.empty()) return false;
+  const Channel& first = tree.channel(path.front());
+  const Channel& last = tree.channel(path.back());
+  if (first.kind != ChannelKind::kInjection || first.endpoint != src)
+    return false;
+  if (last.kind != ChannelKind::kEjection || last.endpoint != dst)
+    return false;
+  if (path.size() != 2 * static_cast<std::size_t>(tree.nca_level(src, dst)))
+    return false;
+
+  bool descending = false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Channel& cur = tree.channel(path[i]);
+    const Channel& next = tree.channel(path[i + 1]);
+    if (cur.dst_switch < 0 || cur.dst_switch != next.src_switch) return false;
+    if (next.kind == ChannelKind::kDown || next.kind == ChannelKind::kEjection)
+      descending = true;
+    else if (descending)
+      return false;  // an up move after a down move breaks Up*/Down*
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> channel_load_census(const FatTree& tree) {
+  std::vector<std::uint64_t> load(tree.channel_count(), 0);
+  std::vector<ChannelId> path;
+  for (EndpointId s = 0; s < tree.endpoint_count(); ++s) {
+    for (EndpointId d = 0; d < tree.endpoint_count(); ++d) {
+      if (s == d) continue;
+      path.clear();
+      tree.route_into(s, d, path);
+      for (ChannelId c : path) ++load[static_cast<std::size_t>(c)];
+    }
+  }
+  return load;
+}
+
+std::vector<double> hop_census(const FatTree& tree) {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(tree.height()),
+                                    0);
+  std::uint64_t pairs = 0;
+  for (EndpointId s = 0; s < tree.endpoint_count(); ++s) {
+    for (EndpointId d = 0; d < tree.endpoint_count(); ++d) {
+      if (s == d) continue;
+      ++counts[static_cast<std::size_t>(tree.nca_level(s, d) - 1)];
+      ++pairs;
+    }
+  }
+  std::vector<double> out(counts.size());
+  for (std::size_t j = 0; j < counts.size(); ++j)
+    out[j] = static_cast<double>(counts[j]) / static_cast<double>(pairs);
+  return out;
+}
+
+LoadSummary summarize_loads(const FatTree& tree,
+                            const std::vector<std::uint64_t>& census,
+                            ChannelKind kind) {
+  MCS_EXPECTS(census.size() == tree.channel_count());
+  LoadSummary s;
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < census.size(); ++c) {
+    if (tree.channel(static_cast<ChannelId>(c)).kind != kind) continue;
+    const std::uint64_t v = census[c];
+    if (s.channels == 0) {
+      s.min = s.max = v;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    total += v;
+    ++s.channels;
+  }
+  if (s.channels > 0)
+    s.mean = static_cast<double>(total) / static_cast<double>(s.channels);
+  return s;
+}
+
+}  // namespace mcs::topo

@@ -1,0 +1,76 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace mcs::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it != options_.end() ? it->second : fallback;
+}
+
+long Args::get_int(const std::string& name, long fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0')
+    throw ConfigError("--" + name + " expects an integer, got '" +
+                      it->second + "'");
+  return v;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0')
+    throw ConfigError("--" + name + " expects a number, got '" + it->second +
+                      "'");
+  return v;
+}
+
+bool Args::get_flag(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return false;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> Args::unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : options_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), name) == known.end())
+      out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace mcs::util

@@ -1,0 +1,39 @@
+// Tiny command-line option parser shared by the bench and example binaries.
+// Supports `--name=value` and boolean `--flag` forms (the `--name value`
+// form is deliberately unsupported: it is ambiguous with positionals).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcs::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Positional (non --option) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Names that were supplied but never queried — typo detection support.
+  [[nodiscard]] std::vector<std::string> unknown(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mcs::util

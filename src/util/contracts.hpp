@@ -1,0 +1,34 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (GSL). Violations abort with a source location: these
+// guard internal invariants, not recoverable conditions (use exceptions,
+// e.g. mcs::ConfigError, for bad user input).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcs::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "mcs: %s violation: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace mcs::detail
+
+#define MCS_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::mcs::detail::contract_failure("precondition", #cond,         \
+                                            __FILE__, __LINE__))
+
+#define MCS_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::mcs::detail::contract_failure("postcondition", #cond,        \
+                                            __FILE__, __LINE__))
+
+#define MCS_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::mcs::detail::contract_failure("invariant", #cond, __FILE__,  \
+                                            __LINE__))

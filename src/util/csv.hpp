@@ -1,0 +1,32 @@
+// Minimal CSV emission for bench results (consumed by plotting scripts).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mcs::util {
+
+/// Writes RFC-4180-ish CSV: cells containing commas/quotes/newlines are
+/// quoted with doubled quotes. The file is created on construction.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+  /// Flush and close; also run by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace mcs::util

@@ -1,0 +1,17 @@
+// Exception types for recoverable errors (invalid configurations supplied
+// by callers). Internal invariants use contracts.hpp instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcs {
+
+/// Thrown when a user-supplied system/network configuration is invalid
+/// (e.g. odd switch arity, zero clusters, non-realizable ICN2).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace mcs

@@ -1,0 +1,21 @@
+// Leveled stderr logging. Quiet by default; the simulator raises verbosity
+// via --verbose in the harness binaries.
+#pragma once
+
+#include <string>
+
+namespace mcs::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+
+}  // namespace mcs::util

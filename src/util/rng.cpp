@@ -1,0 +1,51 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcs::util {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw ConfigError("AliasTable: empty weight vector");
+
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w))
+      throw ConfigError("AliasTable: weights must be finite and >= 0");
+    total += w;
+  }
+  if (total <= 0.0) throw ConfigError("AliasTable: all weights are zero");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; partition into under/over-full buckets.
+  std::vector<double> scaled(n);
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Numerical leftovers are full buckets.
+  for (std::size_t s : small) prob_[s] = 1.0;
+  for (std::size_t l : large) prob_[l] = 1.0;
+}
+
+}  // namespace mcs::util

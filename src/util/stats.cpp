@@ -1,0 +1,132 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace mcs::util {
+
+void OnlineMoments::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineMoments::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
+void OnlineMoments::merge(const OnlineMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double student_t_975(std::uint64_t df) {
+  // Two-sided 95% (upper 97.5% point). Exact-to-3dp table for small df,
+  // then the normal quantile: the error beyond df=30 is < 0.5%.
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262,  2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101,  2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052,  2.048,  2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df];
+  return 1.960;
+}
+
+BatchMeans::BatchMeans(std::size_t batch_size) : batch_size_(batch_size) {
+  MCS_EXPECTS(batch_size > 0);
+}
+
+void BatchMeans::add(double x) {
+  total_.add(x);
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    batches_.add(batch_sum_ / static_cast<double>(batch_size_));
+    ++batch_count_;
+    in_batch_ = 0;
+    batch_sum_ = 0.0;
+  }
+}
+
+ConfidenceInterval BatchMeans::interval() const {
+  ConfidenceInterval ci;
+  ci.mean = total_.mean();
+  if (batch_count_ >= 2) {
+    const double se =
+        batches_.stddev() / std::sqrt(static_cast<double>(batch_count_));
+    ci.half_width = student_t_975(batch_count_ - 1) * se;
+  }
+  return ci;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  if (!(hi > lo) || bins == 0)
+    throw ConfigError("Histogram: need hi > lo and bins > 0");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++n_;
+  std::size_t b;
+  if (x < lo_) {
+    ++under_;
+    b = 0;
+  } else if (x >= hi_) {
+    ++over_;
+    b = counts_.size() - 1;
+  } else {
+    b = static_cast<std::size_t>((x - lo_) / width_);
+    b = std::min(b, counts_.size() - 1);  // guard x == hi_ - epsilon rounding
+  }
+  ++counts_[b];
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  return lo_ + static_cast<double>(b) * width_;
+}
+
+double Histogram::bin_hi(std::size_t b) const {
+  return lo_ + static_cast<double>(b + 1) * width_;
+}
+
+double Histogram::quantile(double q) const {
+  MCS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (n_ == 0) return lo_;
+  const double target = q * static_cast<double>(n_);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (next >= target) {
+      const double frac =
+          counts_[b] > 0
+              ? (target - cum) / static_cast<double>(counts_[b])
+              : 0.0;
+      return bin_lo(b) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+}  // namespace mcs::util

@@ -1,0 +1,102 @@
+// Online statistics for simulation output analysis: Welford moments,
+// batch-means confidence intervals, and fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mcs::util {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class OnlineMoments {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Merge another accumulator (parallel reduction; Chan et al.).
+  void merge(const OnlineMoments& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Two-sided 95% Student-t critical value for the given degrees of freedom.
+[[nodiscard]] double student_t_975(std::uint64_t df);
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  // 95% two-sided
+  [[nodiscard]] double lo() const { return mean - half_width; }
+  [[nodiscard]] double hi() const { return mean + half_width; }
+  /// True when `other` lies inside this interval.
+  [[nodiscard]] bool contains(double other) const {
+    return other >= lo() && other <= hi();
+  }
+};
+
+/// Batch-means estimator: feeds observations into fixed-size batches and
+/// derives a CI from the batch averages, absorbing serial correlation of
+/// successive message latencies.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::size_t batch_size = 1000);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return total_.count(); }
+  [[nodiscard]] double mean() const { return total_.mean(); }
+  [[nodiscard]] std::size_t completed_batches() const {
+    return batch_count_;
+  }
+  /// 95% CI from completed batches (half-width 0 with < 2 batches).
+  [[nodiscard]] ConfidenceInterval interval() const;
+
+ private:
+  std::size_t batch_size_;
+  std::size_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::size_t batch_count_ = 0;
+  OnlineMoments batches_;
+  OnlineMoments total_;
+};
+
+/// Fixed-width histogram over [lo, hi); outliers are clamped into the
+/// first/last bin and counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t b) const {
+    return counts_[b];
+  }
+  [[nodiscard]] double bin_lo(std::size_t b) const;
+  [[nodiscard]] double bin_hi(std::size_t b) const;
+  [[nodiscard]] std::uint64_t underflow() const { return under_; }
+  [[nodiscard]] std::uint64_t overflow() const { return over_; }
+  /// Linear-interpolated quantile estimate, q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t n_ = 0;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
+};
+
+}  // namespace mcs::util

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace mcs::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  return std::isdigit(static_cast<unsigned char>(s[i])) != 0;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MCS_EXPECTS(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MCS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool header) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      const bool right = !header && looks_numeric(row[c]);
+      out << ' ';
+      if (right) out << std::string(pad, ' ');
+      out << row[c];
+      if (!right) out << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_, /*header=*/true);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << std::string(width[c] + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row, /*header=*/false);
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace mcs::util

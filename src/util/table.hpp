@@ -1,0 +1,35 @@
+// Plain-text table rendering for the figure/bench harness output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcs::util {
+
+/// Column-aligned ASCII table. Numeric cells are right-aligned, text cells
+/// left-aligned; a separator row follows the header.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 4);
+  /// Scientific notation (for offered-traffic columns).
+  static std::string sci(double v, int precision = 2);
+
+  [[nodiscard]] std::string render() const;
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcs::util

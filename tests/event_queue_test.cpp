@@ -1,0 +1,79 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcs::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(3.0, EventKind::kGenerate, 1);
+  q.push(1.0, EventKind::kGenerate, 2);
+  q.push(2.0, EventKind::kGenerate, 3);
+  EXPECT_EQ(q.pop().a, 2);
+  EXPECT_EQ(q.pop().a, 3);
+  EXPECT_EQ(q.pop().a, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.push(5.0, EventKind::kRelease, i);
+  for (int i = 0; i < 10; ++i) {
+    const Event e = q.pop();
+    EXPECT_EQ(e.a, i);
+    EXPECT_DOUBLE_EQ(e.time, 5.0);
+  }
+}
+
+TEST(EventQueue, InterleavedPushPopStaysSorted) {
+  EventQueue q;
+  util::Rng rng(1);
+  double now = 0.0;
+  double last = 0.0;
+  for (int round = 0; round < 2000; ++round) {
+    q.push(now + rng.next_double() * 10.0, EventKind::kHeaderAdvance, round);
+    if (round % 3 == 0 && !q.empty()) {
+      const Event e = q.pop();
+      EXPECT_GE(e.time, last);
+      last = e.time;
+      now = e.time;
+    }
+  }
+  while (!q.empty()) {
+    const Event e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1.0, EventKind::kGenerate, 0);
+  q.push(2.0, EventKind::kGenerate, 0);
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pushed(), 2u);
+}
+
+TEST(EventQueueDeathTest, PopOnEmptyAborts) {
+  EventQueue q;
+  EXPECT_DEATH((void)q.pop(), "precondition");
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EventQueue q;
+  q.push(10.0, EventKind::kGenerate, 0);
+  (void)q.pop();
+  EXPECT_DEATH(q.push(5.0, EventKind::kGenerate, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,55 @@
+#include "model/mg1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcs::model {
+namespace {
+
+TEST(Mg1, ReducesToMm1WithExponentialVariance) {
+  // M/M/1: service mean 1/mu, variance 1/mu^2; W = rho/(mu - lambda).
+  const double mu = 2.0;
+  const double lambda = 1.0;
+  const double expected = (lambda / mu) / (mu - lambda);
+  EXPECT_NEAR(mg1_wait(lambda, 1.0 / mu, 1.0 / (mu * mu)), expected, 1e-12);
+}
+
+TEST(Mg1, Md1IsHalfTheMm1QueueTerm) {
+  const double mu = 2.0;
+  const double lambda = 1.0;
+  const double mm1 = mg1_wait(lambda, 1.0 / mu, 1.0 / (mu * mu));
+  EXPECT_NEAR(md1_wait(lambda, 1.0 / mu), 0.5 * mm1, 1e-12);
+}
+
+TEST(Mg1, ZeroArrivalRateHasNoWait) {
+  EXPECT_DOUBLE_EQ(mg1_wait(0.0, 5.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(md1_wait(0.0, 5.0), 0.0);
+}
+
+TEST(Mg1, UnstableQueueIsInfinite) {
+  EXPECT_EQ(mg1_wait(1.0, 1.0, 0.0), kInfinity);   // rho == 1
+  EXPECT_EQ(mg1_wait(2.0, 1.0, 0.0), kInfinity);   // rho > 1
+  EXPECT_EQ(md1_wait(3.0, 0.5), kInfinity);
+}
+
+TEST(Mg1, MonotoneInLoadAndVariance) {
+  const double w1 = mg1_wait(0.2, 1.0, 0.0);
+  const double w2 = mg1_wait(0.5, 1.0, 0.0);
+  const double w3 = mg1_wait(0.8, 1.0, 0.0);
+  EXPECT_LT(w1, w2);
+  EXPECT_LT(w2, w3);
+  EXPECT_LT(mg1_wait(0.5, 1.0, 0.0), mg1_wait(0.5, 1.0, 4.0));
+}
+
+TEST(Mg1, DraperGhoshVariance) {
+  EXPECT_DOUBLE_EQ(draper_ghosh_variance(10.0, 4.0), 36.0);  // Eq. (22)
+  EXPECT_DOUBLE_EQ(draper_ghosh_variance(4.0, 4.0), 0.0);
+}
+
+TEST(Mg1, UtilizationHelper) {
+  EXPECT_DOUBLE_EQ(utilization(0.25, 2.0), 0.5);
+}
+
+}  // namespace
+}  // namespace mcs::model

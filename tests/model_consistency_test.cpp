@@ -1,0 +1,99 @@
+// Cross-model consistency: at vanishing load the paper-literal and
+// refined models must agree exactly on the contention-free components
+// (both reduce to the same wormhole-drain physics), across a sweep of
+// organizations.
+#include <gtest/gtest.h>
+
+#include "model/paper_model.hpp"
+#include "model/refined_model.hpp"
+
+namespace mcs::model {
+namespace {
+
+struct OrgCase {
+  const char* name;
+  topo::SystemConfig config;
+};
+
+class ModelConsistency : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<OrgCase> cases() {
+    std::vector<OrgCase> out;
+    out.push_back({"org_a", topo::SystemConfig::table1_org_a()});
+    out.push_back({"org_b", topo::SystemConfig::table1_org_b()});
+    out.push_back({"hom_m4_h2", topo::SystemConfig::homogeneous(4, 2, 4)});
+    out.push_back({"hom_m8_h3", topo::SystemConfig::homogeneous(8, 3, 4)});
+    topo::SystemConfig mixed;
+    mixed.m = 6;
+    mixed.cluster_heights = {1, 2, 2, 3};
+    out.push_back({"mixed_m6", mixed});
+    return out;
+  }
+};
+
+TEST_P(ModelConsistency, ZeroLoadInternalLatencyAgrees) {
+  const OrgCase c = cases()[static_cast<std::size_t>(GetParam())];
+  const NetworkParams params;
+  const PaperModel paper(c.config, params);
+  const RefinedModel refined(c.config, params);
+  const auto pp = paper.predict(1e-12);
+  const auto rp = refined.predict(1e-12);
+  ASSERT_EQ(pp.clusters.size(), rp.clusters.size());
+  for (std::size_t i = 0; i < pp.clusters.size(); ++i) {
+    // Internal journeys: both models use S = M * t(bottleneck) + R with
+    // the same hop distribution, so the zero-load limit must match to
+    // numerical precision.
+    EXPECT_NEAR(pp.clusters[i].t_internal, rp.clusters[i].t_internal,
+                1e-6 * pp.clusters[i].t_internal)
+        << c.name << " cluster " << i;
+  }
+}
+
+TEST_P(ModelConsistency, BothModelsSaturateEventually) {
+  const OrgCase c = cases()[static_cast<std::size_t>(GetParam())];
+  const NetworkParams params;
+  const PaperModel paper(c.config, params);
+  const RefinedModel refined(c.config, params);
+  // At 100x the concentrator bound both variants must be unstable.
+  double bound = 0.0;
+  for (int i = 0; i < c.config.cluster_count(); ++i)
+    bound = std::max(bound, static_cast<double>(c.config.cluster_size(i)) *
+                                c.config.p_outgoing(i));
+  const double lambda = 100.0 / (bound * params.message_flits *
+                                 params.t_cs());
+  EXPECT_FALSE(paper.predict(lambda).stable) << c.name;
+  EXPECT_FALSE(refined.predict(lambda).stable) << c.name;
+}
+
+TEST_P(ModelConsistency, RefinedAlwaysAtLeastPaperAtEqualLoad) {
+  // The refined model adds funnel contention the paper averages away; it
+  // must never predict *less* latency at the same stable operating point.
+  const OrgCase c = cases()[static_cast<std::size_t>(GetParam())];
+  const NetworkParams params;
+  const PaperModel paper(c.config, params);
+  const RefinedModel refined(c.config, params);
+  for (double frac = 0.1; frac <= 0.5; frac += 0.2) {
+    double bound = 0.0;
+    for (int i = 0; i < c.config.cluster_count(); ++i)
+      bound = std::max(bound,
+                       static_cast<double>(c.config.cluster_size(i)) *
+                           c.config.p_outgoing(i));
+    const double lambda =
+        frac / (bound * params.message_flits * params.t_cs());
+    const auto pp = paper.predict(lambda);
+    const auto rp = refined.predict(lambda);
+    if (pp.stable && rp.stable)
+      EXPECT_GE(rp.mean_latency, pp.mean_latency - 1e-9)
+          << c.name << " at fraction " << frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orgs, ModelConsistency, ::testing::Range(0, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return ModelConsistency::cases()
+                               [static_cast<std::size_t>(info.param)]
+                                   .name;
+                         });
+
+}  // namespace
+}  // namespace mcs::model

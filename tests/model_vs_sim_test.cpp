@@ -1,0 +1,110 @@
+// The headline reproduction as a test (DESIGN.md §7.5): in the
+// steady-state region the analytical model tracks the simulator; near
+// saturation they are allowed to diverge (the paper reports the same).
+#include <gtest/gtest.h>
+
+#include "model/paper_model.hpp"
+#include "model/refined_model.hpp"
+#include "model/saturation.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcs {
+namespace {
+
+sim::SimConfig validation_run() {
+  sim::SimConfig cfg;
+  cfg.seed = 20060814;
+  cfg.warmup_messages = 2'000;
+  cfg.measured_messages = 20'000;
+  return cfg;
+}
+
+class ModelVsSim : public ::testing::TestWithParam<double> {
+ protected:
+  // A moderate heterogeneous system keeps the runtime small while
+  // exercising both cluster sizes and all three networks.
+  static topo::SystemConfig config() {
+    topo::SystemConfig cfg;
+    cfg.m = 4;
+    cfg.cluster_heights = {2, 2, 3, 3};
+    return cfg;
+  }
+};
+
+TEST_P(ModelVsSim, RefinedModelTracksSimulatorInSteadyState) {
+  const topo::SystemConfig cfg = config();
+  const model::NetworkParams params;
+  const model::RefinedModel refined(cfg, params);
+
+  // Operate at GetParam() fraction of the refined model's own knee.
+  const double knee = model::find_saturation(refined).lambda_sat;
+  const double lambda = GetParam() * knee;
+
+  const topo::MultiClusterTopology topology(cfg);
+  sim::Simulator simulator(topology, params, lambda, validation_run());
+  const sim::SimResult measured = simulator.run();
+  ASSERT_FALSE(measured.saturated);
+
+  const model::LatencyPrediction predicted = refined.predict(lambda);
+  ASSERT_TRUE(predicted.stable);
+
+  const double rel_err =
+      std::abs(predicted.mean_latency - measured.latency.mean) /
+      measured.latency.mean;
+  // "Good degree of accuracy" in the steady-state region: within 20%.
+  EXPECT_LT(rel_err, 0.20) << "model " << predicted.mean_latency << " vs sim "
+                           << measured.latency.mean << " at lambda "
+                           << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadFractions, ModelVsSim,
+                         ::testing::Values(0.15, 0.35, 0.55));
+
+TEST(ModelVsSimComponents, InternalLatencyMatchesAtLowLoad) {
+  topo::SystemConfig cfg;
+  cfg.m = 8;
+  cfg.cluster_heights = {2, 2};
+  const model::NetworkParams params;
+  const model::RefinedModel refined(cfg, params);
+  const double lambda = 5e-5;
+
+  const topo::MultiClusterTopology topology(cfg);
+  sim::Simulator simulator(topology, params, lambda, validation_run());
+  const sim::SimResult measured = simulator.run();
+  ASSERT_FALSE(measured.saturated);
+  const model::LatencyPrediction predicted = refined.predict(lambda);
+
+  const double model_internal = predicted.clusters[0].t_internal;
+  EXPECT_NEAR(model_internal, measured.internal_latency.mean,
+              0.15 * measured.internal_latency.mean);
+}
+
+TEST(ModelVsSimComponents, PaperModelUnderestimatesFunnelContention) {
+  // Documented reproduction finding: the paper's uniform channel rates
+  // miss the d-mod-k concentrator funnel, so at mid load the literal
+  // model sits below the simulator while the refined model stays close.
+  const topo::SystemConfig cfg = []() {
+    topo::SystemConfig c;
+    c.m = 4;
+    c.cluster_heights = {2, 2, 3, 3};
+    return c;
+  }();
+  const model::NetworkParams params;
+  const model::PaperModel paper(cfg, params);
+  const model::RefinedModel refined(cfg, params);
+  const double lambda = 0.5 * model::find_saturation(refined).lambda_sat;
+
+  const topo::MultiClusterTopology topology(cfg);
+  sim::Simulator simulator(topology, params, lambda, validation_run());
+  const sim::SimResult measured = simulator.run();
+  ASSERT_FALSE(measured.saturated);
+
+  const double paper_latency = paper.predict(lambda).mean_latency;
+  const double refined_latency = refined.predict(lambda).mean_latency;
+  EXPECT_LT(paper_latency, measured.latency.mean);
+  EXPECT_LT(std::abs(refined_latency - measured.latency.mean),
+            std::abs(paper_latency - measured.latency.mean));
+}
+
+}  // namespace
+}  // namespace mcs

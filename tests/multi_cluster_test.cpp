@@ -1,0 +1,139 @@
+// The Table 1 system organizations and the assembled multi-cluster
+// topology (Fig. 1).
+#include "topology/multi_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mcs::topo {
+namespace {
+
+TEST(SystemConfig, Table1OrgAMatchesThePaper) {
+  const SystemConfig cfg = SystemConfig::table1_org_a();
+  EXPECT_EQ(cfg.m, 8);
+  EXPECT_EQ(cfg.cluster_count(), 32);
+  EXPECT_EQ(cfg.total_nodes(), 1120);
+  EXPECT_EQ(cfg.icn2_height(), 2);  // C = 32 = 2*(8/2)^2
+  // 12 clusters of 8 nodes, 16 of 32, 4 of 128.
+  int count8 = 0, count32 = 0, count128 = 0;
+  for (int i = 0; i < cfg.cluster_count(); ++i) {
+    switch (cfg.cluster_size(i)) {
+      case 8: ++count8; break;
+      case 32: ++count32; break;
+      case 128: ++count128; break;
+      default: FAIL() << "unexpected cluster size " << cfg.cluster_size(i);
+    }
+  }
+  EXPECT_EQ(count8, 12);
+  EXPECT_EQ(count32, 16);
+  EXPECT_EQ(count128, 4);
+}
+
+TEST(SystemConfig, Table1OrgBMatchesThePaper) {
+  const SystemConfig cfg = SystemConfig::table1_org_b();
+  EXPECT_EQ(cfg.m, 4);
+  EXPECT_EQ(cfg.cluster_count(), 16);
+  EXPECT_EQ(cfg.total_nodes(), 544);
+  EXPECT_EQ(cfg.icn2_height(), 3);  // C = 16 = 2*(4/2)^3
+  int count16 = 0, count32 = 0, count64 = 0;
+  for (int i = 0; i < cfg.cluster_count(); ++i) {
+    switch (cfg.cluster_size(i)) {
+      case 16: ++count16; break;
+      case 32: ++count32; break;
+      case 64: ++count64; break;
+      default: FAIL() << "unexpected cluster size " << cfg.cluster_size(i);
+    }
+  }
+  EXPECT_EQ(count16, 8);
+  EXPECT_EQ(count32, 3);
+  EXPECT_EQ(count64, 5);
+}
+
+TEST(SystemConfig, POutgoingFollowsEq13) {
+  const SystemConfig cfg = SystemConfig::table1_org_a();
+  for (int i = 0; i < cfg.cluster_count(); ++i) {
+    const double expected =
+        static_cast<double>(cfg.total_nodes() - cfg.cluster_size(i)) /
+        static_cast<double>(cfg.total_nodes() - 1);
+    EXPECT_NEAR(cfg.p_outgoing(i), expected, 1e-15);
+  }
+  // Spot value: a 128-node cluster in a 1120-node system.
+  EXPECT_NEAR(cfg.p_outgoing(31), (1120.0 - 128.0) / 1119.0, 1e-12);
+}
+
+TEST(SystemConfig, ClusterSwitchCountsFollowEq2) {
+  const SystemConfig cfg = SystemConfig::table1_org_b();
+  for (int i = 0; i < cfg.cluster_count(); ++i) {
+    const int n = cfg.cluster_heights[static_cast<std::size_t>(i)];
+    EXPECT_EQ(cfg.cluster_switches(i),
+              (2 * n - 1) * checked_pow(cfg.m / 2, n - 1));
+  }
+}
+
+TEST(SystemConfig, HomogeneousFactory) {
+  const SystemConfig cfg = SystemConfig::homogeneous(4, 2, 6);
+  EXPECT_EQ(cfg.cluster_count(), 6);
+  EXPECT_EQ(cfg.total_nodes(), 6 * 8);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(cfg.cluster_size(i), 8);
+}
+
+TEST(SystemConfig, ValidateRejectsDegenerateSystems) {
+  SystemConfig single;
+  single.m = 4;
+  single.cluster_heights = {2};
+  EXPECT_THROW(single.validate(), ConfigError);
+
+  SystemConfig odd;
+  odd.m = 5;
+  odd.cluster_heights = {2, 2};
+  EXPECT_THROW(odd.validate(), ConfigError);
+}
+
+TEST(MultiClusterTopology, BuildsAllNetworksForOrgA) {
+  const MultiClusterTopology topo(SystemConfig::table1_org_a());
+  EXPECT_EQ(topo.total_nodes(), 1120);
+  for (int i = 0; i < topo.config().cluster_count(); ++i) {
+    EXPECT_EQ(topo.icn1(i).endpoint_count(), topo.config().cluster_size(i));
+    EXPECT_EQ(topo.ecn1(i).endpoint_count(), topo.config().cluster_size(i));
+    EXPECT_EQ(topo.ecn1(i).extra_endpoint_count(), 1);  // the concentrator
+    EXPECT_EQ(topo.concentrator_endpoint(i),
+              topo.ecn1(i).endpoint_count());
+    EXPECT_EQ(topo.icn1(i).extra_endpoint_count(), 0);
+  }
+  EXPECT_GE(topo.icn2().endpoint_count(), topo.config().cluster_count());
+}
+
+TEST(MultiClusterTopology, GlobalAddressingRoundTrips) {
+  const MultiClusterTopology topo(SystemConfig::table1_org_b());
+  std::int64_t expected = 0;
+  for (int i = 0; i < topo.config().cluster_count(); ++i) {
+    const auto size =
+        static_cast<EndpointId>(topo.config().cluster_size(i));
+    for (EndpointId l = 0; l < size; ++l) {
+      const std::int64_t g = topo.global_id(i, l);
+      EXPECT_EQ(g, expected++);
+      const auto [ci, li] = topo.locate(g);
+      EXPECT_EQ(ci, i);
+      EXPECT_EQ(li, l);
+    }
+  }
+  EXPECT_EQ(expected, topo.total_nodes());
+}
+
+TEST(MultiClusterTopology, Icn2EndpointsMapToClusters) {
+  const MultiClusterTopology topo(SystemConfig::table1_org_a());
+  for (int i = 0; i < topo.config().cluster_count(); ++i)
+    EXPECT_EQ(topo.icn2_endpoint(i), i);
+}
+
+TEST(MultiClusterTopology, NonPowerClusterCountGetsSpareIcn2Slots) {
+  // 6 clusters with m=4 need an ICN2 of height 2 (8 endpoints, 2 idle).
+  const SystemConfig cfg = SystemConfig::homogeneous(4, 1, 6);
+  EXPECT_EQ(cfg.icn2_height(), 2);
+  const MultiClusterTopology topo(cfg);
+  EXPECT_EQ(topo.icn2().endpoint_count(), 8);
+}
+
+}  // namespace
+}  // namespace mcs::topo

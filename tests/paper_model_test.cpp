@@ -1,0 +1,130 @@
+// Behavioral tests of the paper-literal analytical model (Eqs. 3-36).
+#include "model/paper_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/saturation.hpp"
+
+namespace mcs::model {
+namespace {
+
+class PaperModelTest : public ::testing::Test {
+ protected:
+  topo::SystemConfig org_a_ = topo::SystemConfig::table1_org_a();
+  topo::SystemConfig org_b_ = topo::SystemConfig::table1_org_b();
+  NetworkParams params_;  // paper defaults: M=32, L_m=256
+};
+
+TEST_F(PaperModelTest, StableAndFiniteAtLowLoad) {
+  const PaperModel model(org_a_, params_);
+  const LatencyPrediction p = model.predict(5e-5);
+  EXPECT_TRUE(p.stable);
+  EXPECT_TRUE(std::isfinite(p.mean_latency));
+  EXPECT_GT(p.mean_latency, 0.0);
+  EXPECT_EQ(p.clusters.size(), 32u);
+}
+
+TEST_F(PaperModelTest, MonotoneInOfferedLoad) {
+  const PaperModel model(org_a_, params_);
+  double prev = 0.0;
+  for (double lambda = 2e-5; lambda <= 2e-4; lambda += 2e-5) {
+    const LatencyPrediction p = model.predict(lambda);
+    ASSERT_TRUE(p.stable) << "unexpected saturation at " << lambda;
+    EXPECT_GT(p.mean_latency, prev);
+    prev = p.mean_latency;
+  }
+}
+
+TEST_F(PaperModelTest, ZeroLoadLimitIsContentionFree) {
+  const PaperModel model(org_a_, params_);
+  const LatencyPrediction p = model.predict(1e-12);
+  // With no contention, every cluster's internal latency reduces to
+  // S (Eq. 3, ~M*t_cs for multi-stage journeys) plus R (Eq. 24).
+  for (const ClusterLatency& c : p.clusters) {
+    EXPECT_LT(c.w_source_internal, 1e-6);
+    EXPECT_LT(c.w_conc_disp, 1e-6);
+    EXPECT_GT(c.t_internal, params_.message_flits * params_.t_cn());
+  }
+}
+
+TEST_F(PaperModelTest, HeightOneClusterInternalClosedForm) {
+  // A homogeneous system of height-1 clusters: internal journeys have
+  // K = 1 stage, so S = M*t_cn and R = t_cn exactly (Eqs. 18, 24).
+  const topo::SystemConfig cfg = topo::SystemConfig::homogeneous(8, 1, 4);
+  const PaperModel model(cfg, params_);
+  const LatencyPrediction p = model.predict(1e-12);
+  const double expected =
+      params_.message_flits * params_.t_cn() + params_.t_cn();
+  for (const ClusterLatency& c : p.clusters)
+    EXPECT_NEAR(c.t_internal, expected, 1e-6);
+}
+
+TEST_F(PaperModelTest, POutgoingMatchesEq13) {
+  const PaperModel model(org_a_, params_);
+  const LatencyPrediction p = model.predict(1e-5);
+  for (int i = 0; i < org_a_.cluster_count(); ++i)
+    EXPECT_NEAR(p.clusters[static_cast<std::size_t>(i)].p_outgoing,
+                org_a_.p_outgoing(i), 1e-15);
+}
+
+TEST_F(PaperModelTest, BigClustersSeeLowerExternalShare) {
+  const PaperModel model(org_a_, params_);
+  const LatencyPrediction p = model.predict(1e-4);
+  // Cluster 0 has 8 nodes, cluster 31 has 128: P_o(0) > P_o(31).
+  EXPECT_GT(p.clusters[0].p_outgoing, p.clusters[31].p_outgoing);
+}
+
+TEST_F(PaperModelTest, SaturatesBeyondTheConcentratorKnee) {
+  const PaperModel model(org_a_, params_);
+  const double estimate =
+      concentrator_saturation_estimate(org_a_, params_);
+  EXPECT_FALSE(model.predict(3.0 * estimate).stable);
+}
+
+TEST_F(PaperModelTest, ExternalLatencyExceedsInternal) {
+  const PaperModel model(org_b_, params_);
+  const LatencyPrediction p = model.predict(1e-4);
+  for (const ClusterLatency& c : p.clusters)
+    EXPECT_GT(c.t_external, c.t_internal);
+}
+
+TEST_F(PaperModelTest, LongerMessagesIncreaseLatency) {
+  NetworkParams m64 = params_;
+  m64.message_flits = 64;
+  const PaperModel a(org_a_, params_);
+  const PaperModel b(org_a_, m64);
+  EXPECT_GT(b.predict(5e-5).mean_latency, a.predict(5e-5).mean_latency);
+}
+
+TEST_F(PaperModelTest, LargerFlitsIncreaseLatency) {
+  NetworkParams lm512 = params_;
+  lm512.flit_bytes = 512;
+  const PaperModel a(org_a_, params_);
+  const PaperModel b(org_a_, lm512);
+  EXPECT_GT(b.predict(5e-5).mean_latency, a.predict(5e-5).mean_latency);
+}
+
+TEST_F(PaperModelTest, SystemMeanIsNodeWeightedClusterMix) {
+  const PaperModel model(org_b_, params_);
+  const LatencyPrediction p = model.predict(1e-4);
+  double weighted = 0.0;
+  for (int i = 0; i < org_b_.cluster_count(); ++i)
+    weighted += static_cast<double>(org_b_.cluster_size(i)) /
+                static_cast<double>(org_b_.total_nodes()) *
+                p.clusters[static_cast<std::size_t>(i)].latency;
+  EXPECT_NEAR(p.mean_latency, weighted, 1e-9);
+}
+
+TEST_F(PaperModelTest, EqualHeightClustersGetEqualPredictions) {
+  const PaperModel model(org_a_, params_);
+  const LatencyPrediction p = model.predict(1e-4);
+  // Clusters 0..11 all have height 1 and identical surroundings.
+  for (int i = 1; i < 12; ++i)
+    EXPECT_NEAR(p.clusters[static_cast<std::size_t>(i)].latency,
+                p.clusters[0].latency, 1e-9);
+}
+
+}  // namespace
+}  // namespace mcs::model

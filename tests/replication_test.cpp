@@ -1,0 +1,89 @@
+#include "sim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mcs::sim {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  static topo::SystemConfig config() {
+    topo::SystemConfig cfg;
+    cfg.m = 4;
+    cfg.cluster_heights = {2, 2, 3};
+    return cfg;
+  }
+  topo::MultiClusterTopology topo_{config()};
+  model::NetworkParams params_;
+
+  static SimConfig small() {
+    SimConfig cfg;
+    cfg.warmup_messages = 300;
+    cfg.measured_messages = 3'000;
+    return cfg;
+  }
+};
+
+TEST_F(ReplicationTest, CrossReplicationIntervalCoversEachRun) {
+  const auto result =
+      run_replications(topo_, params_, 1e-4, small(), 5);
+  EXPECT_EQ(result.completed, 5);
+  EXPECT_EQ(result.saturated, 0);
+  ASSERT_EQ(result.runs.size(), 5u);
+  // A 95% CI across 5 replications should comfortably cover each
+  // individual replication mean at this stable load.
+  for (const SimResult& run : result.runs) {
+    EXPECT_NEAR(run.latency.mean, result.latency.mean,
+                5.0 * result.latency.half_width + 1.0);
+  }
+  EXPECT_GT(result.latency.half_width, 0.0);
+}
+
+TEST_F(ReplicationTest, ReplicationsAreIndependent) {
+  const auto result =
+      run_replications(topo_, params_, 1e-4, small(), 3);
+  EXPECT_NE(result.runs[0].latency.mean, result.runs[1].latency.mean);
+  EXPECT_NE(result.runs[1].latency.mean, result.runs[2].latency.mean);
+}
+
+TEST_F(ReplicationTest, DeterministicAcrossCalls) {
+  const auto a = run_replications(topo_, params_, 1e-4, small(), 3);
+  const auto b = run_replications(topo_, params_, 1e-4, small(), 3);
+  EXPECT_EQ(a.latency.mean, b.latency.mean);
+  EXPECT_EQ(a.latency.half_width, b.latency.half_width);
+}
+
+TEST_F(ReplicationTest, MoreReplicationsTightenTheInterval) {
+  const auto few = run_replications(topo_, params_, 1e-4, small(), 3);
+  const auto many = run_replications(topo_, params_, 1e-4, small(), 10);
+  EXPECT_LT(many.latency.half_width, few.latency.half_width);
+}
+
+TEST_F(ReplicationTest, SaturatedRunsAreCountedNotAveraged) {
+  SimConfig cfg = small();
+  cfg.max_generated = 20'000;
+  const auto result = run_replications(topo_, params_, 0.05, cfg, 2);
+  EXPECT_EQ(result.saturated, 2);
+  EXPECT_EQ(result.completed, 0);
+  EXPECT_DOUBLE_EQ(result.latency.mean, 0.0);
+}
+
+TEST_F(ReplicationTest, RejectsZeroReplications) {
+  EXPECT_THROW(run_replications(topo_, params_, 1e-4, small(), 0),
+               ConfigError);
+}
+
+TEST_F(ReplicationTest, SingleRunBatchMeansCiIsConsistent) {
+  // The single-run batch-means CI should be of the same order as the
+  // cross-replication CI (both estimate the same sampling variance).
+  const auto result =
+      run_replications(topo_, params_, 1e-4, small(), 6);
+  const double batch_ci = result.runs[0].latency.half_width;
+  EXPECT_GT(batch_ci, 0.1 * result.latency.half_width);
+  EXPECT_LT(batch_ci, 10.0 * result.latency.half_width + 1.0);
+}
+
+}  // namespace
+}  // namespace mcs::sim

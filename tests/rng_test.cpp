@@ -1,0 +1,124 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcs::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  Rng master(7);
+  Rng s0 = master.fork(0);
+  Rng s1 = master.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += s0.next_u64() == s1.next_u64();
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, OpenLowNeverZero) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.next_double_open_low(), 0.0);
+}
+
+TEST(Rng, NextBelowRespectsBoundAndCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i)
+    ++counts[static_cast<std::size_t>(rng.next_below(kBuckets))];
+  const double expected = kDraws / static_cast<double>(kBuckets);
+  for (int c : counts) EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(9);
+  const double rate = 4.0;
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(rate);
+  // Standard error of the mean is (1/rate)/sqrt(n).
+  EXPECT_NEAR(sum / kDraws, 1.0 / rate, 5.0 / (rate * std::sqrt(kDraws)));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(AliasTable, UniformWeightsSampleUniformly) {
+  AliasTable table(std::vector<double>(8, 1.0));
+  Rng rng(17);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i)
+    ++counts[table.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(AliasTable, RespectsWeightRatios) {
+  AliasTable table({1.0, 3.0});
+  Rng rng(19);
+  int ones = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ones += table.sample(rng) == 1;
+  EXPECT_NEAR(ones / static_cast<double>(kDraws), 0.75, 0.01);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0, 2.0});
+  Rng rng(23);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t s = table.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable({}), ConfigError);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), ConfigError);
+  EXPECT_THROW(AliasTable({-1.0, 2.0}), ConfigError);
+}
+
+}  // namespace
+}  // namespace mcs::util

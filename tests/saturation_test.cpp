@@ -1,0 +1,82 @@
+#include "model/saturation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/paper_model.hpp"
+#include "model/refined_model.hpp"
+
+namespace mcs::model {
+namespace {
+
+class SaturationTest : public ::testing::Test {
+ protected:
+  topo::SystemConfig org_a_ = topo::SystemConfig::table1_org_a();
+  topo::SystemConfig org_b_ = topo::SystemConfig::table1_org_b();
+  NetworkParams params_;
+};
+
+TEST_F(SaturationTest, ClosedFormEstimateMatchesDesignDocValues) {
+  // DESIGN.md §6: lambda* ~ 1 / (max_i N_i P_o^i * M * t_cs).
+  // Org A, M=32, L_m=256: ~5.2e-4. Org B: ~1.06e-3.
+  EXPECT_NEAR(concentrator_saturation_estimate(org_a_, params_), 5.27e-4,
+              0.2e-4);
+  EXPECT_NEAR(concentrator_saturation_estimate(org_b_, params_), 1.06e-3,
+              0.05e-3);
+}
+
+TEST_F(SaturationTest, EstimateScalesInverselyWithMessageLength) {
+  NetworkParams m64 = params_;
+  m64.message_flits = 64;
+  EXPECT_NEAR(concentrator_saturation_estimate(org_a_, m64),
+              0.5 * concentrator_saturation_estimate(org_a_, params_),
+              1e-9);
+}
+
+TEST_F(SaturationTest, BisectionBracketsTheModelKnee) {
+  const PaperModel model(org_a_, params_);
+  const SaturationResult r = find_saturation(model, 1e-3);
+  EXPECT_GT(r.lambda_sat, 0.0);
+  // Just below the knee the model is stable; just above it is not.
+  EXPECT_TRUE(model.predict(0.99 * r.lambda_sat).stable);
+  EXPECT_FALSE(model.predict(1.02 * r.lambda_sat).stable);
+}
+
+TEST_F(SaturationTest, PaperModelKneeIsNearTheClosedForm) {
+  // The paper model's binding constraint is the Eq. (33) M/D/1 relay (or
+  // the Eq. (30) source queue, which carries the same rate), so its knee
+  // lands within a factor ~2 of the closed form.
+  const PaperModel model(org_a_, params_);
+  const double estimate = concentrator_saturation_estimate(org_a_, params_);
+  const SaturationResult r = find_saturation(model);
+  EXPECT_GT(r.lambda_sat, 0.3 * estimate);
+  EXPECT_LT(r.lambda_sat, 2.0 * estimate);
+}
+
+TEST_F(SaturationTest, RefinedKneeOrdersByOrgMessageAndFlitSize) {
+  // Relative knee ordering across the four figure panels must match the
+  // paper's x-axis ranges: org B sustains ~2x org A; M=64 halves both.
+  NetworkParams m64 = params_;
+  m64.message_flits = 64;
+  const double a32 =
+      find_saturation(RefinedModel(org_a_, params_)).lambda_sat;
+  const double a64 = find_saturation(RefinedModel(org_a_, m64)).lambda_sat;
+  const double b32 =
+      find_saturation(RefinedModel(org_b_, params_)).lambda_sat;
+  const double b64 = find_saturation(RefinedModel(org_b_, m64)).lambda_sat;
+  EXPECT_LT(a64, a32);
+  EXPECT_LT(b64, b32);
+  EXPECT_GT(b32, a32);
+  EXPECT_GT(b64, a64);
+  EXPECT_NEAR(a32 / a64, 2.0, 0.35);
+  EXPECT_NEAR(b32 / b64, 2.0, 0.35);
+}
+
+TEST_F(SaturationTest, LatencyJustBelowKneeIsRecorded) {
+  const RefinedModel model(org_b_, params_);
+  const SaturationResult r = find_saturation(model);
+  EXPECT_GT(r.latency_at, 0.0);
+  EXPECT_GT(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace mcs::model

@@ -1,0 +1,77 @@
+#include "model/service_recursion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcs::model {
+namespace {
+
+TEST(StageRecursion, SingleStageIsItsBase) {
+  const std::vector<Stage> stages = {{4.0, 0.01}};
+  const RecursionResult r = stage_recursion(stages);
+  EXPECT_DOUBLE_EQ(r.s0, 4.0);  // no downstream stages, hence no waits
+  EXPECT_TRUE(r.stable);
+}
+
+TEST(StageRecursion, ZeroRateMeansNoBlocking) {
+  const std::vector<Stage> stages = {{2.0, 0.0}, {3.0, 0.0}, {1.0, 0.0}};
+  const RecursionResult r = stage_recursion(stages);
+  EXPECT_DOUBLE_EQ(r.s0, 2.0);  // S_0 = base_0 when all W vanish
+  EXPECT_TRUE(r.stable);
+}
+
+TEST(StageRecursion, TwoStageClosedForm) {
+  // Eqs. (16)-(18): S_1 = b1; W_1 = 0.5*eta*S_1^2; S_0 = b0 + W_1.
+  const double b0 = 2.0, b1 = 3.0, eta = 0.05;
+  const std::vector<Stage> stages = {{b0, eta}, {b1, eta}};
+  const RecursionResult r = stage_recursion(stages);
+  EXPECT_NEAR(r.s0, b0 + 0.5 * eta * b1 * b1, 1e-12);
+  EXPECT_TRUE(r.stable);
+}
+
+TEST(StageRecursion, ThreeStageHandComputed) {
+  const double eta = 0.02;
+  const std::vector<Stage> stages = {{5.0, eta}, {5.0, eta}, {4.0, eta}};
+  const double s2 = 4.0;
+  const double w2 = 0.5 * eta * s2 * s2;
+  const double s1 = 5.0 + w2;
+  const double w1 = 0.5 * eta * s1 * s1;
+  const double s0 = 5.0 + w2 + w1;
+  EXPECT_NEAR(stage_recursion(stages).s0, s0, 1e-12);
+}
+
+TEST(StageRecursion, MonotoneInRate) {
+  std::vector<Stage> lo(5, Stage{4.0, 0.005});
+  std::vector<Stage> hi(5, Stage{4.0, 0.02});
+  EXPECT_LT(stage_recursion(lo).s0, stage_recursion(hi).s0);
+}
+
+TEST(StageRecursion, MonotoneInChainLength) {
+  const Stage s{4.0, 0.01};
+  std::vector<Stage> chain;
+  double prev = 0.0;
+  for (int k = 1; k <= 8; ++k) {
+    chain.push_back(s);
+    const double cur = stage_recursion(chain).s0;
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(StageRecursion, SaturationClampsAndFlags) {
+  // eta * S >= 1 at the last stage: P_B clamps to 1, flagged unstable.
+  const std::vector<Stage> stages = {{4.0, 0.5}, {4.0, 0.5}};
+  const RecursionResult r = stage_recursion(stages);
+  EXPECT_FALSE(r.stable);
+  // With P_B clamped at 1, W_1 = S_1/2, so S_0 = 4 + 2 = 6.
+  EXPECT_NEAR(r.s0, 6.0, 1e-12);
+}
+
+TEST(StageRecursionDeathTest, RejectsNonPositiveBase) {
+  const std::vector<Stage> stages = {{0.0, 0.1}};
+  EXPECT_DEATH((void)stage_recursion(stages), "precondition");
+}
+
+}  // namespace
+}  // namespace mcs::model

@@ -1,0 +1,138 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mcs::util {
+namespace {
+
+TEST(OnlineMoments, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  OnlineMoments m;
+  for (double x : xs) m.add(x);
+
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_EQ(m.count(), xs.size());
+  EXPECT_NEAR(m.mean(), mean, 1e-12);
+  EXPECT_NEAR(m.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), -3.0);
+  EXPECT_DOUBLE_EQ(m.max(), 7.25);
+}
+
+TEST(OnlineMoments, EmptyAndSingle) {
+  OnlineMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  m.add(5.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(OnlineMoments, MergeEqualsSequential) {
+  Rng rng(1);
+  OnlineMoments all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 10 - 5;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(OnlineMoments, MergeWithEmpty) {
+  OnlineMoments a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_NEAR(a.mean(), mean, 1e-15);
+  b.merge(a);  // copy
+  EXPECT_NEAR(b.mean(), mean, 1e-15);
+}
+
+TEST(StudentT, TableValues) {
+  EXPECT_DOUBLE_EQ(student_t_975(1), 12.706);
+  EXPECT_DOUBLE_EQ(student_t_975(10), 2.228);
+  EXPECT_DOUBLE_EQ(student_t_975(30), 2.042);
+  EXPECT_DOUBLE_EQ(student_t_975(1000), 1.960);
+  EXPECT_DOUBLE_EQ(student_t_975(0), 0.0);
+}
+
+TEST(BatchMeans, ConstantSequenceHasZeroWidth) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 100; ++i) bm.add(3.5);
+  const ConfidenceInterval ci = bm.interval();
+  EXPECT_DOUBLE_EQ(ci.mean, 3.5);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.contains(3.5));
+}
+
+TEST(BatchMeans, CoversTrueMeanOfIidStream) {
+  Rng rng(2);
+  BatchMeans bm(500);
+  for (int i = 0; i < 100000; ++i) bm.add(rng.exponential(0.5));  // mean 2
+  const ConfidenceInterval ci = bm.interval();
+  EXPECT_NEAR(ci.mean, 2.0, 0.1);
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_LT(ci.half_width, 0.2);
+  EXPECT_TRUE(ci.contains(2.0));
+}
+
+TEST(BatchMeans, FewSamplesNoInterval) {
+  BatchMeans bm(1000);
+  bm.add(1.0);
+  EXPECT_EQ(bm.completed_batches(), 0u);
+  EXPECT_DOUBLE_EQ(bm.interval().half_width, 0.0);
+  EXPECT_DOUBLE_EQ(bm.interval().mean, 1.0);
+}
+
+TEST(Histogram, BinningAndCounts) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.count(), 10u);
+  for (std::size_t b = 0; b < h.bins(); ++b) EXPECT_EQ(h.bin_count(b), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, OutliersClampAndCount) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 10), ConfigError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace mcs::util

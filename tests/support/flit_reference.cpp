@@ -1,0 +1,203 @@
+#include "support/flit_reference.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "util/contracts.hpp"
+
+namespace mcs::sim::testsupport {
+
+namespace {
+
+constexpr double kUnset = -1.0;
+
+struct WormState {
+  std::vector<int> path;
+  // started[f][j] / completed[f][j]: flit f crossing channel path[j].
+  std::vector<std::vector<double>> started;
+  std::vector<std::vector<double>> completed;
+  std::vector<bool> granted;  ///< per hop: channel currently/was held
+  std::vector<double> acquire;
+  std::vector<double> release;
+  bool spawned = false;
+};
+
+struct ChannelState {
+  int holder = -1;
+  std::deque<int> waiters;
+};
+
+struct Ev {
+  double time;
+  std::uint64_t seq;
+  int worm;
+  int flit;
+  int hop;  ///< -1: spawn event; otherwise a flit-completion event
+  bool operator>(const Ev& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+RefOutcome simulate_flit_level(const RefScenario& scenario) {
+  const int flits = scenario.flits;
+  MCS_EXPECTS(flits >= 1);
+  const std::size_t n_worms = scenario.worms.size();
+
+  std::vector<WormState> worms(n_worms);
+  std::vector<ChannelState> channels(scenario.channel_service.size());
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> heap;
+  std::uint64_t seq = 0;
+
+  for (std::size_t w = 0; w < n_worms; ++w) {
+    const RefWormSpec& spec = scenario.worms[w];
+    MCS_EXPECTS(!spec.path.empty());
+    WormState& ws = worms[w];
+    ws.path = spec.path;
+    const std::size_t hops = spec.path.size();
+    ws.started.assign(static_cast<std::size_t>(flits),
+                      std::vector<double>(hops, kUnset));
+    ws.completed.assign(static_cast<std::size_t>(flits),
+                        std::vector<double>(hops, kUnset));
+    ws.granted.assign(hops, false);
+    ws.acquire.assign(hops, kUnset);
+    ws.release.assign(hops, kUnset);
+    heap.push(Ev{spec.spawn_time, seq++, static_cast<int>(w), 0, -1});
+  }
+
+  auto service = [&](const WormState& ws, std::size_t j) {
+    return scenario.channel_service[static_cast<std::size_t>(ws.path[j])];
+  };
+
+  // Grant `channel` to worm `w` at hop `j` (the worm's header is waiting
+  // at the channel's entrance).
+  auto grant = [&](int w, std::size_t j, double now) {
+    WormState& ws = worms[static_cast<std::size_t>(w)];
+    ChannelState& ch = channels[static_cast<std::size_t>(ws.path[j])];
+    MCS_ASSERT(ch.holder == -1);
+    ch.holder = w;
+    ws.granted[j] = true;
+    ws.acquire[j] = now;
+    // Header starts crossing immediately.
+    ws.started[0][j] = now;
+    heap.push(Ev{now + service(ws, j), seq++, w, 0, static_cast<int>(j)});
+  };
+
+  // Request arbitration for worm w's header at hop j.
+  auto request = [&](int w, std::size_t j, double now) {
+    WormState& ws = worms[static_cast<std::size_t>(w)];
+    ChannelState& ch = channels[static_cast<std::size_t>(ws.path[j])];
+    if (ch.holder == -1 && ch.waiters.empty()) {
+      grant(w, j, now);
+    } else {
+      ch.waiters.push_back(w);
+    }
+  };
+
+  // Try to start every body flit of worm w whose constraints are now
+  // satisfied; returns true when progress was made.
+  auto try_starts = [&](int w, double now) {
+    WormState& ws = worms[static_cast<std::size_t>(w)];
+    const std::size_t hops = ws.path.size();
+    bool progress = false;
+    for (int f = 1; f < flits; ++f) {
+      for (std::size_t j = 0; j < hops; ++j) {
+        if (ws.started[static_cast<std::size_t>(f)][j] != kUnset) continue;
+        if (!ws.granted[j]) continue;
+        // (a) previous flit finished on this channel (serial use).
+        const double prev_done = ws.completed[static_cast<std::size_t>(f - 1)][j];
+        if (prev_done == kUnset || prev_done > now) continue;
+        // (b) this flit has arrived (finished the previous channel).
+        if (j > 0) {
+          const double arrived = ws.completed[static_cast<std::size_t>(f)][j - 1];
+          if (arrived == kUnset || arrived > now) continue;
+        }
+        // (c) the single-flit buffer ahead is free: the previous flit has
+        // started on the next channel (or left into the endpoint).
+        if (j + 1 < hops) {
+          if (ws.started[static_cast<std::size_t>(f - 1)][j + 1] == kUnset ||
+              ws.started[static_cast<std::size_t>(f - 1)][j + 1] > now)
+            continue;
+        }
+        ws.started[static_cast<std::size_t>(f)][j] = now;
+        heap.push(Ev{now + service(ws, j), seq++, w, f,
+                     static_cast<int>(j)});
+        progress = true;
+      }
+    }
+    return progress;
+  };
+
+  RefOutcome out;
+  out.done_time.assign(n_worms, kUnset);
+  while (!heap.empty()) {
+    const Ev ev = heap.top();
+    heap.pop();
+    WormState& ws = worms[static_cast<std::size_t>(ev.worm)];
+    const std::size_t hops = ws.path.size();
+
+    if (ev.hop < 0) {
+      ws.spawned = true;
+      request(ev.worm, 0, ev.time);
+    } else {
+      const auto f = static_cast<std::size_t>(ev.flit);
+      const auto j = static_cast<std::size_t>(ev.hop);
+      ws.completed[f][j] = ev.time;
+      if (ev.flit == 0 && j + 1 < hops) {
+        request(ev.worm, j + 1, ev.time);  // header advances
+      }
+      if (ev.flit == flits - 1) {
+        // Tail crossed channel j: release it and serve the next waiter.
+        ws.release[j] = ev.time;
+        ChannelState& ch = channels[static_cast<std::size_t>(ws.path[j])];
+        MCS_ASSERT(ch.holder == ev.worm);
+        ch.holder = -1;
+        if (!ch.waiters.empty()) {
+          const int next = ch.waiters.front();
+          ch.waiters.pop_front();
+          WormState& nw = worms[static_cast<std::size_t>(next)];
+          // The waiter's header is parked at this channel's entrance.
+          std::size_t hop = 0;
+          while (nw.path[hop] != ws.path[j] || nw.granted[hop]) ++hop;
+          grant(next, hop, ev.time);
+        }
+        if (j + 1 == hops) out.done_time[static_cast<std::size_t>(ev.worm)] = ev.time;
+      }
+    }
+
+    // Wake every worm whose body flits may now advance (conservative but
+    // simple; scenario sizes are tiny).
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t w = 0; w < n_worms; ++w)
+        if (worms[w].spawned) progress = try_starts(static_cast<int>(w), ev.time) || progress;
+    }
+  }
+
+  out.acquire_time.resize(n_worms);
+  out.release_time.resize(n_worms);
+  for (std::size_t w = 0; w < n_worms; ++w) {
+    out.acquire_time[w] = worms[w].acquire;
+    out.release_time[w] = worms[w].release;
+  }
+  return out;
+}
+
+std::vector<double> RefOutcome::busy_time(const RefScenario& scenario) const {
+  std::vector<double> busy(scenario.channel_service.size(), 0.0);
+  for (std::size_t w = 0; w < scenario.worms.size(); ++w) {
+    for (std::size_t j = 0; j < scenario.worms[w].path.size(); ++j) {
+      busy[static_cast<std::size_t>(scenario.worms[w].path[j])] +=
+          release_time[w][j] - acquire_time[w][j];
+    }
+  }
+  return busy;
+}
+
+}  // namespace mcs::sim::testsupport

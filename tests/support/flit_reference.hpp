@@ -1,0 +1,38 @@
+// Brute-force flit-level wormhole simulator, used only by the test suite
+// as an independent oracle for the production engine. It models each flit
+// transfer as its own event and re-derives blocking from first principles
+// (single-flit input buffers, FIFO channel arbitration, destinations
+// always accept), with none of the engine's closed-form shortcuts.
+#pragma once
+
+#include <vector>
+
+namespace mcs::sim::testsupport {
+
+struct RefWormSpec {
+  double spawn_time = 0.0;
+  std::vector<int> path;  ///< channel indices into channel_service
+};
+
+struct RefScenario {
+  std::vector<double> channel_service;
+  int flits = 4;
+  std::vector<RefWormSpec> worms;
+};
+
+struct RefOutcome {
+  /// Tail flit fully at the endpoint, per worm.
+  std::vector<double> done_time;
+  /// Header grant instant per worm per hop.
+  std::vector<std::vector<double>> acquire_time;
+  /// Tail crossed (channel released) per worm per hop.
+  std::vector<std::vector<double>> release_time;
+
+  /// Total busy time per channel (sum over holds).
+  [[nodiscard]] std::vector<double> busy_time(
+      const RefScenario& scenario) const;
+};
+
+RefOutcome simulate_flit_level(const RefScenario& scenario);
+
+}  // namespace mcs::sim::testsupport

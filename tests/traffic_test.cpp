@@ -1,0 +1,125 @@
+#include "sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mcs::sim {
+namespace {
+
+class TrafficTest : public ::testing::Test {
+ protected:
+  topo::MultiClusterTopology topo_{topo::SystemConfig::homogeneous(4, 2, 4)};
+};
+
+TEST_F(TrafficTest, UniformNeverSelectsSelfAndCoversAllNodes) {
+  DestinationSampler sampler(topo_, TrafficPattern{});
+  util::Rng rng(1);
+  const std::int64_t src = 5;
+  std::map<std::int64_t, int> counts;
+  for (int i = 0; i < 40000; ++i) {
+    const std::int64_t d = sampler.sample(src, 0, rng);
+    EXPECT_NE(d, src);
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, topo_.total_nodes());
+    ++counts[d];
+  }
+  EXPECT_EQ(counts.size(),
+            static_cast<std::size_t>(topo_.total_nodes() - 1));
+  // Roughly uniform: expected count ~ 40000/31 ~ 1290.
+  for (const auto& [node, count] : counts) {
+    (void)node;
+    EXPECT_GT(count, 900);
+    EXPECT_LT(count, 1700);
+  }
+}
+
+TEST_F(TrafficTest, UniformPOutgoingMatchesEq13Empirically) {
+  DestinationSampler sampler(topo_, TrafficPattern{});
+  util::Rng rng(2);
+  int external = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t d = sampler.sample(0, 0, rng);
+    external += topo_.locate(d).first != 0;
+  }
+  const double expected = topo_.config().p_outgoing(0);
+  EXPECT_NEAR(external / static_cast<double>(kDraws), expected, 0.01);
+  EXPECT_NEAR(TrafficPattern{}.p_outgoing(topo_, 0), expected, 1e-15);
+}
+
+TEST_F(TrafficTest, HotspotFractionIsRespected) {
+  TrafficPattern pattern;
+  pattern.kind = PatternKind::kHotspot;
+  pattern.hotspot_fraction = 0.25;
+  pattern.hotspot_node = 12;
+  DestinationSampler sampler(topo_, pattern);
+  util::Rng rng(3);
+  int hits = 0;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i)
+    hits += sampler.sample(0, 0, rng) == 12;
+  // Hotspot draws plus the uniform background that lands on node 12.
+  const double expected =
+      0.25 + 0.75 / static_cast<double>(topo_.total_nodes() - 1);
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), expected, 0.01);
+}
+
+TEST_F(TrafficTest, HotspotPOutgoingAccountsForHotspotCluster) {
+  TrafficPattern pattern;
+  pattern.kind = PatternKind::kHotspot;
+  pattern.hotspot_fraction = 0.5;
+  pattern.hotspot_node = 0;  // lives in cluster 0
+  // From cluster 0 the hotspot draw stays internal.
+  const double from_zero = pattern.p_outgoing(topo_, 0);
+  const double from_one = pattern.p_outgoing(topo_, 1);
+  EXPECT_LT(from_zero, from_one);
+  EXPECT_NEAR(from_one, 0.5 * topo_.config().p_outgoing(1) + 0.5, 1e-12);
+}
+
+TEST_F(TrafficTest, LocalFavorControlsInternalFraction) {
+  TrafficPattern pattern;
+  pattern.kind = PatternKind::kLocalFavor;
+  pattern.local_fraction = 0.8;
+  DestinationSampler sampler(topo_, pattern);
+  util::Rng rng(4);
+  int internal = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t d = sampler.sample(3, 0, rng);
+    EXPECT_NE(d, 3);
+    internal += topo_.locate(d).first == 0;
+  }
+  EXPECT_NEAR(internal / static_cast<double>(kDraws), 0.8, 0.01);
+  EXPECT_NEAR(pattern.p_outgoing(topo_, 0), 0.2, 1e-15);
+}
+
+TEST_F(TrafficTest, LocalFavorExternalDrawsSkipOwnCluster) {
+  TrafficPattern pattern;
+  pattern.kind = PatternKind::kLocalFavor;
+  pattern.local_fraction = 0.0;  // always external
+  DestinationSampler sampler(topo_, pattern);
+  util::Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t d = sampler.sample(2, 0, rng);
+    EXPECT_NE(topo_.locate(d).first, 0);
+  }
+}
+
+TEST_F(TrafficTest, ValidationRejectsBadPatterns) {
+  TrafficPattern bad_hotspot;
+  bad_hotspot.kind = PatternKind::kHotspot;
+  bad_hotspot.hotspot_node = topo_.total_nodes();  // out of range
+  EXPECT_THROW(bad_hotspot.validate(topo_), ConfigError);
+
+  TrafficPattern bad_fraction;
+  bad_fraction.kind = PatternKind::kLocalFavor;
+  bad_fraction.local_fraction = 1.5;
+  EXPECT_THROW(bad_fraction.validate(topo_), ConfigError);
+}
+
+}  // namespace
+}  // namespace mcs::sim

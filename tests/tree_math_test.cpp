@@ -1,0 +1,130 @@
+// Unit and property tests for the m-port n-tree combinatorics (Eqs. 1-2,
+// 4, 8-9 of the paper).
+#include "topology/tree_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mcs::topo {
+namespace {
+
+TEST(TreeShape, NodeCountMatchesEq1KnownValues) {
+  EXPECT_EQ((TreeShape{8, 1}.node_count()), 8);
+  EXPECT_EQ((TreeShape{8, 2}.node_count()), 32);
+  EXPECT_EQ((TreeShape{8, 3}.node_count()), 128);
+  EXPECT_EQ((TreeShape{4, 3}.node_count()), 16);
+  EXPECT_EQ((TreeShape{4, 4}.node_count()), 32);
+  EXPECT_EQ((TreeShape{4, 5}.node_count()), 64);
+}
+
+TEST(TreeShape, SwitchCountMatchesEq2KnownValues) {
+  // N_sw = (2n-1) * (m/2)^(n-1)
+  EXPECT_EQ((TreeShape{8, 1}.switch_count()), 1);
+  EXPECT_EQ((TreeShape{8, 2}.switch_count()), 12);
+  EXPECT_EQ((TreeShape{8, 3}.switch_count()), 80);
+  EXPECT_EQ((TreeShape{4, 5}.switch_count()), 144);
+}
+
+TEST(TreeShape, SwitchesPerLevelSumToTotal) {
+  const TreeShape shape{8, 3};
+  std::int64_t total = 0;
+  for (int level = 1; level <= shape.n; ++level)
+    total += shape.switches_at_level(level);
+  EXPECT_EQ(total, shape.switch_count());
+  EXPECT_EQ(shape.switches_at_level(3), 16);  // root: (m/2)^(n-1)
+  EXPECT_EQ(shape.switches_at_level(1), 32);
+}
+
+TEST(TreeShape, ValidateRejectsBadShapes) {
+  EXPECT_THROW((TreeShape{3, 2}.validate()), ConfigError);  // odd arity
+  EXPECT_THROW((TreeShape{0, 2}.validate()), ConfigError);
+  EXPECT_THROW((TreeShape{4, 0}.validate()), ConfigError);
+  EXPECT_THROW((TreeShape{4, -1}.validate()), ConfigError);
+  EXPECT_NO_THROW((TreeShape{2, 1}.validate()));
+}
+
+TEST(TreeMathHelpers, CheckedPowAndGeometricSum) {
+  EXPECT_EQ(checked_pow(4, 0), 1);
+  EXPECT_EQ(checked_pow(4, 3), 64);
+  EXPECT_EQ(geometric_sum(1, 4), 4);  // 1+1+1+1
+  EXPECT_EQ(geometric_sum(2, 5), 31);
+  EXPECT_EQ(geometric_sum(4, 0), 0);
+  EXPECT_THROW((void)checked_pow(10, 40), ConfigError);
+}
+
+TEST(TreeMathHelpers, MinHeightFor) {
+  EXPECT_EQ(min_height_for(8, 32), 2);   // org A: C=32 -> n_c=2
+  EXPECT_EQ(min_height_for(4, 16), 3);   // org B: C=16 -> n_c=3
+  EXPECT_EQ(min_height_for(4, 17), 4);   // just past a tree boundary
+  EXPECT_EQ(min_height_for(8, 1), 1);
+  EXPECT_THROW((void)min_height_for(8, 0), ConfigError);
+}
+
+class TreeShapeProperty : public ::testing::TestWithParam<TreeShape> {};
+
+TEST_P(TreeShapeProperty, HopDistributionIsAProbability) {
+  const TreeShape shape = GetParam();
+  const auto p = shape.hop_distribution();
+  ASSERT_EQ(p.size(), static_cast<std::size_t>(shape.n));
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST_P(TreeShapeProperty, AvgDistanceMatchesClosedForm) {
+  const TreeShape shape = GetParam();
+  EXPECT_NEAR(shape.avg_distance(), shape.avg_distance_closed_form(), 1e-9);
+}
+
+TEST_P(TreeShapeProperty, AvgDistanceIsBetween2And2N) {
+  const TreeShape shape = GetParam();
+  EXPECT_GE(shape.avg_distance(), 2.0);
+  EXPECT_LE(shape.avg_distance(), 2.0 * shape.n + 1e-12);
+}
+
+TEST_P(TreeShapeProperty, ConcentratorDistributionIsAProbability) {
+  const TreeShape shape = GetParam();
+  const auto p = concentrator_hop_distribution(shape);
+  ASSERT_EQ(p.size(), static_cast<std::size_t>(shape.n));
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+  // The leaf term counts k nodes (vs k-1 node-to-node); everything beyond
+  // should be close to the ordinary distribution for large trees.
+  EXPECT_GT(p[0], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeShapeProperty,
+    ::testing::Values(TreeShape{2, 1}, TreeShape{2, 3}, TreeShape{4, 1},
+                      TreeShape{4, 2}, TreeShape{4, 5}, TreeShape{6, 3},
+                      TreeShape{8, 1}, TreeShape{8, 2}, TreeShape{8, 3},
+                      TreeShape{16, 2}, TreeShape{12, 3}),
+    [](const ::testing::TestParamInfo<TreeShape>& param_info) {
+      return "m" + std::to_string(param_info.param.m) + "n" +
+             std::to_string(param_info.param.n);
+    });
+
+TEST(TreeShape, HopProbabilitySpotValues) {
+  // m=8 (k=4), n=3, N=128: P_1 = 3/127, P_2 = 12/127, P_n = 112/127.
+  const TreeShape shape{8, 3};
+  EXPECT_NEAR(shape.hop_probability(1), 3.0 / 127.0, 1e-12);
+  EXPECT_NEAR(shape.hop_probability(2), 12.0 / 127.0, 1e-12);
+  EXPECT_NEAR(shape.hop_probability(3), 112.0 / 127.0, 1e-12);
+}
+
+TEST(TreeShape, DegenerateHeightOne) {
+  // n=1: a single m-port switch; every journey crosses the root, j = 1.
+  const TreeShape shape{8, 1};
+  EXPECT_NEAR(shape.hop_probability(1), 1.0, 1e-12);
+  EXPECT_NEAR(shape.avg_distance(), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mcs::topo

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace mcs::util {
+namespace {
+
+TEST(TextTable, RendersHeaderSeparatorAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.25"});
+  t.add_row({"b", "-3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("|----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numeric cells right-align: "-3" should be padded on the left.
+  EXPECT_NE(out.find(" -3 |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(-1.0, 0), "-1");
+  EXPECT_EQ(TextTable::sci(0.000125, 2), "1.25e-04");
+}
+
+TEST(CsvWriter, WritesAndEscapes) {
+  const std::string path = ::testing::TempDir() + "mcs_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"plain", "with,comma"});
+    csv.add_row({"quote\"inside", "line\nbreak"});
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(content.find("\"quote\"\"inside\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, FailsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}),
+               ConfigError);
+}
+
+TEST(Args, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--beta=2",
+                        "--flag", "positional", "--gamma"};
+  Args args(6, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(args.get_int("beta", 0), 2);
+  EXPECT_TRUE(args.get_flag("flag"));
+  EXPECT_TRUE(args.get_flag("gamma"));
+  EXPECT_FALSE(args.get_flag("absent"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Args, DefaultsAndErrors) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Args args(2, argv);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  EXPECT_THROW((void)args.get_int("n", 0), ConfigError);
+}
+
+TEST(Args, UnknownDetection) {
+  const char* argv[] = {"prog", "--known=1", "--typo=2"};
+  Args args(3, argv);
+  const auto unknown = args.unknown({"known"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Log, LevelFiltering) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  log_debug("should not crash even when filtered");
+  set_log_level(LogLevel::kWarn);  // restore default
+}
+
+}  // namespace
+}  // namespace mcs::util
