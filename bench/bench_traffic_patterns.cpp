@@ -1,12 +1,17 @@
-// E-X2: non-uniform traffic — the paper's future-work extension. Three
-// destination patterns on a mid-size heterogeneous system:
+// E-X2: non-uniform traffic — the paper's future-work extension. The
+// pattern catalog lives in scenarios/traffic_patterns.ini (shared with
+// `mcs_sweep traffic_patterns`):
 //   * uniform (the paper's assumption 2),
 //   * locality-biased (P(internal) fixed via kLocalFavor; the analytical
 //     models follow through the P_o override),
 //   * hotspot (a fraction of all traffic targets one node; simulation
-//     only — the model's symmetry assumptions do not cover it).
+//     only — the model's symmetry assumptions do not cover it),
+//   * tornado-style cluster permutation (kClusterPermutation: every
+//     cluster targets its shifted neighbor; the model consumes its
+//     all-external P_o).
 //
-// Flags: --measured=N, --lambda=..., --no-sim.
+// Flags: --measured=N, --lambda=..., --no-sim, --threads=N,
+// --scenario=PATH.
 #include <cstdio>
 
 #include "harness.hpp"
@@ -15,83 +20,58 @@ int main(int argc, char** argv) {
   const mcs::util::Args args(argc, argv);
   const auto options = mcs::bench::options_from_args(args);
 
-  mcs::topo::SystemConfig config;
-  config.m = 4;
-  config.cluster_heights = {2, 2, 3, 3};  // 48 nodes, heterogeneous
-  mcs::model::NetworkParams params;
+  const std::string path =
+      args.get("scenario", mcs::bench::scenario_path("traffic_patterns"));
+  mcs::exp::ScenarioSpec spec = mcs::exp::load_scenario(path);
+  spec.seed = options.seed;
+  spec.warmup = options.warmup;
+  spec.measured = options.measured;
+  spec.run_sim = options.run_sim;
 
-  const mcs::model::RefinedModel uniform_model(config, params);
+  // Operating point: half the uniform saturation knee, as in the seed
+  // bench, unless --lambda overrides it. The knee is computed for the
+  // scenario's first grid point (message/flit sizes are grid dimensions,
+  // not base_params).
+  mcs::model::NetworkParams knee_params = spec.base_params;
+  knee_params.message_flits = spec.message_flits.front();
+  knee_params.flit_bytes = spec.flit_bytes.front();
+  const mcs::model::RefinedModel uniform_model(spec.systems.front().config,
+                                               knee_params);
   const double knee = mcs::model::find_saturation(uniform_model).lambda_sat;
-  const double lambda = args.get_double("lambda", 0.5 * knee);
-  const mcs::topo::MultiClusterTopology topology(config);
+  spec.loads = {args.get_double("lambda", 0.5 * knee)};
 
+  const mcs::topo::MultiClusterTopology topology(spec.systems.front().config);
   std::printf("=== Traffic patterns (N=%lld, lambda=%.3e) ===\n",
-              static_cast<long long>(config.total_nodes()), lambda);
+              static_cast<long long>(topology.total_nodes()),
+              spec.loads.front());
+
+  const mcs::exp::SweepRunner runner(std::move(spec));
+  mcs::exp::SweepRunOptions run_options;
+  run_options.threads = options.threads;
+  const mcs::exp::SweepResult result = runner.run(run_options);
+
   mcs::util::TextTable table({"pattern", "model (refined)", "sim latency",
                               "sim internal", "sim external",
                               "external share"});
-
-  struct Case {
-    std::string name;
-    mcs::sim::TrafficPattern pattern;
-    bool model_supported;
-  };
-  std::vector<Case> cases;
-  cases.push_back({"uniform (paper)", {}, true});
-  for (const double local : {0.3, 0.6, 0.9}) {
-    mcs::sim::TrafficPattern p;
-    p.kind = mcs::sim::PatternKind::kLocalFavor;
-    p.local_fraction = local;
-    cases.push_back({"local favor phi=" + mcs::util::TextTable::num(local, 1),
-                     p, true});
-  }
-  for (const double hot : {0.05, 0.15}) {
-    mcs::sim::TrafficPattern p;
-    p.kind = mcs::sim::PatternKind::kHotspot;
-    p.hotspot_fraction = hot;
-    p.hotspot_node = 0;
-    cases.push_back({"hotspot eps=" + mcs::util::TextTable::num(hot, 2), p,
-                     false});
-  }
-
-  for (const Case& c : cases) {
-    // Model with the pattern's effective P_o (Eq. 13 generalization).
+  for (const mcs::exp::SweepRow& row : result.rows) {
     std::string model_cell = "n/a (asymmetric)";
-    if (c.model_supported) {
-      std::vector<double> p_out;
-      for (int i = 0; i < config.cluster_count(); ++i)
-        p_out.push_back(c.pattern.p_outgoing(topology, i));
-      const mcs::model::RefinedModel model(config, params, p_out);
-      const auto prediction = model.predict(lambda);
-      model_cell = prediction.stable
-                       ? mcs::util::TextTable::num(prediction.mean_latency, 2)
+    if (row.refined_run)
+      model_cell = row.refined_stable
+                       ? mcs::util::TextTable::num(row.refined_latency, 2)
                        : "saturated";
-    }
-
     std::string sim_cell = "-", int_cell = "-", ext_cell = "-",
                 share_cell = "-";
-    if (options.run_sim) {
-      mcs::sim::SimConfig cfg;
-      cfg.seed = options.seed;
-      cfg.warmup_messages = options.warmup;
-      cfg.measured_messages = options.measured;
-      cfg.pattern = c.pattern;
-      mcs::sim::Simulator sim(topology, params, lambda, cfg);
-      const auto r = sim.run();
-      if (r.saturated) {
+    if (row.sim_run) {
+      if (row.completed == 0) {
         sim_cell = "saturated";
       } else {
-        sim_cell = mcs::util::TextTable::num(r.latency.mean, 2);
-        int_cell = mcs::util::TextTable::num(r.internal_latency.mean, 2);
-        ext_cell = mcs::util::TextTable::num(r.external_latency.mean, 2);
-        share_cell = mcs::util::TextTable::num(
-            static_cast<double>(r.measured_external) /
-                static_cast<double>(r.measured_internal +
-                                    r.measured_external),
-            3);
+        sim_cell = mcs::util::TextTable::num(row.sim_latency, 2);
+        int_cell = mcs::util::TextTable::num(row.sim_internal, 2);
+        ext_cell = mcs::util::TextTable::num(row.sim_external, 2);
+        share_cell = mcs::util::TextTable::num(row.external_share, 3);
       }
     }
-    table.add_row({c.name, model_cell, sim_cell, int_cell, ext_cell,
+    table.add_row({row.pattern_id, model_cell, sim_cell, int_cell, ext_cell,
                    share_cell});
   }
   table.print();
@@ -99,6 +79,7 @@ int main(int argc, char** argv) {
       "\nReading: locality relieves the concentrator funnel (latency drops\n"
       "sharply with phi) and the P_o-override model follows the trend;\n"
       "hotspots congest the victim's ejection channel, which no\n"
-      "cluster-symmetric model can express.\n");
+      "cluster-symmetric model can express. The cluster permutation sends\n"
+      "every message across the ICN2, the worst case for the funnel.\n");
   return 0;
 }

@@ -17,6 +17,7 @@ SweepOptions options_from_args(const util::Args& args) {
       args.get_int("seed", static_cast<long>(opt.seed)));
   opt.run_sim = !args.get_flag("no-sim");
   opt.cut_through = args.get_flag("cut-through");
+  opt.threads = static_cast<int>(args.get_int("threads", 0));
   opt.results_dir = args.get("results-dir", opt.results_dir);
   return opt;
 }
@@ -30,13 +31,34 @@ std::vector<double> lambda_grid(double step, int count) {
   return grid;
 }
 
+exp::ScenarioSpec panel_spec(const FigurePanel& panel,
+                             const SweepOptions& options) {
+  exp::ScenarioSpec spec;
+  spec.name = panel.id;
+  spec.systems = {{panel.id, panel.config}};
+  spec.message_flits = {panel.message_flits};
+  spec.flit_bytes = panel.flit_sizes;
+  spec.loads = panel.lambdas;
+  spec.relay_modes = {options.cut_through ? sim::RelayMode::kCutThrough
+                                          : sim::RelayMode::kStoreForward};
+  spec.seed = options.seed;
+  spec.replications = 1;
+  spec.warmup = options.warmup;
+  spec.measured = options.measured;
+  spec.run_sim = options.run_sim;
+  return spec;
+}
+
+std::string scenario_path(const std::string& name) {
+  return exp::default_scenario_dir() + "/" + name + ".ini";
+}
+
 int run_panel(const FigurePanel& panel, const SweepOptions& options) {
   std::filesystem::create_directories(options.results_dir);
-  util::CsvWriter csv(
-      options.results_dir + "/" + panel.id + ".csv",
-      {"flit_bytes", "lambda", "paper_latency", "paper_stable",
-       "refined_latency", "refined_stable", "sim_latency", "sim_ci95",
-       "sim_state"});  // sim_state: 0 steady, 1 saturated, 2 non-stationary
+
+  const exp::SweepRunner runner(panel_spec(panel, options));
+  exp::SweepRunOptions run_options;
+  run_options.threads = options.threads;
 
   std::printf("=== %s ===\n", panel.title.c_str());
   std::printf(
@@ -47,86 +69,45 @@ int run_panel(const FigurePanel& panel, const SweepOptions& options) {
       options.cut_through ? "cut-through" : "store-and-forward",
       static_cast<long long>(options.run_sim ? options.measured : 0),
       static_cast<long long>(options.run_sim ? options.warmup : 0));
-
-  int saturated_points = 0;
-  topo::MultiClusterTopology topology(panel.config);
-
   for (const double flit_bytes : panel.flit_sizes) {
     model::NetworkParams params;
     params.message_flits = panel.message_flits;
     params.flit_bytes = flit_bytes;
-
-    const model::PaperModel paper(panel.config, params);
-    const model::RefinedModel refined(panel.config, params);
-
-    std::printf("\n-- L_m = %.0f bytes (t_cn=%.3f, t_cs=%.3f) --\n",
-                flit_bytes, params.t_cn(), params.t_cs());
-    util::TextTable table({"offered traffic", "analysis (paper)",
-                           "analysis (refined)", "simulation",
-                           "sim 95% ci"});
-
-    for (const double lambda : panel.lambdas) {
-      const model::LatencyPrediction pp = paper.predict(lambda);
-      const model::LatencyPrediction rp = refined.predict(lambda);
-
-      std::string sim_cell = "-";
-      std::string ci_cell = "-";
-      double sim_latency = -1.0;
-      double sim_ci = 0.0;
-      int sim_state = 0;  // 0 steady, 1 hard-saturated, 2 non-stationary
-      if (options.run_sim) {
-        sim::SimConfig sim_cfg;
-        sim_cfg.seed = options.seed;
-        sim_cfg.warmup_messages = options.warmup;
-        sim_cfg.measured_messages = options.measured;
-        if (options.cut_through)
-          sim_cfg.relay_mode = sim::RelayMode::kCutThrough;
-        sim::Simulator simulator(topology, params, lambda, sim_cfg);
-        const sim::SimResult result = simulator.run();
-        if (result.saturated) {
-          sim_state = 1;
-          sim_cell = "saturated";
-          ++saturated_points;
-        } else {
-          sim_latency = result.latency.mean;
-          sim_ci = result.latency.half_width;
-          // A CI comparable to the mean signals a non-stationary run:
-          // queues grow for the whole measurement window — the offered
-          // load is beyond the sustainable point.
-          if (sim_ci > 0.3 * sim_latency) {
-            sim_state = 2;
-            ++saturated_points;
-          }
-          sim_cell = util::TextTable::num(sim_latency, 2) +
-                     (sim_state == 2 ? "*" : "");
-          ci_cell = util::TextTable::num(sim_ci, 2);
-        }
-      }
-
-      auto model_cell = [](const model::LatencyPrediction& p) {
-        return p.stable ? util::TextTable::num(p.mean_latency, 2)
-                        : std::string("saturated");
-      };
-      table.add_row({util::TextTable::sci(lambda, 2), model_cell(pp),
-                     model_cell(rp), sim_cell, ci_cell});
-      csv.add_row({util::TextTable::num(flit_bytes, 0),
-                   util::TextTable::sci(lambda, 6),
-                   util::TextTable::num(pp.mean_latency, 6),
-                   pp.stable ? "1" : "0",
-                   util::TextTable::num(rp.mean_latency, 6),
-                   rp.stable ? "1" : "0",
-                   util::TextTable::num(sim_latency, 6),
-                   util::TextTable::num(sim_ci, 6),
-                   std::to_string(sim_state)});
-    }
-    table.print();
-    std::printf("(* = non-stationary run: mean drifts for the whole window;"
-                " the load is past the sustainable point)\n");
+    std::printf("L_m = %.0f bytes: t_cn=%.3f, t_cs=%.3f\n", flit_bytes,
+                params.t_cn(), params.t_cs());
   }
 
-  std::printf("\nwrote %s/%s.csv\n\n", options.results_dir.c_str(),
+  const exp::SweepResult result = runner.run(run_options);
+
+  exp::to_table(result).print();
+  std::printf("(* = non-stationary run: mean drifts for the whole window;"
+              " the load is past the sustainable point)\n");
+
+  // The figure CSV keeps its original per-panel schema (consumed by the
+  // plotting scripts); the full-schema CSV is available via mcs_sweep.
+  util::CsvWriter csv(
+      options.results_dir + "/" + panel.id + ".csv",
+      {"flit_bytes", "lambda", "paper_latency", "paper_stable",
+       "refined_latency", "refined_stable", "sim_latency", "sim_ci95",
+       "sim_state"});  // sim_state: 0 steady, 1 saturated, 2 non-stationary
+  for (const exp::SweepRow& row : result.rows) {
+    const bool has_sim = row.sim_run && row.completed > 0;
+    csv.add_row({util::TextTable::num(row.flit_bytes, 0),
+                 util::TextTable::sci(row.lambda, 6),
+                 util::TextTable::num(row.paper_latency, 6),
+                 row.paper_stable ? "1" : "0",
+                 util::TextTable::num(row.refined_latency, 6),
+                 row.refined_stable ? "1" : "0",
+                 util::TextTable::num(has_sim ? row.sim_latency : -1.0, 6),
+                 util::TextTable::num(has_sim ? row.sim_ci : 0.0, 6),
+                 std::to_string(row.sim_state)});
+  }
+
+  std::printf("\n%s: %zu points on %d threads in %.2fs; wrote %s/%s.csv\n\n",
+              panel.id.c_str(), result.rows.size(), result.threads,
+              result.wall_seconds, options.results_dir.c_str(),
               panel.id.c_str());
-  return saturated_points;
+  return result.saturated_points;
 }
 
 }  // namespace mcs::bench

@@ -1,6 +1,7 @@
-// Shared sweep driver for the figure-regeneration benches: evaluates both
-// analytical models and the simulator over an offered-traffic grid, prints
-// the series as a table (the textual equivalent of the paper's plots) and
+// Shared sweep driver for the figure-regeneration benches: builds a
+// ScenarioSpec for one figure panel and runs it through the exp::
+// SweepRunner (models and simulator replications in parallel), prints the
+// series as a table (the textual equivalent of the paper's plots) and
 // writes CSV under results/.
 #pragma once
 
@@ -18,12 +19,13 @@ struct SweepOptions {
   std::uint64_t seed = 20060814;
   bool run_sim = true;
   bool cut_through = false;
+  int threads = 0;  ///< sweep workers; 0 = hardware concurrency
   std::string results_dir = "results";
 };
 
 /// Parse the common bench flags: --measured, --warmup, --seed,
 /// --paper-scale (10k/100k phases as in Sec. 4), --no-sim, --cut-through,
-/// --results-dir.
+/// --threads, --results-dir.
 SweepOptions options_from_args(const util::Args& args);
 
 /// One panel of Figs. 3-4: a system organization, a message length, the
@@ -37,10 +39,20 @@ struct FigurePanel {
   std::vector<double> lambdas;
 };
 
-/// Evenly spaced grid {step, 2*step, ..., count*step} (the paper's axes).
+/// Evenly spaced grid {step, 2*step, ..., count*step} (the paper's axes),
+/// led by two sub-step points sampling the steady low-load region.
 [[nodiscard]] std::vector<double> lambda_grid(double step, int count);
 
-/// Run the panel; returns the number of saturated simulation points.
+/// Translate the panel + options into the equivalent ScenarioSpec (the
+/// same expansion `mcs_sweep` performs on a scenarios/*.ini file).
+[[nodiscard]] exp::ScenarioSpec panel_spec(const FigurePanel& panel,
+                                           const SweepOptions& options);
+
+/// Run the panel through the SweepRunner; returns the number of saturated
+/// (or non-stationary) simulation points.
 int run_panel(const FigurePanel& panel, const SweepOptions& options);
+
+/// Absolute path of a checked-in scenario spec (scenarios/<name>.ini).
+[[nodiscard]] std::string scenario_path(const std::string& name);
 
 }  // namespace mcs::bench

@@ -4,11 +4,13 @@
 //
 // Given a target machine size, enumerate the realizable homogeneous
 // multi-cluster organizations (switch arity x cluster height x cluster
-// count), and rank them by sustainable load, low-load latency and switch
-// hardware cost.
+// count), evaluate them all in one parallel SweepRunner pass (zero-load
+// latency + saturation knee per organization), and rank them by
+// sustainable load, low-load latency and switch hardware cost.
 //
-//   ./design_space [--nodes=512]
+//   ./design_space [--nodes=512] [--threads=N]
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include <mcs/mcs.hpp>
@@ -16,14 +18,20 @@
 int main(int argc, char** argv) {
   const mcs::util::Args args(argc, argv);
   const std::int64_t target = args.get_int("nodes", 512);
-  mcs::model::NetworkParams params;  // paper defaults
+
+  // Enumerate realizable homogeneous organizations as systems of one
+  // scenario; the SweepRunner evaluates every candidate concurrently.
+  mcs::exp::ScenarioSpec spec;
+  spec.name = "design_space";
+  spec.loads = {1e-9};  // zero-load probe point
+  spec.run_sim = false;
+  spec.run_paper_model = false;
+  spec.run_refined_model = true;
+  spec.find_knee = true;
 
   struct Candidate {
-    mcs::topo::SystemConfig config;
     int height;
     std::int64_t switches;
-    double knee;
-    double zero_load;
   };
   std::vector<Candidate> candidates;
 
@@ -34,17 +42,14 @@ int main(int argc, char** argv) {
       if (target % shape.node_count() != 0) continue;
       const auto c = static_cast<int>(target / shape.node_count());
       if (c < 2 || c > 512) continue;
-      Candidate cand;
-      cand.config = mcs::topo::SystemConfig::homogeneous(m, h, c);
-      cand.height = h;
+      const auto config = mcs::topo::SystemConfig::homogeneous(m, h, c);
       // Hardware cost: ICN1 + ECN1 switches per cluster plus the ICN2.
-      cand.switches =
+      const std::int64_t switches =
           2 * c * shape.switch_count() +
-          mcs::topo::TreeShape{m, cand.config.icn2_height()}.switch_count();
-      const mcs::model::RefinedModel model(cand.config, params);
-      cand.knee = mcs::model::find_saturation(model).lambda_sat;
-      cand.zero_load = model.predict(1e-9).mean_latency;
-      candidates.push_back(std::move(cand));
+          mcs::topo::TreeShape{m, config.icn2_height()}.switch_count();
+      spec.systems.push_back(
+          {"m" + std::to_string(m) + "_h" + std::to_string(h), config});
+      candidates.push_back({h, switches});
     }
   }
 
@@ -57,23 +62,34 @@ int main(int argc, char** argv) {
 
   std::printf("=== Design space for N = %lld nodes (M=%d flits, L_m=%.0f "
               "bytes) ===\n",
-              static_cast<long long>(target), params.message_flits,
-              params.flit_bytes);
+              static_cast<long long>(target),
+              spec.base_params.message_flits, spec.base_params.flit_bytes);
+
+  const mcs::exp::SweepRunner runner(spec);
+  mcs::exp::SweepRunOptions run_options;
+  run_options.threads = static_cast<int>(args.get_int("threads", 0));
+  const mcs::exp::SweepResult result = runner.run(run_options);
+
   mcs::util::TextTable table({"m", "cluster", "clusters", "switches",
                               "zero-load latency", "knee lambda*",
                               "knee x zero-load"});
-  for (const Candidate& c : candidates) {
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const mcs::exp::SweepRow& row = result.rows[i];
+    const Candidate& cand = candidates[i];
+    const mcs::topo::SystemConfig& config =
+        spec.systems[static_cast<std::size_t>(row.system_idx)].config;
     table.add_row(
-        {std::to_string(c.config.m),
-         std::to_string(mcs::topo::TreeShape{c.config.m, c.height}
-                            .node_count()) +
+        {std::to_string(config.m),
+         std::to_string(
+             mcs::topo::TreeShape{config.m, cand.height}.node_count()) +
              " nodes",
-         std::to_string(c.config.cluster_count()),
-         std::to_string(c.switches),
-         mcs::util::TextTable::num(c.zero_load, 1),
-         mcs::util::TextTable::sci(c.knee, 2),
+         std::to_string(config.cluster_count()),
+         std::to_string(cand.switches),
+         mcs::util::TextTable::num(row.refined_latency, 1),
+         mcs::util::TextTable::sci(row.knee_lambda, 2),
          // A crude figure of merit: throughput headroom per unit latency.
-         mcs::util::TextTable::sci(c.knee / c.zero_load, 2)});
+         mcs::util::TextTable::sci(row.knee_lambda / row.refined_latency,
+                                   2)});
   }
   table.print();
   std::printf(

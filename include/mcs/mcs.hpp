@@ -16,6 +16,10 @@
 //   auto measured = sim.run();
 #pragma once
 
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "exp/sweep_io.hpp"
+#include "exp/thread_pool.hpp"
 #include "model/bottleneck.hpp"
 #include "model/icn2_funnel.hpp"
 #include "model/latency.hpp"

@@ -1,0 +1,412 @@
+#include "exp/scenario.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mcs::exp {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_list(const std::string& s, char sep = ',') {
+  std::vector<std::string> parts;
+  std::string item;
+  std::istringstream in(s);
+  while (std::getline(in, item, sep)) {
+    item = trim(item);
+    if (!item.empty()) parts.push_back(item);
+  }
+  return parts;
+}
+
+[[noreturn]] void fail(const std::string& source, int line,
+                       const std::string& what) {
+  throw ConfigError(source + ":" + std::to_string(line) + ": " + what);
+}
+
+double parse_double(const std::string& source, int line,
+                    const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0')
+    fail(source, line, "expected a number, got '" + value + "'");
+  return v;
+}
+
+long long parse_int(const std::string& source, int line,
+                    const std::string& value) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0')
+    fail(source, line, "expected an integer, got '" + value + "'");
+  return v;
+}
+
+bool parse_bool(const std::string& source, int line,
+                const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on")
+    return true;
+  if (value == "false" || value == "0" || value == "no" || value == "off")
+    return false;
+  fail(source, line, "expected a boolean, got '" + value + "'");
+}
+
+sim::RelayMode parse_relay(const std::string& source, int line,
+                           const std::string& value) {
+  if (value == "store_forward" || value == "store-forward")
+    return sim::RelayMode::kStoreForward;
+  if (value == "cut_through" || value == "cut-through")
+    return sim::RelayMode::kCutThrough;
+  fail(source, line, "unknown relay mode '" + value + "'");
+}
+
+sim::FlowControl parse_flow(const std::string& source, int line,
+                            const std::string& value) {
+  if (value == "wormhole") return sim::FlowControl::kWormhole;
+  if (value == "store_and_forward" || value == "store-and-forward")
+    return sim::FlowControl::kStoreAndForward;
+  fail(source, line, "unknown flow control '" + value + "'");
+}
+
+// State of one in-progress [system <id>] section.
+struct SystemDraft {
+  std::string id;
+  int line = 0;  ///< section header line (for error reporting)
+  std::string preset;
+  int m = 0;
+  int height = 0;
+  int clusters = 0;
+  std::vector<int> heights;
+};
+
+topo::SystemConfig finish_system(const std::string& source,
+                                 const SystemDraft& d) {
+  if (d.preset == "table1_org_a") return topo::SystemConfig::table1_org_a();
+  if (d.preset == "table1_org_b") return topo::SystemConfig::table1_org_b();
+  if (d.preset == "homogeneous") {
+    if (d.m <= 0 || d.height <= 0 || d.clusters <= 0)
+      fail(source, d.line,
+           "[system " + d.id +
+               "]: preset homogeneous needs m, height and clusters");
+    return topo::SystemConfig::homogeneous(d.m, d.height, d.clusters);
+  }
+  if (!d.preset.empty())
+    fail(source, d.line,
+         "[system " + d.id + "]: unknown preset '" + d.preset + "'");
+  if (d.m <= 0 || d.heights.empty())
+    fail(source, d.line,
+         "[system " + d.id + "]: need either a preset or m plus heights");
+  topo::SystemConfig config;
+  config.m = d.m;
+  config.cluster_heights = d.heights;
+  return config;
+}
+
+struct PatternDraft {
+  std::string id;
+  int line = 0;
+  bool kind_set = false;
+  sim::TrafficPattern pattern;
+};
+
+}  // namespace
+
+void ScenarioSpec::validate() const {
+  if (systems.empty()) throw ConfigError("ScenarioSpec: no [system] section");
+  for (const SystemEntry& s : systems) s.config.validate();
+  if (message_flits.empty())
+    throw ConfigError("ScenarioSpec: message_flits list is empty");
+  for (const int m : message_flits)
+    if (m < 1) throw ConfigError("ScenarioSpec: message_flits must be >= 1");
+  if (flit_bytes.empty())
+    throw ConfigError("ScenarioSpec: flit_bytes list is empty");
+  for (const double b : flit_bytes)
+    if (b <= 0) throw ConfigError("ScenarioSpec: flit_bytes must be > 0");
+  if (relay_modes.empty())
+    throw ConfigError("ScenarioSpec: relay list is empty");
+  if (flow_controls.empty())
+    throw ConfigError("ScenarioSpec: flow list is empty");
+  if (loads.empty()) throw ConfigError("ScenarioSpec: no loads given");
+  for (const double l : loads)
+    if (l <= 0.0) throw ConfigError("ScenarioSpec: loads must be > 0");
+  if (replications < 1)
+    throw ConfigError("ScenarioSpec: replications must be >= 1");
+  if (warmup < 0) throw ConfigError("ScenarioSpec: warmup must be >= 0");
+  if (measured < 1) throw ConfigError("ScenarioSpec: measured must be >= 1");
+  if (!run_sim && !run_paper_model && !run_refined_model)
+    throw ConfigError("ScenarioSpec: nothing to evaluate "
+                      "(sim and both models disabled)");
+  base_params.validate();
+  // Patterns are validated against each concrete topology by the runner
+  // (validity depends on cluster sizes); here we only check ranges that
+  // are topology-independent via a representative check in the runner.
+}
+
+std::int64_t ScenarioSpec::grid_size() const {
+  const std::int64_t patterns_n =
+      patterns.empty() ? 1 : static_cast<std::int64_t>(patterns.size());
+  return static_cast<std::int64_t>(systems.size()) *
+         static_cast<std::int64_t>(message_flits.size()) *
+         static_cast<std::int64_t>(flit_bytes.size()) * patterns_n *
+         static_cast<std::int64_t>(relay_modes.size()) *
+         static_cast<std::int64_t>(flow_controls.size()) *
+         static_cast<std::int64_t>(loads.size());
+}
+
+ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
+  ScenarioSpec spec;
+  spec.message_flits.clear();
+  spec.flit_bytes.clear();
+  spec.relay_modes.clear();
+  spec.flow_controls.clear();
+
+  enum class Section { kNone, kSweep, kSystem, kPattern };
+  Section section = Section::kNone;
+  SystemDraft system;
+  PatternDraft pattern;
+
+  // List-valued [sweep] keys replace the whole list, so a repeat is a
+  // copy-paste error (it would silently multiply the grid). loads and
+  // load_grid are accumulative by design and may repeat.
+  std::vector<std::string> seen_list_keys;
+
+  auto flush_section = [&] {
+    if (section == Section::kSystem)
+      spec.systems.push_back({system.id, finish_system(source, system)});
+    if (section == Section::kPattern) {
+      if (!pattern.kind_set)
+        fail(source, pattern.line,
+             "[pattern " + pattern.id + "]: missing kind");
+      spec.patterns.push_back({pattern.id, pattern.pattern});
+    }
+  };
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments (# and ;) and whitespace.
+    std::size_t cut = raw.find_first_of("#;");
+    std::string line = trim(cut == std::string::npos ? raw : raw.substr(0, cut));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        fail(source, line_no, "unterminated section header");
+      flush_section();
+      const std::string header = trim(line.substr(1, line.size() - 2));
+      if (header == "sweep") {
+        section = Section::kSweep;
+      } else if (header.rfind("system", 0) == 0) {
+        section = Section::kSystem;
+        system = SystemDraft{};
+        system.id = trim(header.substr(6));
+        system.line = line_no;
+        if (system.id.empty())
+          fail(source, line_no, "[system] needs an id: [system <id>]");
+        for (const SystemEntry& s : spec.systems)
+          if (s.id == system.id)
+            fail(source, line_no, "duplicate system id '" + system.id + "'");
+      } else if (header.rfind("pattern", 0) == 0) {
+        section = Section::kPattern;
+        pattern = PatternDraft{};
+        pattern.id = trim(header.substr(7));
+        pattern.line = line_no;
+        if (pattern.id.empty())
+          fail(source, line_no, "[pattern] needs an id: [pattern <id>]");
+        for (const PatternEntry& p : spec.patterns)
+          if (p.id == pattern.id)
+            fail(source, line_no, "duplicate pattern id '" + pattern.id + "'");
+      } else {
+        fail(source, line_no, "unknown section [" + header + "]");
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      fail(source, line_no, "expected 'key = value', got '" + line + "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty())
+      fail(source, line_no, "empty key or value");
+
+    switch (section) {
+      case Section::kNone:
+        fail(source, line_no, "key outside any section: '" + key + "'");
+
+      case Section::kSweep: {
+        if (key == "message_flits" || key == "flit_bytes" ||
+            key == "models" || key == "relay" || key == "flow") {
+          for (const std::string& seen : seen_list_keys)
+            if (seen == key)
+              fail(source, line_no, "duplicate [sweep] key '" + key + "'");
+          seen_list_keys.push_back(key);
+        }
+        if (key == "name") {
+          spec.name = value;
+        } else if (key == "seed") {
+          spec.seed =
+              static_cast<std::uint64_t>(parse_int(source, line_no, value));
+        } else if (key == "replications") {
+          spec.replications =
+              static_cast<int>(parse_int(source, line_no, value));
+        } else if (key == "warmup") {
+          spec.warmup = parse_int(source, line_no, value);
+        } else if (key == "measured") {
+          spec.measured = parse_int(source, line_no, value);
+        } else if (key == "message_flits") {
+          for (const std::string& v : split_list(value))
+            spec.message_flits.push_back(
+                static_cast<int>(parse_int(source, line_no, v)));
+        } else if (key == "flit_bytes") {
+          for (const std::string& v : split_list(value))
+            spec.flit_bytes.push_back(parse_double(source, line_no, v));
+        } else if (key == "loads") {
+          for (const std::string& v : split_list(value))
+            spec.loads.push_back(parse_double(source, line_no, v));
+        } else if (key == "load_grid") {
+          // step : count, expanding to {s/4, s/2, s, 2s, ..., count*s}
+          // (the bench harness's lambda_grid: two sub-step points sample
+          // the steady low-load region, then the paper's axis grid).
+          const std::vector<std::string> parts = split_list(value, ':');
+          if (parts.size() != 2)
+            fail(source, line_no, "load_grid wants '<step> : <count>'");
+          const double step = parse_double(source, line_no, parts[0]);
+          const long long count = parse_int(source, line_no, parts[1]);
+          if (step <= 0.0 || count < 1)
+            fail(source, line_no, "load_grid wants step > 0 and count >= 1");
+          spec.loads.push_back(0.25 * step);
+          spec.loads.push_back(0.5 * step);
+          for (long long i = 1; i <= count; ++i)
+            spec.loads.push_back(step * static_cast<double>(i));
+        } else if (key == "models") {
+          spec.run_paper_model = false;
+          spec.run_refined_model = false;
+          for (const std::string& v : split_list(value)) {
+            if (v == "paper")
+              spec.run_paper_model = true;
+            else if (v == "refined")
+              spec.run_refined_model = true;
+            else if (v == "none")
+              ;  // keep both disabled
+            else
+              fail(source, line_no, "unknown model '" + v + "'");
+          }
+        } else if (key == "sim") {
+          spec.run_sim = parse_bool(source, line_no, value);
+        } else if (key == "knee") {
+          spec.find_knee = parse_bool(source, line_no, value);
+        } else if (key == "relay") {
+          for (const std::string& v : split_list(value))
+            spec.relay_modes.push_back(parse_relay(source, line_no, v));
+        } else if (key == "flow") {
+          for (const std::string& v : split_list(value))
+            spec.flow_controls.push_back(parse_flow(source, line_no, v));
+        } else if (key == "alpha_net") {
+          spec.base_params.alpha_net = parse_double(source, line_no, value);
+        } else if (key == "alpha_sw") {
+          spec.base_params.alpha_sw = parse_double(source, line_no, value);
+        } else if (key == "beta_net") {
+          spec.base_params.beta_net = parse_double(source, line_no, value);
+        } else {
+          fail(source, line_no, "unknown [sweep] key '" + key + "'");
+        }
+        break;
+      }
+
+      case Section::kSystem: {
+        if (key == "preset") {
+          system.preset = value;
+        } else if (key == "m") {
+          system.m = static_cast<int>(parse_int(source, line_no, value));
+        } else if (key == "height") {
+          system.height = static_cast<int>(parse_int(source, line_no, value));
+        } else if (key == "clusters") {
+          system.clusters =
+              static_cast<int>(parse_int(source, line_no, value));
+        } else if (key == "heights") {
+          for (const std::string& v : split_list(value))
+            system.heights.push_back(
+                static_cast<int>(parse_int(source, line_no, v)));
+        } else {
+          fail(source, line_no, "unknown [system] key '" + key + "'");
+        }
+        break;
+      }
+
+      case Section::kPattern: {
+        if (key == "kind") {
+          pattern.kind_set = true;
+          if (value == "uniform")
+            pattern.pattern.kind = sim::PatternKind::kUniform;
+          else if (value == "hotspot")
+            pattern.pattern.kind = sim::PatternKind::kHotspot;
+          else if (value == "local_favor")
+            pattern.pattern.kind = sim::PatternKind::kLocalFavor;
+          else if (value == "cluster_permutation")
+            pattern.pattern.kind = sim::PatternKind::kClusterPermutation;
+          else
+            fail(source, line_no, "unknown pattern kind '" + value + "'");
+        } else if (key == "hotspot_fraction") {
+          pattern.pattern.hotspot_fraction =
+              parse_double(source, line_no, value);
+        } else if (key == "hotspot_node") {
+          pattern.pattern.hotspot_node = parse_int(source, line_no, value);
+        } else if (key == "local_fraction") {
+          pattern.pattern.local_fraction =
+              parse_double(source, line_no, value);
+        } else if (key == "cluster_shift") {
+          pattern.pattern.cluster_shift =
+              static_cast<int>(parse_int(source, line_no, value));
+        } else {
+          fail(source, line_no, "unknown [pattern] key '" + key + "'");
+        }
+        break;
+      }
+    }
+  }
+  flush_section();
+
+  // Restore defaults for list keys the file left unset.
+  if (spec.message_flits.empty()) spec.message_flits = {32};
+  if (spec.flit_bytes.empty()) spec.flit_bytes = {256};
+  if (spec.relay_modes.empty())
+    spec.relay_modes = {sim::RelayMode::kStoreForward};
+  if (spec.flow_controls.empty())
+    spec.flow_controls = {sim::FlowControl::kWormhole};
+
+  spec.validate();
+  return spec;
+}
+
+ScenarioSpec parse_scenario_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in, "<string>");
+}
+
+ScenarioSpec load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open scenario file '" + path + "'");
+  return parse_scenario(in, path);
+}
+
+std::string default_scenario_dir() {
+#ifdef MCS_SCENARIO_DIR
+  return MCS_SCENARIO_DIR;
+#else
+  return "scenarios";
+#endif
+}
+
+}  // namespace mcs::exp

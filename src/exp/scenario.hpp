@@ -1,0 +1,120 @@
+// Declarative experiment scenarios: a ScenarioSpec names a cartesian grid
+// of operating points — system organizations x network parameters x
+// traffic patterns x relay/flow-control modes x offered loads x
+// replications — that the SweepRunner expands into independent tasks.
+//
+// Specs are loaded from a simple INI dialect (checked-in examples live
+// under scenarios/):
+//
+//   # fig3_m32: one panel of the paper's Fig. 3
+//   [sweep]
+//   name          = fig3_m32
+//   seed          = 20060814
+//   replications  = 1
+//   warmup        = 3000
+//   measured      = 30000
+//   message_flits = 32
+//   flit_bytes    = 256, 512
+//   load_grid     = 0.5e-4 : 10     # {s/4, s/2, s, 2s, ..., 10s}
+//   models        = paper, refined
+//   sim           = true
+//   relay         = store_forward
+//
+//   [system org_a]
+//   preset = table1_org_a
+//
+//   [pattern uniform]                # optional; default is uniform
+//   kind = uniform
+//
+// `[system <id>]` sections accept either `preset = table1_org_a |
+// table1_org_b`, `preset = homogeneous` with `m/height/clusters`, or an
+// explicit `m` + `heights = n1, n2, ...` list. `[pattern <id>]` sections
+// accept `kind = uniform | hotspot | local_favor | cluster_permutation`
+// plus the kind's parameters (`hotspot_fraction`, `hotspot_node`,
+// `local_fraction`, `cluster_shift`). `loads`/`load_grid` lines may
+// repeat and accumulate grid points; the other list keys
+// (`message_flits`, `flit_bytes`, `models`, `relay`, `flow`) set the
+// whole list and may appear only once.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "topology/multi_cluster.hpp"
+
+namespace mcs::exp {
+
+struct SystemEntry {
+  std::string id;  ///< section name; labels rows in the result table
+  topo::SystemConfig config;
+};
+
+struct PatternEntry {
+  std::string id;
+  sim::TrafficPattern pattern;
+};
+
+struct ScenarioSpec {
+  std::string name = "sweep";
+
+  // --- grid dimensions ---------------------------------------------------
+  std::vector<SystemEntry> systems;
+  std::vector<int> message_flits = {32};
+  std::vector<double> flit_bytes = {256};
+  std::vector<PatternEntry> patterns;  ///< empty -> single uniform pattern
+  std::vector<sim::RelayMode> relay_modes = {sim::RelayMode::kStoreForward};
+  std::vector<sim::FlowControl> flow_controls = {sim::FlowControl::kWormhole};
+  std::vector<double> loads;  ///< offered traffic lambda_g per node
+
+  // --- per-task simulation setup -----------------------------------------
+  std::uint64_t seed = 20060814;
+  int replications = 1;
+  std::int64_t warmup = 3'000;
+  std::int64_t measured = 30'000;
+
+  // --- what to evaluate --------------------------------------------------
+  bool run_sim = true;
+  bool run_paper_model = true;
+  bool run_refined_model = true;
+  /// Also bisect each (system, params, pattern) group for its saturation
+  /// knee (model-side; uses the refined model when enabled, else paper).
+  bool find_knee = false;
+
+  /// Channel timing defaults shared by every grid point; message_flits and
+  /// flit_bytes above override the corresponding fields per point.
+  model::NetworkParams base_params;
+
+  /// Throws mcs::ConfigError on an empty or inconsistent grid (no systems,
+  /// no loads, non-positive replications/phases, invalid system configs or
+  /// patterns, nothing to evaluate).
+  void validate() const;
+
+  /// Number of grid rows = |systems| x |flits| x |bytes| x |patterns| x
+  /// |relays| x |flow_controls| x |loads|.
+  [[nodiscard]] std::int64_t grid_size() const;
+};
+
+/// Parse the INI dialect described above. `source` names the input in
+/// error messages. Throws mcs::ConfigError on malformed input (unknown
+/// section/key/value, duplicate ids, syntax errors); the returned spec has
+/// been validate()d.
+[[nodiscard]] ScenarioSpec parse_scenario(std::istream& in,
+                                          const std::string& source);
+
+/// parse_scenario over a string buffer (tests, inline specs).
+[[nodiscard]] ScenarioSpec parse_scenario_string(const std::string& text);
+
+/// parse_scenario over a file. Throws mcs::ConfigError when unreadable.
+[[nodiscard]] ScenarioSpec load_scenario(const std::string& path);
+
+/// Directory of the checked-in scenario specs: the build-time
+/// MCS_SCENARIO_DIR (absolute source path) when defined, else the
+/// relative "scenarios". Shared by mcs_sweep and the benches.
+[[nodiscard]] std::string default_scenario_dir();
+
+}  // namespace mcs::exp

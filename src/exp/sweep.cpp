@@ -1,0 +1,299 @@
+#include "exp/sweep.hpp"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "model/paper_model.hpp"
+#include "model/refined_model.hpp"
+#include "model/saturation.hpp"
+#include "sim/replication.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mcs::exp {
+
+std::uint64_t derive_seed(std::uint64_t base,
+                          std::initializer_list<std::uint64_t> coords) {
+  std::uint64_t state = base;
+  for (const std::uint64_t c : coords) {
+    // Mix the coordinate into the state, then advance through splitmix64.
+    // The +1 keeps coordinate 0 from being a no-op on a zero state.
+    util::SplitMix64 sm(state ^ (0x9e3779b97f4a7c15ULL * (c + 1)));
+    state = sm.next();
+  }
+  return state;
+}
+
+namespace {
+
+// One (system, message_flits, flit_bytes, pattern) combination: the
+// analytical models and the knee depend on exactly these dimensions, so
+// they are evaluated once per group and fanned out to the group's rows.
+struct ModelGroup {
+  int system_idx = 0;
+  model::NetworkParams params;
+  std::vector<double> p_out_override;  ///< empty for uniform traffic
+  bool model_supported = true;  ///< cluster-symmetric pattern?
+  std::vector<std::size_t> row_indices;
+};
+
+// The analytical models assume cluster-symmetric destination choice; the
+// hotspot pattern breaks that symmetry, so model columns stay empty.
+bool pattern_model_supported(const sim::TrafficPattern& pattern) {
+  return pattern.kind != sim::PatternKind::kHotspot;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(ScenarioSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  // Patterns can only be validated against concrete topologies (their
+  // constraints depend on cluster sizes); fail fast here rather than in a
+  // worker thread.
+  for (const SystemEntry& system : spec_.systems) {
+    const topo::MultiClusterTopology topology(system.config);
+    for (const PatternEntry& entry : spec_.patterns)
+      entry.pattern.validate(topology);
+  }
+}
+
+SweepResult SweepRunner::run(const SweepRunOptions& options) const {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Patterns dimension: an empty list means one implicit uniform pattern.
+  std::vector<PatternEntry> patterns = spec_.patterns;
+  if (patterns.empty()) patterns.push_back({"uniform", sim::TrafficPattern{}});
+
+  // --- expansion: topologies, rows, model groups -------------------------
+  std::vector<std::unique_ptr<topo::MultiClusterTopology>> topologies;
+  topologies.reserve(spec_.systems.size());
+  for (const SystemEntry& system : spec_.systems)
+    topologies.push_back(
+        std::make_unique<topo::MultiClusterTopology>(system.config));
+
+  SweepResult result;
+  result.name = spec_.name;
+  result.rows.reserve(static_cast<std::size_t>(spec_.grid_size()));
+
+  std::map<std::tuple<int, int, int, int>, std::size_t> group_of;
+  std::vector<ModelGroup> groups;
+
+  for (int sys = 0; sys < static_cast<int>(spec_.systems.size()); ++sys) {
+    for (int fi = 0; fi < static_cast<int>(spec_.message_flits.size()); ++fi) {
+      for (int bi = 0; bi < static_cast<int>(spec_.flit_bytes.size()); ++bi) {
+        for (int pi = 0; pi < static_cast<int>(patterns.size()); ++pi) {
+          for (int ri = 0; ri < static_cast<int>(spec_.relay_modes.size());
+               ++ri) {
+            for (int wi = 0;
+                 wi < static_cast<int>(spec_.flow_controls.size()); ++wi) {
+              for (int li = 0; li < static_cast<int>(spec_.loads.size());
+                   ++li) {
+                SweepRow row;
+                row.system_idx = sys;
+                row.flits_idx = fi;
+                row.bytes_idx = bi;
+                row.pattern_idx = pi;
+                row.relay_idx = ri;
+                row.flow_idx = wi;
+                row.load_idx = li;
+                row.system_id = spec_.systems[static_cast<std::size_t>(sys)].id;
+                row.pattern_id = patterns[static_cast<std::size_t>(pi)].id;
+                row.message_flits =
+                    spec_.message_flits[static_cast<std::size_t>(fi)];
+                row.flit_bytes = spec_.flit_bytes[static_cast<std::size_t>(bi)];
+                row.relay = spec_.relay_modes[static_cast<std::size_t>(ri)];
+                row.flow = spec_.flow_controls[static_cast<std::size_t>(wi)];
+                row.lambda = spec_.loads[static_cast<std::size_t>(li)];
+
+                const auto key = std::make_tuple(sys, fi, bi, pi);
+                auto [it, inserted] =
+                    group_of.try_emplace(key, groups.size());
+                if (inserted) {
+                  ModelGroup group;
+                  group.system_idx = sys;
+                  group.params = spec_.base_params;
+                  group.params.message_flits = row.message_flits;
+                  group.params.flit_bytes = row.flit_bytes;
+                  const sim::TrafficPattern& pattern =
+                      patterns[static_cast<std::size_t>(pi)].pattern;
+                  group.model_supported = pattern_model_supported(pattern);
+                  if (pattern.kind != sim::PatternKind::kUniform &&
+                      group.model_supported) {
+                    const auto& topology = *topologies[
+                        static_cast<std::size_t>(sys)];
+                    for (int c = 0;
+                         c < topology.config().cluster_count(); ++c)
+                      group.p_out_override.push_back(
+                          pattern.p_outgoing(topology, c));
+                  }
+                  groups.push_back(std::move(group));
+                }
+                groups[it->second].row_indices.push_back(result.rows.size());
+                result.rows.push_back(std::move(row));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- execution ---------------------------------------------------------
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(options.threads);
+    pool = owned_pool.get();
+  }
+  result.threads = pool->thread_count();
+
+  // Model tasks: one per group (construction dominates; predictions for
+  // the group's loads ride along). Each row's model fields are written by
+  // exactly one task, so no synchronization is needed.
+  std::vector<SweepRow>& rows = result.rows;
+  const bool run_models = spec_.run_paper_model || spec_.run_refined_model;
+  if (run_models) {
+    for (ModelGroup& group : groups) {
+      pool->submit([this, &group, &rows] {
+        if (!group.model_supported) return;
+        const topo::SystemConfig& config =
+            spec_.systems[static_cast<std::size_t>(group.system_idx)].config;
+        std::unique_ptr<model::PaperModel> paper;
+        std::unique_ptr<model::RefinedModel> refined;
+        if (spec_.run_paper_model)
+          paper = std::make_unique<model::PaperModel>(config, group.params,
+                                                      group.p_out_override);
+        if (spec_.run_refined_model)
+          refined = std::make_unique<model::RefinedModel>(
+              config, group.params, group.p_out_override);
+        double knee = -1.0;
+        if (spec_.find_knee) {
+          const model::LatencyModel* knee_model =
+              refined ? static_cast<const model::LatencyModel*>(refined.get())
+                      : static_cast<const model::LatencyModel*>(paper.get());
+          knee = model::find_saturation(*knee_model).lambda_sat;
+        }
+        for (const std::size_t r : group.row_indices) {
+          SweepRow& row = rows[r];
+          row.knee_lambda = knee;
+          if (paper) {
+            const model::LatencyPrediction p = paper->predict(row.lambda);
+            row.paper_run = true;
+            row.paper_latency = p.mean_latency;
+            row.paper_stable = p.stable;
+          }
+          if (refined) {
+            const model::LatencyPrediction p = refined->predict(row.lambda);
+            row.refined_run = true;
+            row.refined_latency = p.mean_latency;
+            row.refined_stable = p.stable;
+          }
+        }
+      });
+    }
+  }
+
+  // Simulation tasks: one per (row, replication). Seeds depend only on
+  // grid coordinates, never on scheduling.
+  const int reps = spec_.replications;
+  std::vector<std::vector<sim::SimResult>> sim_runs;
+  if (spec_.run_sim) {
+    sim_runs.resize(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      sim_runs[r].resize(static_cast<std::size_t>(reps));
+      const SweepRow& row = rows[r];
+      const topo::MultiClusterTopology& topology =
+          *topologies[static_cast<std::size_t>(row.system_idx)];
+      for (int rep = 0; rep < reps; ++rep) {
+        pool->submit([this, &row, &topology, &patterns, &sim_runs, r, rep] {
+          model::NetworkParams params = spec_.base_params;
+          params.message_flits = row.message_flits;
+          params.flit_bytes = row.flit_bytes;
+
+          sim::SimConfig cfg;
+          cfg.seed = derive_seed(
+              spec_.seed,
+              {static_cast<std::uint64_t>(row.system_idx),
+               static_cast<std::uint64_t>(row.flits_idx),
+               static_cast<std::uint64_t>(row.bytes_idx),
+               static_cast<std::uint64_t>(row.pattern_idx),
+               static_cast<std::uint64_t>(row.relay_idx),
+               static_cast<std::uint64_t>(row.flow_idx),
+               static_cast<std::uint64_t>(row.load_idx),
+               static_cast<std::uint64_t>(rep)});
+          cfg.relay_mode = row.relay;
+          cfg.flow_control = row.flow;
+          cfg.warmup_messages = spec_.warmup;
+          cfg.measured_messages = spec_.measured;
+          cfg.pattern =
+              patterns[static_cast<std::size_t>(row.pattern_idx)].pattern;
+
+          sim::Simulator simulator(topology, params, row.lambda, cfg);
+          sim_runs[r][static_cast<std::size_t>(rep)] = simulator.run();
+        });
+        ++result.sim_tasks;
+      }
+    }
+  }
+
+  pool->wait_idle();
+
+  // --- aggregation (fixed grid order: thread-count invariant) ------------
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    SweepRow& row = rows[r];
+    if (!spec_.run_sim) continue;
+    row.sim_run = true;
+    row.replications = reps;
+
+    util::OnlineMoments latency, internal, external;
+    std::int64_t n_internal = 0, n_external = 0;
+    const sim::SimResult* sole_completed = nullptr;
+    for (const sim::SimResult& run : sim_runs[r]) {
+      if (run.saturated) {
+        ++row.saturated;
+        continue;
+      }
+      ++row.completed;
+      sole_completed = &run;
+      latency.add(run.latency.mean);
+      internal.add(run.internal_latency.mean);
+      external.add(run.external_latency.mean);
+      n_internal += run.measured_internal;
+      n_external += run.measured_external;
+    }
+
+    if (row.completed == 0) {
+      row.sim_state = 1;
+    } else {
+      if (row.completed == 1) {
+        // A single completed replication: fall back on its batch-means CI
+        // (same reading as the bench harness's single-run sweeps).
+        row.sim_latency = sole_completed->latency.mean;
+        row.sim_ci = sole_completed->latency.half_width;
+      } else {
+        const util::ConfidenceInterval ci = util::t_interval(latency);
+        row.sim_latency = ci.mean;
+        row.sim_ci = ci.half_width;
+      }
+      row.sim_internal = internal.mean();
+      row.sim_external = external.mean();
+      if (n_internal + n_external > 0)
+        row.external_share = static_cast<double>(n_external) /
+                             static_cast<double>(n_internal + n_external);
+      // CI comparable to the mean: queues grew for the whole measurement
+      // window — the offered load is past the sustainable point.
+      if (row.sim_ci > 0.3 * row.sim_latency) row.sim_state = 2;
+    }
+    if (row.sim_state != 0) ++result.saturated_points;
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,109 @@
+// SweepRunner: expands a ScenarioSpec into independent tasks — analytical
+// model groups and per-replication simulator runs — executes them on a
+// work-stealing ThreadPool and aggregates a deterministic result table.
+//
+// Determinism contract: each simulation task's seed is derived from the
+// scenario seed and the task's grid coordinates alone (splitmix64 chain),
+// and aggregation walks rows/replications in fixed grid order, so the
+// SweepResult is bit-identical for any thread count, including 1.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "exp/thread_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcs::exp {
+
+/// Chain `coords` through splitmix64 starting from `base`: every
+/// coordinate permutes the state, so tasks that differ in any single
+/// coordinate (replication, load index, ...) get decorrelated seeds.
+[[nodiscard]] std::uint64_t derive_seed(
+    std::uint64_t base, std::initializer_list<std::uint64_t> coords);
+
+/// One grid point of the sweep, with every evaluated output attached.
+/// Latency fields are negative when the corresponding evaluator did not
+/// run (or no replication completed).
+struct SweepRow {
+  // Grid coordinates (indices into the ScenarioSpec lists) and their
+  // resolved values.
+  int system_idx = 0;
+  int flits_idx = 0;
+  int bytes_idx = 0;
+  int pattern_idx = 0;
+  int relay_idx = 0;
+  int flow_idx = 0;
+  int load_idx = 0;
+
+  std::string system_id;
+  std::string pattern_id;
+  int message_flits = 32;
+  double flit_bytes = 256;
+  sim::RelayMode relay = sim::RelayMode::kStoreForward;
+  sim::FlowControl flow = sim::FlowControl::kWormhole;
+  double lambda = 0.0;
+
+  // Analytical model outputs.
+  bool paper_run = false;
+  double paper_latency = -1.0;
+  bool paper_stable = false;
+  bool refined_run = false;
+  double refined_latency = -1.0;
+  bool refined_stable = false;
+  /// Saturation knee of this row's (system, params, pattern) group;
+  /// negative unless ScenarioSpec::find_knee was set.
+  double knee_lambda = -1.0;
+
+  // Simulation outputs, aggregated across replications.
+  bool sim_run = false;
+  int replications = 0;
+  int completed = 0;  ///< replications that reached steady completion
+  int saturated = 0;  ///< replications that hit a saturation cap
+  double sim_latency = -1.0;
+  double sim_ci = 0.0;  ///< 95% half-width (across reps, or batch means)
+  double sim_internal = -1.0;
+  double sim_external = -1.0;
+  double external_share = -1.0;
+  /// 0 steady, 1 saturated (no replication completed), 2 non-stationary
+  /// (CI comparable to the mean: load past the sustainable point).
+  int sim_state = 0;
+};
+
+struct SweepResult {
+  std::string name;
+  std::vector<SweepRow> rows;  ///< grid order (the spec's nesting order)
+  int threads = 0;
+  std::int64_t sim_tasks = 0;
+  double wall_seconds = 0.0;
+  /// Simulated rows whose sim_state != 0.
+  int saturated_points = 0;
+};
+
+struct SweepRunOptions {
+  /// Worker threads; < 1 selects ThreadPool::default_thread_count().
+  /// Ignored when `pool` is given.
+  int threads = 0;
+  /// Run on an existing pool instead of creating one.
+  ThreadPool* pool = nullptr;
+};
+
+class SweepRunner {
+ public:
+  /// Validates the spec (and each pattern against each system topology).
+  explicit SweepRunner(ScenarioSpec spec);
+
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+
+  /// Expand, execute, aggregate. Safe to call repeatedly; each call
+  /// returns an identical result for a given spec.
+  [[nodiscard]] SweepResult run(const SweepRunOptions& options = {}) const;
+
+ private:
+  ScenarioSpec spec_;
+};
+
+}  // namespace mcs::exp

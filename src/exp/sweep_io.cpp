@@ -1,0 +1,278 @@
+#include "exp/sweep_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace mcs::exp {
+
+const char* to_string(sim::RelayMode mode) {
+  switch (mode) {
+    case sim::RelayMode::kStoreForward: return "store_forward";
+    case sim::RelayMode::kCutThrough: return "cut_through";
+  }
+  return "?";
+}
+
+const char* to_string(sim::FlowControl flow) {
+  switch (flow) {
+    case sim::FlowControl::kWormhole: return "wormhole";
+    case sim::FlowControl::kStoreAndForward: return "store_and_forward";
+  }
+  return "?";
+}
+
+const char* pattern_kind_name(sim::PatternKind kind) {
+  switch (kind) {
+    case sim::PatternKind::kUniform: return "uniform";
+    case sim::PatternKind::kHotspot: return "hotspot";
+    case sim::PatternKind::kLocalFavor: return "local_favor";
+    case sim::PatternKind::kClusterPermutation: return "cluster_permutation";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string opt_num(bool present, double v, int precision) {
+  return present ? util::TextTable::num(v, precision) : std::string();
+}
+
+}  // namespace
+
+void write_csv(const SweepResult& result, const std::string& path) {
+  util::CsvWriter csv(
+      path, {"system", "message_flits", "flit_bytes", "pattern", "relay",
+             "flow", "lambda", "paper_latency", "paper_stable",
+             "refined_latency", "refined_stable", "knee_lambda",
+             "replications", "completed", "saturated", "sim_latency",
+             "sim_ci95", "sim_internal", "sim_external", "external_share",
+             "sim_state"});
+  for (const SweepRow& row : result.rows) {
+    csv.add_row({row.system_id, std::to_string(row.message_flits),
+                 util::TextTable::num(row.flit_bytes, 0), row.pattern_id,
+                 to_string(row.relay), to_string(row.flow),
+                 util::TextTable::sci(row.lambda, 6),
+                 opt_num(row.paper_run, row.paper_latency, 6),
+                 row.paper_run ? (row.paper_stable ? "1" : "0") : "",
+                 opt_num(row.refined_run, row.refined_latency, 6),
+                 row.refined_run ? (row.refined_stable ? "1" : "0") : "",
+                 opt_num(row.knee_lambda >= 0.0, row.knee_lambda, 8),
+                 std::to_string(row.replications),
+                 std::to_string(row.completed), std::to_string(row.saturated),
+                 opt_num(row.sim_run && row.completed > 0, row.sim_latency, 6),
+                 opt_num(row.sim_run && row.completed > 0, row.sim_ci, 6),
+                 opt_num(row.sim_run && row.completed > 0, row.sim_internal,
+                         6),
+                 opt_num(row.sim_run && row.completed > 0, row.sim_external,
+                         6),
+                 opt_num(row.external_share >= 0.0, row.external_share, 4),
+                 std::to_string(row.sim_state)});
+  }
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_field(std::ostream& out, const char* key, const std::string& value,
+                bool& first) {
+  if (!first) out << ",";
+  first = false;
+  out << "\"" << key << "\":\"" << json_escape(value) << "\"";
+}
+
+void json_field(std::ostream& out, const char* key, double value,
+                bool& first) {
+  if (!first) out << ",";
+  first = false;
+  // Unstable model predictions are infinite; JSON has no inf/nan.
+  if (std::isfinite(value))
+    out << "\"" << key << "\":" << value;
+  else
+    out << "\"" << key << "\":null";
+}
+
+void json_field(std::ostream& out, const char* key, std::int64_t value,
+                bool& first) {
+  if (!first) out << ",";
+  first = false;
+  out << "\"" << key << "\":" << value;
+}
+
+void json_field(std::ostream& out, const char* key, bool value, bool& first) {
+  if (!first) out << ",";
+  first = false;
+  out << "\"" << key << "\":" << (value ? "true" : "false");
+}
+
+}  // namespace
+
+void write_json(const SweepResult& result, std::ostream& out) {
+  out.precision(12);
+  out << "{\"name\":\"" << json_escape(result.name)
+      << "\",\"threads\":" << result.threads
+      << ",\"sim_tasks\":" << result.sim_tasks
+      << ",\"wall_seconds\":" << result.wall_seconds
+      << ",\"saturated_points\":" << result.saturated_points << ",\"rows\":[";
+  bool first_row = true;
+  for (const SweepRow& row : result.rows) {
+    if (!first_row) out << ",";
+    first_row = false;
+    out << "{";
+    bool first = true;
+    json_field(out, "system", row.system_id, first);
+    json_field(out, "message_flits",
+               static_cast<std::int64_t>(row.message_flits), first);
+    json_field(out, "flit_bytes", row.flit_bytes, first);
+    json_field(out, "pattern", row.pattern_id, first);
+    json_field(out, "relay", std::string(to_string(row.relay)), first);
+    json_field(out, "flow", std::string(to_string(row.flow)), first);
+    json_field(out, "lambda", row.lambda, first);
+    if (row.paper_run) {
+      json_field(out, "paper_latency", row.paper_latency, first);
+      json_field(out, "paper_stable", row.paper_stable, first);
+    }
+    if (row.refined_run) {
+      json_field(out, "refined_latency", row.refined_latency, first);
+      json_field(out, "refined_stable", row.refined_stable, first);
+    }
+    if (row.knee_lambda >= 0.0)
+      json_field(out, "knee_lambda", row.knee_lambda, first);
+    if (row.sim_run) {
+      json_field(out, "replications",
+                 static_cast<std::int64_t>(row.replications), first);
+      json_field(out, "completed", static_cast<std::int64_t>(row.completed),
+                 first);
+      json_field(out, "saturated", static_cast<std::int64_t>(row.saturated),
+                 first);
+      if (row.completed > 0) {
+        json_field(out, "sim_latency", row.sim_latency, first);
+        json_field(out, "sim_ci95", row.sim_ci, first);
+        json_field(out, "sim_internal", row.sim_internal, first);
+        json_field(out, "sim_external", row.sim_external, first);
+        if (row.external_share >= 0.0)
+          json_field(out, "external_share", row.external_share, first);
+      }
+      json_field(out, "sim_state", static_cast<std::int64_t>(row.sim_state),
+                 first);
+    }
+    out << "}";
+  }
+  out << "]}\n";
+}
+
+void write_json_file(const SweepResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("cannot open '" + path + "' for writing");
+  write_json(result, out);
+}
+
+util::TextTable to_table(const SweepResult& result) {
+  // Decide which coordinate columns vary across the sweep.
+  std::set<std::string> systems, patterns;
+  std::set<int> flits;
+  std::set<double> bytes;
+  std::set<int> relays, flows;
+  bool any_knee = false, any_paper = false, any_refined = false,
+       any_sim = false;
+  for (const SweepRow& row : result.rows) {
+    systems.insert(row.system_id);
+    patterns.insert(row.pattern_id);
+    flits.insert(row.message_flits);
+    bytes.insert(row.flit_bytes);
+    relays.insert(static_cast<int>(row.relay));
+    flows.insert(static_cast<int>(row.flow));
+    any_knee |= row.knee_lambda >= 0.0;
+    any_paper |= row.paper_run;
+    any_refined |= row.refined_run;
+    any_sim |= row.sim_run;
+  }
+
+  std::vector<std::string> headers;
+  if (systems.size() > 1) headers.push_back("system");
+  if (flits.size() > 1) headers.push_back("M");
+  if (bytes.size() > 1) headers.push_back("L_m");
+  if (patterns.size() > 1) headers.push_back("pattern");
+  if (relays.size() > 1) headers.push_back("relay");
+  if (flows.size() > 1) headers.push_back("flow");
+  headers.push_back("offered traffic");
+  if (any_paper) headers.push_back("analysis (paper)");
+  if (any_refined) headers.push_back("analysis (refined)");
+  if (any_knee) headers.push_back("knee lambda*");
+  if (any_sim) {
+    headers.push_back("simulation");
+    headers.push_back("sim 95% ci");
+  }
+
+  util::TextTable table(headers);
+  for (const SweepRow& row : result.rows) {
+    std::vector<std::string> cells;
+    if (systems.size() > 1) cells.push_back(row.system_id);
+    if (flits.size() > 1) cells.push_back(std::to_string(row.message_flits));
+    if (bytes.size() > 1)
+      cells.push_back(util::TextTable::num(row.flit_bytes, 0));
+    if (patterns.size() > 1) cells.push_back(row.pattern_id);
+    if (relays.size() > 1) cells.push_back(to_string(row.relay));
+    if (flows.size() > 1) cells.push_back(to_string(row.flow));
+    cells.push_back(util::TextTable::sci(row.lambda, 2));
+
+    auto model_cell = [](bool run, double latency, bool stable) {
+      if (!run) return std::string("-");
+      return stable ? util::TextTable::num(latency, 2)
+                    : std::string("saturated");
+    };
+    if (any_paper)
+      cells.push_back(model_cell(row.paper_run, row.paper_latency,
+                                 row.paper_stable));
+    if (any_refined)
+      cells.push_back(model_cell(row.refined_run, row.refined_latency,
+                                 row.refined_stable));
+    if (any_knee)
+      cells.push_back(row.knee_lambda >= 0.0
+                          ? util::TextTable::sci(row.knee_lambda, 2)
+                          : std::string("-"));
+    if (any_sim) {
+      if (!row.sim_run) {
+        cells.push_back("-");
+        cells.push_back("-");
+      } else if (row.sim_state == 1) {
+        cells.push_back("saturated");
+        cells.push_back("-");
+      } else {
+        cells.push_back(util::TextTable::num(row.sim_latency, 2) +
+                        (row.sim_state == 2 ? "*" : ""));
+        cells.push_back(util::TextTable::num(row.sim_ci, 2));
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+}  // namespace mcs::exp

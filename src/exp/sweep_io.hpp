@@ -1,0 +1,31 @@
+// Emission of SweepResults: CSV (via util/csv), JSON, and an aligned text
+// table (via util/table) for terminal reading.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "exp/sweep.hpp"
+#include "util/table.hpp"
+
+namespace mcs::exp {
+
+/// Human-readable names used in tables, CSV and JSON.
+[[nodiscard]] const char* to_string(sim::RelayMode mode);
+[[nodiscard]] const char* to_string(sim::FlowControl flow);
+[[nodiscard]] const char* pattern_kind_name(sim::PatternKind kind);
+
+/// One CSV row per SweepRow with the full coordinate + output schema
+/// (missing evaluations are empty cells).
+void write_csv(const SweepResult& result, const std::string& path);
+
+/// The same schema as a JSON document: {"name", "threads", "wall_seconds",
+/// "rows": [{...}, ...]}.
+void write_json(const SweepResult& result, std::ostream& out);
+void write_json_file(const SweepResult& result, const std::string& path);
+
+/// Render the rows as a text table. Coordinate columns that take a single
+/// value across the whole sweep are dropped to keep the table narrow.
+[[nodiscard]] util::TextTable to_table(const SweepResult& result);
+
+}  // namespace mcs::exp

@@ -1,40 +1,38 @@
 #include "sim/replication.hpp"
 
-#include <cmath>
-
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace mcs::sim {
 
-namespace {
-
-util::ConfidenceInterval across(const util::OnlineMoments& m) {
-  util::ConfidenceInterval ci;
-  ci.mean = m.mean();
-  if (m.count() >= 2) {
-    const double se = m.stddev() / std::sqrt(static_cast<double>(m.count()));
-    ci.half_width = util::student_t_975(m.count() - 1) * se;
-  }
-  return ci;
-}
-
-}  // namespace
-
 ReplicationResult run_replications(const topo::MultiClusterTopology& topology,
                                    const model::NetworkParams& params,
                                    double lambda_g, const SimConfig& base,
-                                   int replications) {
+                                   int replications, exp::ThreadPool* pool) {
   if (replications < 1)
     throw ConfigError("run_replications: need at least one replication");
 
+  // Each replication writes its own slot; aggregation below walks the
+  // slots in replication order, so the result does not depend on how the
+  // pool schedules the runs.
   ReplicationResult result;
-  util::OnlineMoments latency, internal, external;
-  for (int r = 0; r < replications; ++r) {
+  result.runs.resize(static_cast<std::size_t>(replications));
+
+  auto run_one = [&](std::int64_t r) {
     SimConfig cfg = base;
     cfg.seed = base.seed + static_cast<std::uint64_t>(r);
     Simulator simulator(topology, params, lambda_g, cfg);
-    SimResult run = simulator.run();
+    result.runs[static_cast<std::size_t>(r)] = simulator.run();
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(replications, run_one);
+  } else {
+    for (int r = 0; r < replications; ++r) run_one(r);
+  }
+
+  util::OnlineMoments latency, internal, external;
+  for (const SimResult& run : result.runs) {
     if (run.saturated) {
       ++result.saturated;
     } else {
@@ -43,11 +41,10 @@ ReplicationResult run_replications(const topo::MultiClusterTopology& topology,
       internal.add(run.internal_latency.mean);
       external.add(run.external_latency.mean);
     }
-    result.runs.push_back(std::move(run));
   }
-  result.latency = across(latency);
-  result.internal_latency = across(internal);
-  result.external_latency = across(external);
+  result.latency = util::t_interval(latency);
+  result.internal_latency = util::t_interval(internal);
+  result.external_latency = util::t_interval(external);
   return result;
 }
 

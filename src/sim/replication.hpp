@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "exp/thread_pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace mcs::sim {
@@ -24,10 +25,16 @@ struct ReplicationResult {
 
 /// Run `replications` independent simulations; replication r uses seed
 /// base.seed + r (each expands to a fully decorrelated stream set via
-/// splitmix64). Throws mcs::ConfigError for replications < 1.
+/// splitmix64). When `pool` is given, replications run concurrently on
+/// it; the result is bit-identical either way (per-replication seeds and
+/// ordered aggregation do not depend on scheduling). Must not be called
+/// with a pool from inside one of that pool's own tasks (it waits for
+/// the pool to drain — see ThreadPool::parallel_for). Throws
+/// mcs::ConfigError for replications < 1.
 [[nodiscard]] ReplicationResult run_replications(
     const topo::MultiClusterTopology& topology,
     const model::NetworkParams& params, double lambda_g,
-    const SimConfig& base, int replications);
+    const SimConfig& base, int replications,
+    exp::ThreadPool* pool = nullptr);
 
 }  // namespace mcs::sim

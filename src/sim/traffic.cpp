@@ -25,7 +25,27 @@ void TrafficPattern::validate(
               "TrafficPattern: kLocalFavor needs >= 2 nodes per cluster");
       }
       break;
+    case PatternKind::kClusterPermutation: {
+      const int c = topology.config().cluster_count();
+      if (cluster_shift % c == 0) {
+        // The permutation degenerates to "own cluster": sampling then
+        // needs a second node to exclude self.
+        for (int i = 0; i < c; ++i) {
+          if (topology.config().cluster_size(i) < 2)
+            throw ConfigError(
+                "TrafficPattern: kClusterPermutation with shift = 0 (mod C) "
+                "needs >= 2 nodes per cluster");
+        }
+      }
+      break;
+    }
   }
+}
+
+int TrafficPattern::shifted_cluster(int cluster, int cluster_count) const {
+  const int shift =
+      ((cluster_shift % cluster_count) + cluster_count) % cluster_count;
+  return (cluster + shift) % cluster_count;
 }
 
 double TrafficPattern::p_outgoing(const topo::MultiClusterTopology& topology,
@@ -46,6 +66,11 @@ double TrafficPattern::p_outgoing(const topo::MultiClusterTopology& topology,
           hot_cluster == cluster ? 0.0 : hotspot_fraction;
       return uniform_part + hotspot_part;
     }
+    case PatternKind::kClusterPermutation:
+      // Every message goes to the shifted cluster: external unless the
+      // shift is the identity permutation.
+      return shifted_cluster(cluster, cfg.cluster_count()) == cluster ? 0.0
+                                                                      : 1.0;
   }
   MCS_ASSERT(false);
   return 0.0;
@@ -97,6 +122,22 @@ std::int64_t DestinationSampler::sample(std::int64_t src_global,
           rng.next_below(static_cast<std::uint64_t>(total_nodes_ - ni)));
       if (out >= first) out += ni;  // skip the whole own-cluster id range
       return out;
+    }
+
+    case PatternKind::kClusterPermutation: {
+      const auto& cfg = topology_.config();
+      const int dst_cluster =
+          pattern_.shifted_cluster(src_cluster, cfg.cluster_count());
+      const std::int64_t nv = cfg.cluster_size(dst_cluster);
+      const std::int64_t first = topology_.global_id(dst_cluster, 0);
+      if (dst_cluster != src_cluster)
+        return first + static_cast<std::int64_t>(
+                           rng.next_below(static_cast<std::uint64_t>(nv)));
+      // Identity shift: uniform over the own cluster excluding self.
+      auto offset = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(nv - 1)));
+      if (first + offset >= src_global) ++offset;
+      return first + offset;
     }
   }
   MCS_ASSERT(false);

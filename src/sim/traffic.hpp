@@ -12,9 +12,14 @@
 namespace mcs::sim {
 
 enum class PatternKind : std::uint8_t {
-  kUniform,    ///< destination uniform over the other N-1 nodes (paper)
-  kHotspot,    ///< with probability `hotspot_fraction` target one node
-  kLocalFavor  ///< fix P(internal) = `local_fraction`, uniform within class
+  kUniform,     ///< destination uniform over the other N-1 nodes (paper)
+  kHotspot,     ///< with probability `hotspot_fraction` target one node
+  kLocalFavor,  ///< fix P(internal) = `local_fraction`, uniform within class
+  /// Tornado-style cluster permutation: every message from cluster i
+  /// targets cluster (i + cluster_shift) mod C, uniform over that
+  /// cluster's nodes. Stresses the ICN2 with a fixed cluster-to-cluster
+  /// permutation instead of the paper's uniform spread.
+  kClusterPermutation,
 };
 
 struct TrafficPattern {
@@ -22,6 +27,7 @@ struct TrafficPattern {
   double hotspot_fraction = 0.1;
   std::int64_t hotspot_node = 0;  ///< global node id
   double local_fraction = 0.5;    ///< P(destination inside own cluster)
+  int cluster_shift = 1;          ///< kClusterPermutation offset
 
   void validate(const topo::MultiClusterTopology& topology) const;
 
@@ -29,6 +35,10 @@ struct TrafficPattern {
   /// the generalization of Eq. (13) the analytical model consumes.
   [[nodiscard]] double p_outgoing(const topo::MultiClusterTopology& topology,
                                   int cluster) const;
+
+  /// kClusterPermutation target: (cluster + cluster_shift) mod C, with the
+  /// shift normalized into [0, C).
+  [[nodiscard]] int shifted_cluster(int cluster, int cluster_count) const;
 };
 
 /// Draws destinations for one source node. Stateless apart from the RNG.

@@ -53,6 +53,17 @@ double student_t_975(std::uint64_t df) {
   return 1.960;
 }
 
+ConfidenceInterval t_interval(const OnlineMoments& moments) {
+  ConfidenceInterval ci;
+  ci.mean = moments.mean();
+  if (moments.count() >= 2) {
+    const double se =
+        moments.stddev() / std::sqrt(static_cast<double>(moments.count()));
+    ci.half_width = student_t_975(moments.count() - 1) * se;
+  }
+  return ci;
+}
+
 BatchMeans::BatchMeans(std::size_t batch_size) : batch_size_(batch_size) {
   MCS_EXPECTS(batch_size > 0);
 }

@@ -47,6 +47,10 @@ struct ConfidenceInterval {
   }
 };
 
+/// 95% Student-t CI of the mean of the accumulated samples (half-width 0
+/// with fewer than two). Used across independent replication means.
+[[nodiscard]] ConfidenceInterval t_interval(const OnlineMoments& moments);
+
 /// Batch-means estimator: feeds observations into fixed-size batches and
 /// derives a CI from the batch averages, absorbing serial correlation of
 /// successive message latencies.

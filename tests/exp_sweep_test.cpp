@@ -1,0 +1,214 @@
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep_io.hpp"
+#include "util/error.hpp"
+
+namespace mcs::exp {
+namespace {
+
+ScenarioSpec tiny_spec() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.systems.push_back({"h1x2", topo::SystemConfig::homogeneous(4, 1, 2)});
+  spec.message_flits = {32};
+  spec.flit_bytes = {256};
+  PatternEntry tornado{"tornado", {}};
+  tornado.pattern.kind = sim::PatternKind::kClusterPermutation;
+  spec.patterns.push_back({"uniform", sim::TrafficPattern{}});
+  spec.patterns.push_back(tornado);
+  spec.loads = {5e-4, 1e-3};
+  spec.replications = 2;
+  spec.warmup = 200;
+  spec.measured = 2'000;
+  spec.find_knee = true;
+  return spec;
+}
+
+// Field-by-field bitwise comparison: the thread-count invariance contract
+// is "identical", not "close".
+void expect_rows_identical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    const SweepRow& x = a.rows[i];
+    const SweepRow& y = b.rows[i];
+    EXPECT_EQ(x.system_id, y.system_id) << "row " << i;
+    EXPECT_EQ(x.pattern_id, y.pattern_id) << "row " << i;
+    EXPECT_EQ(x.message_flits, y.message_flits) << "row " << i;
+    EXPECT_EQ(x.flit_bytes, y.flit_bytes) << "row " << i;
+    EXPECT_EQ(x.lambda, y.lambda) << "row " << i;
+    EXPECT_EQ(x.paper_run, y.paper_run) << "row " << i;
+    EXPECT_EQ(x.paper_latency, y.paper_latency) << "row " << i;
+    EXPECT_EQ(x.paper_stable, y.paper_stable) << "row " << i;
+    EXPECT_EQ(x.refined_run, y.refined_run) << "row " << i;
+    EXPECT_EQ(x.refined_latency, y.refined_latency) << "row " << i;
+    EXPECT_EQ(x.refined_stable, y.refined_stable) << "row " << i;
+    EXPECT_EQ(x.knee_lambda, y.knee_lambda) << "row " << i;
+    EXPECT_EQ(x.sim_run, y.sim_run) << "row " << i;
+    EXPECT_EQ(x.replications, y.replications) << "row " << i;
+    EXPECT_EQ(x.completed, y.completed) << "row " << i;
+    EXPECT_EQ(x.saturated, y.saturated) << "row " << i;
+    EXPECT_EQ(x.sim_latency, y.sim_latency) << "row " << i;
+    EXPECT_EQ(x.sim_ci, y.sim_ci) << "row " << i;
+    EXPECT_EQ(x.sim_internal, y.sim_internal) << "row " << i;
+    EXPECT_EQ(x.sim_external, y.sim_external) << "row " << i;
+    EXPECT_EQ(x.external_share, y.external_share) << "row " << i;
+    EXPECT_EQ(x.sim_state, y.sim_state) << "row " << i;
+  }
+}
+
+TEST(DeriveSeed, DeterministicAndCoordinateSensitive) {
+  EXPECT_EQ(derive_seed(7, {1, 2, 3}), derive_seed(7, {1, 2, 3}));
+  EXPECT_NE(derive_seed(7, {1, 2, 3}), derive_seed(8, {1, 2, 3}));
+  EXPECT_NE(derive_seed(7, {1, 2, 3}), derive_seed(7, {1, 2, 4}));
+  EXPECT_NE(derive_seed(7, {1, 2}), derive_seed(7, {2, 1}));
+  EXPECT_NE(derive_seed(7, {0}), derive_seed(7, {}));
+
+  // Adjacent coordinates must produce well-spread seeds (they feed
+  // independent replications of the same operating point).
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t rep = 0; rep < 1000; ++rep)
+    seeds.insert(derive_seed(7, {0, 0, 0, rep}));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(SweepRunner, ResultIsIdenticalForOneAndManyThreads) {
+  const SweepRunner runner(tiny_spec());
+  SweepRunOptions one;
+  one.threads = 1;
+  SweepRunOptions many;
+  many.threads = 8;
+  const SweepResult a = runner.run(one);
+  const SweepResult b = runner.run(many);
+  EXPECT_EQ(a.threads, 1);
+  EXPECT_EQ(b.threads, 8);
+  expect_rows_identical(a, b);
+
+  // And a re-run with the same thread count reproduces itself.
+  const SweepResult c = runner.run(many);
+  expect_rows_identical(b, c);
+}
+
+TEST(SweepRunner, GridExpansionMatchesSpec) {
+  const ScenarioSpec spec = tiny_spec();
+  const SweepRunner runner(spec);
+  const SweepResult result = runner.run();
+  ASSERT_EQ(result.rows.size(), static_cast<std::size_t>(spec.grid_size()));
+  EXPECT_EQ(result.sim_tasks,
+            spec.grid_size() * static_cast<std::int64_t>(spec.replications));
+
+  // Row order is the spec's nesting order: pattern-major over loads here.
+  EXPECT_EQ(result.rows[0].pattern_id, "uniform");
+  EXPECT_EQ(result.rows[0].lambda, 5e-4);
+  EXPECT_EQ(result.rows[1].pattern_id, "uniform");
+  EXPECT_EQ(result.rows[1].lambda, 1e-3);
+  EXPECT_EQ(result.rows[2].pattern_id, "tornado");
+
+  for (const SweepRow& row : result.rows) {
+    EXPECT_TRUE(row.paper_run);
+    EXPECT_TRUE(row.refined_run);
+    EXPECT_GT(row.knee_lambda, 0.0);
+    EXPECT_TRUE(row.sim_run);
+    EXPECT_EQ(row.completed + row.saturated, 2);
+    if (row.completed > 0) {
+      EXPECT_GT(row.sim_latency, 0.0);
+      EXPECT_GE(row.external_share, 0.0);
+    }
+  }
+  // The tornado pattern sends everything across the ICN2.
+  EXPECT_EQ(result.rows[2].external_share, 1.0);
+}
+
+TEST(SweepRunner, SharedExternalPoolWorks) {
+  ThreadPool pool(2);
+  const SweepRunner runner(tiny_spec());
+  SweepRunOptions options;
+  options.pool = &pool;
+  const SweepResult result = runner.run(options);
+  EXPECT_EQ(result.threads, 2);
+  SweepRunOptions one;
+  one.threads = 1;
+  expect_rows_identical(result, runner.run(one));
+}
+
+TEST(SweepRunner, RejectsInvalidSpecs) {
+  ScenarioSpec spec = tiny_spec();
+  spec.loads.clear();
+  EXPECT_THROW(SweepRunner{spec}, ConfigError);
+
+  // Pattern/topology mismatch caught at construction, not in a worker.
+  ScenarioSpec bad_pattern = tiny_spec();
+  bad_pattern.patterns[0].pattern.kind = sim::PatternKind::kHotspot;
+  bad_pattern.patterns[0].pattern.hotspot_node = 10'000;  // out of range
+  EXPECT_THROW(SweepRunner{bad_pattern}, ConfigError);
+}
+
+TEST(SweepRunner, JsonStaysParseableWhenModelsSaturate) {
+  ScenarioSpec spec = tiny_spec();
+  spec.run_sim = false;
+  spec.loads = {1.0};  // far past saturation: predictions are infinite
+  const SweepResult result = SweepRunner(spec).run();
+  ASSERT_FALSE(result.rows[0].paper_stable);
+  std::ostringstream out;
+  write_json(result, out);
+  const std::string json = out.str();
+  // JSON has no inf/nan literals; unstable latencies must emit null.
+  EXPECT_EQ(json.find(":inf"), std::string::npos);
+  EXPECT_EQ(json.find(":nan"), std::string::npos);
+  EXPECT_NE(json.find(":null"), std::string::npos);
+}
+
+TEST(SweepRunner, ModelsOnlySweepSkipsSimulation) {
+  ScenarioSpec spec = tiny_spec();
+  spec.run_sim = false;
+  const SweepResult result = SweepRunner(spec).run();
+  EXPECT_EQ(result.sim_tasks, 0);
+  for (const SweepRow& row : result.rows) {
+    EXPECT_FALSE(row.sim_run);
+    EXPECT_TRUE(row.paper_run);
+  }
+}
+
+// Acceptance check for the Fig. 3 sweep: 8 workers must beat 1 worker by
+// > 3x. Only meaningful on hardware that can actually run 8 threads, so
+// it skips elsewhere (the thread-count *invariance* tests above run
+// everywhere and do not depend on physical parallelism).
+TEST(SweepRunner, SpeedupOnFig3SweepWithEightThreads) {
+  if (std::thread::hardware_concurrency() < 8)
+    GTEST_SKIP() << "needs >= 8 hardware threads, have "
+                 << std::thread::hardware_concurrency();
+
+  ScenarioSpec spec;
+  spec.name = "fig3_m32_speedup";
+  spec.systems.push_back({"org_a", topo::SystemConfig::table1_org_a()});
+  spec.message_flits = {32};
+  spec.flit_bytes = {256, 512};
+  for (int i = 1; i <= 10; ++i) spec.loads.push_back(0.5e-4 * i);
+  spec.run_paper_model = false;
+  spec.run_refined_model = false;
+  spec.warmup = 500;
+  spec.measured = 5'000;
+  const SweepRunner runner(spec);
+
+  SweepRunOptions one;
+  one.threads = 1;
+  SweepRunOptions eight;
+  eight.threads = 8;
+  // Order: parallel first so any OS-level warmup penalizes the baseline,
+  // not the measurement.
+  const SweepResult par = runner.run(eight);
+  const SweepResult ser = runner.run(one);
+  expect_rows_identical(ser, par);
+  const double speedup = ser.wall_seconds / par.wall_seconds;
+  EXPECT_GT(speedup, 3.0) << "1 thread: " << ser.wall_seconds
+                          << "s, 8 threads: " << par.wall_seconds << "s";
+}
+
+}  // namespace
+}  // namespace mcs::exp

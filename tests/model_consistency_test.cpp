@@ -82,9 +82,10 @@ TEST_P(ModelConsistency, RefinedAlwaysAtLeastPaperAtEqualLoad) {
         frac / (bound * params.message_flits * params.t_cs());
     const auto pp = paper.predict(lambda);
     const auto rp = refined.predict(lambda);
-    if (pp.stable && rp.stable)
+    if (pp.stable && rp.stable) {
       EXPECT_GE(rp.mean_latency, pp.mean_latency - 1e-9)
           << c.name << " at fraction " << frac;
+    }
   }
 }
 

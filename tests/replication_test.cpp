@@ -70,6 +70,22 @@ TEST_F(ReplicationTest, SaturatedRunsAreCountedNotAveraged) {
   EXPECT_DOUBLE_EQ(result.latency.mean, 0.0);
 }
 
+TEST_F(ReplicationTest, PoolDispatchMatchesSerialBitForBit) {
+  const auto serial = run_replications(topo_, params_, 1e-4, small(), 4);
+  exp::ThreadPool pool(3);
+  const auto pooled =
+      run_replications(topo_, params_, 1e-4, small(), 4, &pool);
+  EXPECT_EQ(pooled.completed, serial.completed);
+  EXPECT_EQ(pooled.saturated, serial.saturated);
+  EXPECT_EQ(pooled.latency.mean, serial.latency.mean);
+  EXPECT_EQ(pooled.latency.half_width, serial.latency.half_width);
+  EXPECT_EQ(pooled.internal_latency.mean, serial.internal_latency.mean);
+  EXPECT_EQ(pooled.external_latency.mean, serial.external_latency.mean);
+  ASSERT_EQ(pooled.runs.size(), serial.runs.size());
+  for (std::size_t r = 0; r < pooled.runs.size(); ++r)
+    EXPECT_EQ(pooled.runs[r].latency.mean, serial.runs[r].latency.mean);
+}
+
 TEST_F(ReplicationTest, RejectsZeroReplications) {
   EXPECT_THROW(run_replications(topo_, params_, 1e-4, small(), 0),
                ConfigError);

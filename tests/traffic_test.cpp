@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -106,6 +108,93 @@ TEST_F(TrafficTest, LocalFavorExternalDrawsSkipOwnCluster) {
   for (int i = 0; i < 20000; ++i) {
     const std::int64_t d = sampler.sample(2, 0, rng);
     EXPECT_NE(topo_.locate(d).first, 0);
+  }
+}
+
+TEST_F(TrafficTest, ClusterPermutationTargetsShiftedCluster) {
+  TrafficPattern pattern;
+  pattern.kind = PatternKind::kClusterPermutation;
+  pattern.cluster_shift = 1;
+  DestinationSampler sampler(topo_, pattern);
+  util::Rng rng(6);
+  const int clusters = topo_.config().cluster_count();
+  for (int src_cluster = 0; src_cluster < clusters; ++src_cluster) {
+    const std::int64_t src = topo_.global_id(src_cluster, 0);
+    std::map<std::int64_t, int> counts;
+    for (int i = 0; i < 8000; ++i) {
+      const std::int64_t d = sampler.sample(src, src_cluster, rng);
+      EXPECT_EQ(topo_.locate(d).first, (src_cluster + 1) % clusters);
+      ++counts[d];
+    }
+    // Uniform over the whole target cluster.
+    EXPECT_EQ(counts.size(), static_cast<std::size_t>(
+                                 topo_.config().cluster_size(src_cluster)));
+  }
+  EXPECT_NEAR(pattern.p_outgoing(topo_, 0), 1.0, 1e-15);
+}
+
+TEST_F(TrafficTest, ClusterPermutationNegativeShiftWrapsAround) {
+  TrafficPattern pattern;
+  pattern.kind = PatternKind::kClusterPermutation;
+  pattern.cluster_shift = -1;  // normalized to C - 1
+  const int clusters = topo_.config().cluster_count();
+  EXPECT_EQ(pattern.shifted_cluster(0, clusters), clusters - 1);
+  DestinationSampler sampler(topo_, pattern);
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i)
+    EXPECT_EQ(topo_.locate(sampler.sample(0, 0, rng)).first, clusters - 1);
+}
+
+TEST_F(TrafficTest, ClusterPermutationIdentityShiftStaysInternal) {
+  TrafficPattern pattern;
+  pattern.kind = PatternKind::kClusterPermutation;
+  pattern.cluster_shift = topo_.config().cluster_count();  // identity
+  DestinationSampler sampler(topo_, pattern);
+  util::Rng rng(8);
+  const std::int64_t src = topo_.global_id(1, 2);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t d = sampler.sample(src, 1, rng);
+    EXPECT_NE(d, src);
+    EXPECT_EQ(topo_.locate(d).first, 1);
+  }
+  EXPECT_NEAR(pattern.p_outgoing(topo_, 1), 0.0, 1e-15);
+}
+
+// DestinationSampler and the analytical p_outgoing must agree for every
+// pattern kind: the sampler drives the simulator while p_outgoing drives
+// the models, and a mismatch silently skews any model/sim comparison.
+TEST_F(TrafficTest, SamplerMatchesPOutgoingForAllPatternKinds) {
+  std::vector<TrafficPattern> patterns(4);
+  patterns[0].kind = PatternKind::kUniform;
+  patterns[1].kind = PatternKind::kHotspot;
+  patterns[1].hotspot_fraction = 0.2;
+  patterns[1].hotspot_node = topo_.global_id(2, 1);
+  patterns[2].kind = PatternKind::kLocalFavor;
+  patterns[2].local_fraction = 0.35;
+  patterns[3].kind = PatternKind::kClusterPermutation;
+  patterns[3].cluster_shift = 2;
+
+  constexpr int kDraws = 60000;
+  util::Rng rng(9);
+  for (const TrafficPattern& pattern : patterns) {
+    DestinationSampler sampler(topo_, pattern);
+    for (int cluster = 0; cluster < topo_.config().cluster_count();
+         ++cluster) {
+      const std::int64_t src = topo_.global_id(cluster, 0);
+      int external = 0;
+      for (int i = 0; i < kDraws; ++i)
+        external += topo_.locate(sampler.sample(src, cluster, rng)).first !=
+                    cluster;
+      const double expected = pattern.p_outgoing(topo_, cluster);
+      // 4-sigma band around the binomial expectation (plus an epsilon so
+      // degenerate 0/1 probabilities compare exactly).
+      const double sigma =
+          std::sqrt(std::max(expected * (1.0 - expected), 1e-12) / kDraws);
+      EXPECT_NEAR(external / static_cast<double>(kDraws), expected,
+                  4.0 * sigma + 1e-9)
+          << "pattern kind " << static_cast<int>(pattern.kind)
+          << ", cluster " << cluster;
+    }
   }
 }
 
