@@ -19,6 +19,12 @@
 //   --no-sim          models only (fast, deterministic)
 //   --knee            add the model saturation-knee column
 //   --quiet           suppress the table (summary only)
+//   --icn2=KIND       force every system's ICN2 topology
+//                     (fat_tree | torus | mesh | dragonfly | random)
+//   --icn2-degree=D --icn2-switches=S --icn2-seed=X  its parameters
+//
+// An unknown scenario name fails with closest-match suggestions over the
+// bundled and on-disk scenario names.
 //
 // Results are bit-identical for any --threads value, including 1: every
 // simulation task derives its seed from the scenario seed and its grid
@@ -51,6 +57,22 @@ int list_scenarios() {
   return 0;
 }
 
+/// Scenario names a bare argument could have meant: the bundled
+/// scenarios/ directory plus any .ini files in the working directory.
+std::vector<std::string> known_scenario_names() {
+  std::vector<std::string> names;
+  for (const std::string& dir :
+       {mcs::exp::default_scenario_dir(), std::string(".")}) {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec))
+      if (entry.path().extension() == ".ini")
+        names.push_back(entry.path().stem().string());
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
 std::string resolve_scenario_path(const std::string& arg) {
   const bool looks_like_path =
       arg.find('/') != std::string::npos ||
@@ -59,8 +81,40 @@ std::string resolve_scenario_path(const std::string& arg) {
     const fs::path candidate =
         fs::path(mcs::exp::default_scenario_dir()) / (arg + ".ini");
     if (fs::exists(candidate)) return candidate.string();
+    if (fs::exists(arg + ".ini")) return arg + ".ini";
+    std::string message = "unknown scenario '" + arg + "'";
+    const std::vector<std::string> close =
+        mcs::util::closest_matches(arg, known_scenario_names());
+    if (!close.empty()) {
+      message += "; did you mean";
+      for (std::size_t i = 0; i < close.size(); ++i)
+        message += (i == 0 ? " '" : ", '") + close[i] + "'";
+      message += "?";
+    }
+    message += " (mcs_sweep --list shows all scenarios)";
+    throw mcs::ConfigError(message);
   }
   return arg;  // load_scenario reports unreadable paths
+}
+
+/// Apply the --icn2* flag overrides to every [system] in the spec.
+void apply_icn2_overrides(const mcs::util::Args& args,
+                          mcs::exp::ScenarioSpec& spec) {
+  const std::string kind = args.get("icn2", "");
+  const long degree = args.get_int("icn2-degree", -1);
+  const long switches = args.get_int("icn2-switches", -1);
+  const long seed = args.get_int("icn2-seed", -1);
+  if (kind.empty() && degree < 0 && switches < 0 && seed < 0) return;
+
+  for (mcs::exp::SystemEntry& system : spec.systems) {
+    mcs::topo::Icn2Config& icn2 = system.config.icn2;
+    if (!kind.empty() &&
+        !mcs::topo::parse_icn2_kind(kind, icn2.kind, icn2.torus_wrap))
+      throw mcs::ConfigError("--icn2: unknown kind '" + kind + "'");
+    if (degree >= 0) icn2.degree = static_cast<int>(degree);
+    if (switches >= 0) icn2.switches = static_cast<int>(switches);
+    if (seed >= 0) icn2.seed = static_cast<std::uint64_t>(seed);
+  }
 }
 
 }  // namespace
@@ -94,6 +148,7 @@ int main(int argc, char** argv) {
     spec.measured = args.get_int("measured", spec.measured);
     if (args.get_flag("no-sim")) spec.run_sim = false;
     if (args.get_flag("knee")) spec.find_knee = true;
+    apply_icn2_overrides(args, spec);
 
     mcs::exp::SweepRunner runner(std::move(spec));
     mcs::exp::SweepRunOptions options;

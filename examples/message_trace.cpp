@@ -60,7 +60,7 @@ SegmentTiming time_segment(const std::vector<double>& service, int flits,
   return t;
 }
 
-void print_segment(const char* title, const mcs::topo::FatTree& tree,
+void print_segment(const char* title, const mcs::topo::Network& tree,
                    mcs::topo::EndpointId src, mcs::topo::EndpointId dst,
                    const mcs::model::NetworkParams& params, double& clock) {
   const auto path = tree.route(src, dst);

@@ -21,6 +21,7 @@
 #include "exp/sweep_io.hpp"
 #include "exp/thread_pool.hpp"
 #include "model/bottleneck.hpp"
+#include "model/graph_load.hpp"
 #include "model/icn2_funnel.hpp"
 #include "model/latency.hpp"
 #include "model/mg1.hpp"
@@ -35,9 +36,14 @@
 #include "sim/replication.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
+#include "topology/dragonfly.hpp"
 #include "topology/fat_tree.hpp"
+#include "topology/graph.hpp"
 #include "topology/multi_cluster.hpp"
+#include "topology/network.hpp"
+#include "topology/random_regular.hpp"
 #include "topology/routing.hpp"
+#include "topology/torus.hpp"
 #include "topology/tree_math.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"

@@ -87,28 +87,75 @@ struct SystemDraft {
   int height = 0;
   int clusters = 0;
   std::vector<int> heights;
+  topo::Icn2Config icn2;
+  /// An explicit icn2_wrap wins over the wrap implied by
+  /// `icn2 = torus|mesh`, regardless of key order.
+  bool wrap_set = false;
+  bool wrap_value = true;
+  bool seed_set = false;
 };
+
+/// A knob the selected ICN2 kind never reads is a silent no-op — the
+/// author believes they shaped the topology. Fail loudly instead.
+void check_icn2_params(const std::string& source, const SystemDraft& d) {
+  const topo::Icn2Config& icn2 = d.icn2;
+  auto reject = [&](const char* key) {
+    fail(source, d.line,
+         "[system " + d.id + "]: " + key + " has no effect with icn2 = " +
+             std::string(icn2.label()));
+  };
+  const bool torus_shape = icn2.torus_rows > 0 || icn2.torus_cols > 0;
+  switch (icn2.kind) {
+    case topo::Icn2Kind::kFatTree:
+      if (icn2.switches > 0) reject("icn2_switches");
+      if (torus_shape) reject("icn2_rows/icn2_cols");
+      if (d.wrap_set) reject("icn2_wrap");
+      if (icn2.degree > 0) reject("icn2_degree");
+      if (d.seed_set) reject("icn2_seed");
+      break;
+    case topo::Icn2Kind::kTorus:
+      if (icn2.degree > 0) reject("icn2_degree");
+      if (d.seed_set) reject("icn2_seed");
+      break;
+    case topo::Icn2Kind::kDragonfly:
+      if (icn2.switches > 0) reject("icn2_switches");
+      if (torus_shape) reject("icn2_rows/icn2_cols");
+      if (d.wrap_set) reject("icn2_wrap");
+      if (d.seed_set) reject("icn2_seed");
+      break;
+    case topo::Icn2Kind::kRandomRegular:
+      if (torus_shape) reject("icn2_rows/icn2_cols");
+      if (d.wrap_set) reject("icn2_wrap");
+      break;
+  }
+}
 
 topo::SystemConfig finish_system(const std::string& source,
                                  const SystemDraft& d) {
-  if (d.preset == "table1_org_a") return topo::SystemConfig::table1_org_a();
-  if (d.preset == "table1_org_b") return topo::SystemConfig::table1_org_b();
-  if (d.preset == "homogeneous") {
+  topo::SystemConfig config;
+  if (d.preset == "table1_org_a") {
+    config = topo::SystemConfig::table1_org_a();
+  } else if (d.preset == "table1_org_b") {
+    config = topo::SystemConfig::table1_org_b();
+  } else if (d.preset == "homogeneous") {
     if (d.m <= 0 || d.height <= 0 || d.clusters <= 0)
       fail(source, d.line,
            "[system " + d.id +
                "]: preset homogeneous needs m, height and clusters");
-    return topo::SystemConfig::homogeneous(d.m, d.height, d.clusters);
-  }
-  if (!d.preset.empty())
+    config = topo::SystemConfig::homogeneous(d.m, d.height, d.clusters);
+  } else if (!d.preset.empty()) {
     fail(source, d.line,
          "[system " + d.id + "]: unknown preset '" + d.preset + "'");
-  if (d.m <= 0 || d.heights.empty())
-    fail(source, d.line,
-         "[system " + d.id + "]: need either a preset or m plus heights");
-  topo::SystemConfig config;
-  config.m = d.m;
-  config.cluster_heights = d.heights;
+  } else {
+    if (d.m <= 0 || d.heights.empty())
+      fail(source, d.line,
+           "[system " + d.id + "]: need either a preset or m plus heights");
+    config.m = d.m;
+    config.cluster_heights = d.heights;
+  }
+  check_icn2_params(source, d);
+  config.icn2 = d.icn2;
+  if (d.wrap_set) config.icn2.torus_wrap = d.wrap_value;
   return config;
 }
 
@@ -339,6 +386,29 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
           for (const std::string& v : split_list(value))
             system.heights.push_back(
                 static_cast<int>(parse_int(source, line_no, v)));
+        } else if (key == "icn2") {
+          if (!topo::parse_icn2_kind(value, system.icn2.kind,
+                                     system.icn2.torus_wrap))
+            fail(source, line_no, "unknown icn2 kind '" + value + "'");
+        } else if (key == "icn2_switches") {
+          system.icn2.switches =
+              static_cast<int>(parse_int(source, line_no, value));
+        } else if (key == "icn2_rows") {
+          system.icn2.torus_rows =
+              static_cast<int>(parse_int(source, line_no, value));
+        } else if (key == "icn2_cols") {
+          system.icn2.torus_cols =
+              static_cast<int>(parse_int(source, line_no, value));
+        } else if (key == "icn2_wrap") {
+          system.wrap_set = true;
+          system.wrap_value = parse_bool(source, line_no, value);
+        } else if (key == "icn2_degree") {
+          system.icn2.degree =
+              static_cast<int>(parse_int(source, line_no, value));
+        } else if (key == "icn2_seed") {
+          system.seed_set = true;
+          system.icn2.seed =
+              static_cast<std::uint64_t>(parse_int(source, line_no, value));
         } else {
           fail(source, line_no, "unknown [system] key '" + key + "'");
         }

@@ -28,7 +28,10 @@
 //
 // `[system <id>]` sections accept either `preset = table1_org_a |
 // table1_org_b`, `preset = homogeneous` with `m/height/clusters`, or an
-// explicit `m` + `heights = n1, n2, ...` list. `[pattern <id>]` sections
+// explicit `m` + `heights = n1, n2, ...` list; any form may add an ICN2
+// topology override `icn2 = fat_tree | torus | mesh | dragonfly | random`
+// with its parameters (`icn2_switches`, `icn2_rows`/`icn2_cols`,
+// `icn2_wrap`, `icn2_degree`, `icn2_seed`). `[pattern <id>]` sections
 // accept `kind = uniform | hotspot | local_favor | cluster_permutation`
 // plus the kind's parameters (`hotspot_fraction`, `hotspot_node`,
 // `local_fraction`, `cluster_shift`). `loads`/`load_grid` lines may

@@ -29,14 +29,18 @@ std::uint64_t derive_seed(std::uint64_t base,
 
 namespace {
 
-// One (system, message_flits, flit_bytes, pattern) combination: the
+// One (system, message_flits, flit_bytes, pattern, flow) combination: the
 // analytical models and the knee depend on exactly these dimensions, so
-// they are evaluated once per group and fanned out to the group's rows.
+// they are evaluated once per group and fanned out to the group's rows
+// (the flow dimension entered when the refined model became
+// flow-control-aware).
 struct ModelGroup {
   int system_idx = 0;
   model::NetworkParams params;
+  sim::FlowControl flow = sim::FlowControl::kWormhole;
   std::vector<double> p_out_override;  ///< empty for uniform traffic
-  bool model_supported = true;  ///< cluster-symmetric pattern?
+  bool refined_supported = true;  ///< cluster-symmetric pattern?
+  bool paper_supported = true;    ///< also needs a fat-tree ICN2
   std::vector<std::size_t> row_indices;
 };
 
@@ -78,7 +82,7 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
   result.name = spec_.name;
   result.rows.reserve(static_cast<std::size_t>(spec_.grid_size()));
 
-  std::map<std::tuple<int, int, int, int>, std::size_t> group_of;
+  std::map<std::tuple<int, int, int, int, int>, std::size_t> group_of;
   std::vector<ModelGroup> groups;
 
   for (int sys = 0; sys < static_cast<int>(spec_.systems.size()); ++sys) {
@@ -101,6 +105,8 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
                 row.load_idx = li;
                 row.system_id = spec_.systems[static_cast<std::size_t>(sys)].id;
                 row.pattern_id = patterns[static_cast<std::size_t>(pi)].id;
+                row.icn2_kind = spec_.systems[static_cast<std::size_t>(sys)]
+                                    .config.icn2.label();
                 row.message_flits =
                     spec_.message_flits[static_cast<std::size_t>(fi)];
                 row.flit_bytes = spec_.flit_bytes[static_cast<std::size_t>(bi)];
@@ -108,7 +114,7 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
                 row.flow = spec_.flow_controls[static_cast<std::size_t>(wi)];
                 row.lambda = spec_.loads[static_cast<std::size_t>(li)];
 
-                const auto key = std::make_tuple(sys, fi, bi, pi);
+                const auto key = std::make_tuple(sys, fi, bi, pi, wi);
                 auto [it, inserted] =
                     group_of.try_emplace(key, groups.size());
                 if (inserted) {
@@ -117,11 +123,18 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
                   group.params = spec_.base_params;
                   group.params.message_flits = row.message_flits;
                   group.params.flit_bytes = row.flit_bytes;
+                  group.flow = row.flow;
                   const sim::TrafficPattern& pattern =
                       patterns[static_cast<std::size_t>(pi)].pattern;
-                  group.model_supported = pattern_model_supported(pattern);
+                  group.refined_supported = pattern_model_supported(pattern);
+                  // The paper-literal model is tree- and wormhole-only.
+                  group.paper_supported =
+                      group.refined_supported &&
+                      spec_.systems[static_cast<std::size_t>(sys)]
+                              .config.icn2.kind == topo::Icn2Kind::kFatTree &&
+                      row.flow == sim::FlowControl::kWormhole;
                   if (pattern.kind != sim::PatternKind::kUniform &&
-                      group.model_supported) {
+                      group.refined_supported) {
                     const auto& topology = *topologies[
                         static_cast<std::size_t>(sys)];
                     for (int c = 0;
@@ -158,19 +171,19 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
   if (run_models) {
     for (ModelGroup& group : groups) {
       pool->submit([this, &group, &rows] {
-        if (!group.model_supported) return;
+        if (!group.refined_supported) return;
         const topo::SystemConfig& config =
             spec_.systems[static_cast<std::size_t>(group.system_idx)].config;
         std::unique_ptr<model::PaperModel> paper;
         std::unique_ptr<model::RefinedModel> refined;
-        if (spec_.run_paper_model)
+        if (spec_.run_paper_model && group.paper_supported)
           paper = std::make_unique<model::PaperModel>(config, group.params,
                                                       group.p_out_override);
         if (spec_.run_refined_model)
           refined = std::make_unique<model::RefinedModel>(
-              config, group.params, group.p_out_override);
+              config, group.params, group.p_out_override, group.flow);
         double knee = -1.0;
-        if (spec_.find_knee) {
+        if (spec_.find_knee && (refined || paper)) {
           const model::LatencyModel* knee_model =
               refined ? static_cast<const model::LatencyModel*>(refined.get())
                       : static_cast<const model::LatencyModel*>(paper.get());
@@ -249,6 +262,7 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
     row.replications = reps;
 
     util::OnlineMoments latency, internal, external;
+    util::OnlineMoments p50, p95, p99;
     std::int64_t n_internal = 0, n_external = 0;
     const sim::SimResult* sole_completed = nullptr;
     for (const sim::SimResult& run : sim_runs[r]) {
@@ -261,6 +275,11 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
       latency.add(run.latency.mean);
       internal.add(run.internal_latency.mean);
       external.add(run.external_latency.mean);
+      if (run.latency_p50 >= 0.0) {
+        p50.add(run.latency_p50);
+        p95.add(run.latency_p95);
+        p99.add(run.latency_p99);
+      }
       n_internal += run.measured_internal;
       n_external += run.measured_external;
     }
@@ -280,6 +299,11 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
       }
       row.sim_internal = internal.mean();
       row.sim_external = external.mean();
+      if (p50.count() > 0) {
+        row.sim_p50 = p50.mean();
+        row.sim_p95 = p95.mean();
+        row.sim_p99 = p99.mean();
+      }
       if (n_internal + n_external > 0)
         row.external_share = static_cast<double>(n_external) /
                              static_cast<double>(n_internal + n_external);

@@ -41,6 +41,7 @@ struct SweepRow {
 
   std::string system_id;
   std::string pattern_id;
+  std::string icn2_kind;  ///< the system's ICN2 topology (to_string form)
   int message_flits = 32;
   double flit_bytes = 256;
   sim::RelayMode relay = sim::RelayMode::kStoreForward;
@@ -68,6 +69,11 @@ struct SweepRow {
   double sim_internal = -1.0;
   double sim_external = -1.0;
   double external_share = -1.0;
+  /// Latency percentiles, averaged across completed replications
+  /// (negative when no replication completed).
+  double sim_p50 = -1.0;
+  double sim_p95 = -1.0;
+  double sim_p99 = -1.0;
   /// 0 steady, 1 saturated (no replication completed), 2 non-stationary
   /// (CI comparable to the mean: load past the sustainable point).
   int sim_state = 0;

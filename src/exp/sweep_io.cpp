@@ -46,14 +46,16 @@ std::string opt_num(bool present, double v, int precision) {
 
 void write_csv(const SweepResult& result, const std::string& path) {
   util::CsvWriter csv(
-      path, {"system", "message_flits", "flit_bytes", "pattern", "relay",
-             "flow", "lambda", "paper_latency", "paper_stable",
+      path, {"system", "icn2", "message_flits", "flit_bytes", "pattern",
+             "relay", "flow", "lambda", "paper_latency", "paper_stable",
              "refined_latency", "refined_stable", "knee_lambda",
              "replications", "completed", "saturated", "sim_latency",
-             "sim_ci95", "sim_internal", "sim_external", "external_share",
-             "sim_state"});
+             "sim_ci95", "sim_p50", "sim_p95", "sim_p99", "sim_internal",
+             "sim_external", "external_share", "sim_state"});
   for (const SweepRow& row : result.rows) {
-    csv.add_row({row.system_id, std::to_string(row.message_flits),
+    const bool sim_ok = row.sim_run && row.completed > 0;
+    csv.add_row({row.system_id, row.icn2_kind,
+                 std::to_string(row.message_flits),
                  util::TextTable::num(row.flit_bytes, 0), row.pattern_id,
                  to_string(row.relay), to_string(row.flow),
                  util::TextTable::sci(row.lambda, 6),
@@ -64,12 +66,13 @@ void write_csv(const SweepResult& result, const std::string& path) {
                  opt_num(row.knee_lambda >= 0.0, row.knee_lambda, 8),
                  std::to_string(row.replications),
                  std::to_string(row.completed), std::to_string(row.saturated),
-                 opt_num(row.sim_run && row.completed > 0, row.sim_latency, 6),
-                 opt_num(row.sim_run && row.completed > 0, row.sim_ci, 6),
-                 opt_num(row.sim_run && row.completed > 0, row.sim_internal,
-                         6),
-                 opt_num(row.sim_run && row.completed > 0, row.sim_external,
-                         6),
+                 opt_num(sim_ok, row.sim_latency, 6),
+                 opt_num(sim_ok, row.sim_ci, 6),
+                 opt_num(sim_ok && row.sim_p50 >= 0.0, row.sim_p50, 6),
+                 opt_num(sim_ok && row.sim_p95 >= 0.0, row.sim_p95, 6),
+                 opt_num(sim_ok && row.sim_p99 >= 0.0, row.sim_p99, 6),
+                 opt_num(sim_ok, row.sim_internal, 6),
+                 opt_num(sim_ok, row.sim_external, 6),
                  opt_num(row.external_share >= 0.0, row.external_share, 4),
                  std::to_string(row.sim_state)});
   }
@@ -147,6 +150,7 @@ void write_json(const SweepResult& result, std::ostream& out) {
     out << "{";
     bool first = true;
     json_field(out, "system", row.system_id, first);
+    json_field(out, "icn2", row.icn2_kind, first);
     json_field(out, "message_flits",
                static_cast<std::int64_t>(row.message_flits), first);
     json_field(out, "flit_bytes", row.flit_bytes, first);
@@ -174,6 +178,11 @@ void write_json(const SweepResult& result, std::ostream& out) {
       if (row.completed > 0) {
         json_field(out, "sim_latency", row.sim_latency, first);
         json_field(out, "sim_ci95", row.sim_ci, first);
+        if (row.sim_p50 >= 0.0) {
+          json_field(out, "sim_p50", row.sim_p50, first);
+          json_field(out, "sim_p95", row.sim_p95, first);
+          json_field(out, "sim_p99", row.sim_p99, first);
+        }
         json_field(out, "sim_internal", row.sim_internal, first);
         json_field(out, "sim_external", row.sim_external, first);
         if (row.external_share >= 0.0)
@@ -195,7 +204,7 @@ void write_json_file(const SweepResult& result, const std::string& path) {
 
 util::TextTable to_table(const SweepResult& result) {
   // Decide which coordinate columns vary across the sweep.
-  std::set<std::string> systems, patterns;
+  std::set<std::string> systems, patterns, icn2s;
   std::set<int> flits;
   std::set<double> bytes;
   std::set<int> relays, flows;
@@ -204,6 +213,7 @@ util::TextTable to_table(const SweepResult& result) {
   for (const SweepRow& row : result.rows) {
     systems.insert(row.system_id);
     patterns.insert(row.pattern_id);
+    icn2s.insert(row.icn2_kind);
     flits.insert(row.message_flits);
     bytes.insert(row.flit_bytes);
     relays.insert(static_cast<int>(row.relay));
@@ -216,6 +226,7 @@ util::TextTable to_table(const SweepResult& result) {
 
   std::vector<std::string> headers;
   if (systems.size() > 1) headers.push_back("system");
+  if (icn2s.size() > 1) headers.push_back("icn2");
   if (flits.size() > 1) headers.push_back("M");
   if (bytes.size() > 1) headers.push_back("L_m");
   if (patterns.size() > 1) headers.push_back("pattern");
@@ -234,6 +245,7 @@ util::TextTable to_table(const SweepResult& result) {
   for (const SweepRow& row : result.rows) {
     std::vector<std::string> cells;
     if (systems.size() > 1) cells.push_back(row.system_id);
+    if (icn2s.size() > 1) cells.push_back(row.icn2_kind);
     if (flits.size() > 1) cells.push_back(std::to_string(row.message_flits));
     if (bytes.size() > 1)
       cells.push_back(util::TextTable::num(row.flit_bytes, 0));

@@ -1,0 +1,69 @@
+#include "model/graph_load.hpp"
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace mcs::model {
+
+GraphLoad GraphLoad::compute(const topo::ChannelGraph& graph,
+                             const topo::SystemConfig& config,
+                             const std::vector<double>& p_outgoing,
+                             const std::vector<double>& inter_override) {
+  const int c_count = config.cluster_count();
+  MCS_EXPECTS(graph.total_endpoints() >= c_count);
+  MCS_EXPECTS(p_outgoing.empty() ||
+              p_outgoing.size() == static_cast<std::size_t>(c_count));
+  MCS_EXPECTS(inter_override.empty() ||
+              inter_override.size() ==
+                  static_cast<std::size_t>(c_count) *
+                      static_cast<std::size_t>(c_count));
+  const auto n_total = static_cast<double>(config.total_nodes());
+
+  GraphLoad load;
+  load.coeff.assign(graph.channel_count(), 0.0);
+  for (int i = 0; i < c_count; ++i) {
+    const double po = p_outgoing.empty()
+                          ? config.p_outgoing(i)
+                          : p_outgoing[static_cast<std::size_t>(i)];
+    load.out_coeff.push_back(static_cast<double>(config.cluster_size(i)) *
+                             po);
+  }
+
+  load.inter.assign(static_cast<std::size_t>(c_count) *
+                        static_cast<std::size_t>(c_count),
+                    0.0);
+  for (int i = 0; i < c_count; ++i) {
+    const auto ni = static_cast<double>(config.cluster_size(i));
+    for (int v = 0; v < c_count; ++v) {
+      if (v == i) continue;
+      const auto idx = static_cast<std::size_t>(i) *
+                           static_cast<std::size_t>(c_count) +
+                       static_cast<std::size_t>(v);
+      load.inter[idx] =
+          inter_override.empty()
+              ? load.out_coeff[static_cast<std::size_t>(i)] *
+                    static_cast<double>(config.cluster_size(v)) /
+                    (n_total - ni)
+              : inter_override[idx];
+    }
+  }
+
+  std::vector<topo::ChannelId> path;
+  for (int i = 0; i < c_count; ++i) {
+    for (int v = 0; v < c_count; ++v) {
+      if (v == i) continue;
+      const double rate = load.inter[static_cast<std::size_t>(i) *
+                                         static_cast<std::size_t>(c_count) +
+                                     static_cast<std::size_t>(v)];
+      if (rate == 0.0) continue;
+      path.clear();
+      graph.route_into(static_cast<topo::EndpointId>(i),
+                       static_cast<topo::EndpointId>(v), path);
+      for (const topo::ChannelId c : path)
+        load.coeff[static_cast<std::size_t>(c)] += rate;
+    }
+  }
+  return load;
+}
+
+}  // namespace mcs::model

@@ -1,0 +1,42 @@
+// Generic per-channel flow model for a graph-shaped ICN2 — the
+// topology-agnostic replacement for the fat-tree funnel (icn2_funnel.hpp).
+//
+// The analytical framework only needs, for every ICN2 channel, the
+// message rate crossing it (the coefficient of lambda_g). For a tree that
+// rate follows from the d-mod-k convergence combinatorics; for an
+// arbitrary graph it follows directly from the deterministic routing
+// tables: walk the route of every ordered cluster pair (i, v), weighted
+// by the inter-cluster traffic matrix, and accumulate onto the channels
+// it crosses. The result feeds the same M/G/1 stage recursion the refined
+// model applies to the tree.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "topology/multi_cluster.hpp"
+
+namespace mcs::model {
+
+struct GraphLoad {
+  /// coeff[c]: messages/time (per unit lambda_g) crossing ICN2 channel c.
+  /// Flow is conserved per switch: transit in + injections equals transit
+  /// out + ejections (verified by the tests).
+  std::vector<double> coeff;
+  /// out_coeff[i] = N_i * P_o^i: cluster i's outbound rate coefficient.
+  std::vector<double> out_coeff;
+  /// inter[i*C + v]: rate coefficient of the (i -> v) cluster pair.
+  std::vector<double> inter;
+
+  /// Per-channel flow from the routing tables under the uniform
+  /// destination split w_iv = N_v / (N - N_i) (the same weighting the
+  /// refined model uses for the tree). `p_outgoing` overrides Eq. (13)
+  /// per cluster, as for locality-skewed patterns; `inter_override`
+  /// (row-major C x C, diagonal ignored) replaces the whole matrix.
+  [[nodiscard]] static GraphLoad compute(
+      const topo::ChannelGraph& graph, const topo::SystemConfig& config,
+      const std::vector<double>& p_outgoing = {},
+      const std::vector<double>& inter_override = {});
+};
+
+}  // namespace mcs::model

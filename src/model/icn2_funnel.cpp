@@ -2,12 +2,19 @@
 
 #include "topology/fat_tree.hpp"
 #include "util/contracts.hpp"
+#include "util/error.hpp"
 
 namespace mcs::model {
 
 Icn2Funnel Icn2Funnel::compute(const topo::SystemConfig& config,
                                const std::vector<double>& p_outgoing) {
   config.validate();
+  // The d-mod-k funnel combinatorics are tree-specific; graph ICN2s get
+  // their channel rates from the routing-table model (graph_load.hpp).
+  if (config.icn2.kind != topo::Icn2Kind::kFatTree)
+    throw ConfigError(
+        "Icn2Funnel: the d-mod-k funnel only exists on the fat-tree ICN2 "
+        "(use model::GraphLoad for graph topologies)");
   MCS_EXPECTS(p_outgoing.empty() ||
               p_outgoing.size() ==
                   static_cast<std::size_t>(config.cluster_count()));

@@ -14,6 +14,10 @@ PaperModel::PaperModel(topo::SystemConfig config, NetworkParams params,
     : config_(std::move(config)), params_(std::move(params)) {
   config_.validate();
   params_.validate();
+  if (config_.icn2.kind != topo::Icn2Kind::kFatTree)
+    throw ConfigError(
+        "PaperModel: the paper-literal model only covers the fat-tree ICN2 "
+        "(use RefinedModel for graph topologies)");
   if (!p_out_override.empty() &&
       p_out_override.size() !=
           static_cast<std::size_t>(config_.cluster_count()))

@@ -2,7 +2,22 @@
 // and the simulator (Sec. 3.1.2 and Sec. 4 of the paper).
 #pragma once
 
+#include <cstdint>
+
 namespace mcs::model {
+
+/// Switching mechanism (Sec. 2 of the paper names both). Shared by the
+/// simulator's wormhole engine and the refined analytical model, which
+/// adapts its channel-occupancy recursion to the selected mechanism.
+enum class FlowControl : std::uint8_t {
+  /// Wormhole: the worm pipelines across its path, holding every acquired
+  /// channel until its tail passes (single-flit buffers).
+  kWormhole,
+  /// Store-and-forward: the whole message is buffered at each switch; a
+  /// channel is held for exactly M flit times and released before the
+  /// next channel is requested (infinite switch buffers assumed).
+  kStoreAndForward,
+};
 
 /// Channel timing and message-shape parameters. Defaults are the paper's
 /// validation values: bandwidth 500 bytes/time-unit, network latency 0.02,

@@ -20,10 +20,14 @@ std::vector<double> tail_of(const std::vector<double>& p) {
   return tail;
 }
 
-/// Remaining header pipeline time after the first of 2j physical stages:
-/// 2(j-1) switch channels plus the ejection channel.
-double pipeline_r(int j, const NetworkParams& p) {
-  return (2.0 * j - 2.0) * p.t_cs() + p.t_cn();
+/// Remaining pipeline time after the first of `channels` physical stages
+/// ((channels - 2) switch channels plus the ejection channel): for
+/// wormhole the header's flit times, for store-and-forward a full message
+/// transmission per remaining channel.
+double pipeline_r(int channels, const NetworkParams& p, FlowControl flow) {
+  const double header = (channels - 2.0) * p.t_cs() + p.t_cn();
+  return flow == FlowControl::kStoreAndForward ? p.message_flits * header
+                                               : header;
 }
 
 /// One physical channel along a journey: flit time and message rate.
@@ -32,19 +36,23 @@ struct PhysStage {
   double rate;
 };
 
-/// Convert physical stages to recursion stages. A worm occupies channel k
-/// for roughly M times the slowest channel at or beyond k (the body drains
-/// at the downstream bottleneck's rate), so
-///   base_k = M * max_{k' >= k} t_{k'}.
+/// Convert physical stages to recursion stages. Under wormhole a worm
+/// occupies channel k for roughly M times the slowest channel at or
+/// beyond k (the body drains at the downstream bottleneck's rate), so
+///   base_k = M * max_{k' >= k} t_{k'};
+/// under store-and-forward each channel is held for exactly one full
+/// message transmission, base_k = M * t_k, released before the next hop.
 /// Returns the recursion result (with the M/D/1-style residual waits) and,
 /// via `zero_load`, the contention-free occupancy of the first channel.
 RecursionResult run_stages(const std::vector<PhysStage>& phys, int flits,
-                           double& zero_load) {
+                           FlowControl flow, double& zero_load) {
   std::vector<Stage> stages(phys.size());
   double run_max = 0.0;
   for (std::size_t idx = phys.size(); idx-- > 0;) {
     run_max = std::max(run_max, phys[idx].t);
-    stages[idx] = Stage{flits * run_max, phys[idx].rate};
+    const double per_flit =
+        flow == FlowControl::kStoreAndForward ? phys[idx].t : run_max;
+    stages[idx] = Stage{flits * per_flit, phys[idx].rate};
   }
   zero_load = stages.front().base;
   return stage_recursion(stages, WaitModel::kResidual);
@@ -53,8 +61,9 @@ RecursionResult run_stages(const std::vector<PhysStage>& phys, int flits,
 }  // namespace
 
 RefinedModel::RefinedModel(topo::SystemConfig config, NetworkParams params,
-                           std::vector<double> p_out_override)
-    : config_(std::move(config)), params_(std::move(params)) {
+                           std::vector<double> p_out_override,
+                           FlowControl flow)
+    : config_(std::move(config)), params_(std::move(params)), flow_(flow) {
   config_.validate();
   params_.validate();
   if (!p_out_override.empty() &&
@@ -82,16 +91,22 @@ RefinedModel::RefinedModel(topo::SystemConfig config, NetworkParams params,
     total_external_rate_coeff_ += c.nodes * c.p_out;
   }
 
-  icn2_shape_ = topo::TreeShape{config_.m, config_.icn2_height()};
-  icn2_tail_ = tail_of(icn2_shape_.hop_distribution());
-  icn2_ = std::make_unique<topo::FatTree>(icn2_shape_);
-
-  // Exact d-mod-k concentration coefficients (see icn2_funnel.hpp).
   std::vector<double> p_out;
   for (const ClusterCache& c : clusters_) p_out.push_back(c.p_out);
-  const Icn2Funnel funnel = Icn2Funnel::compute(config_, p_out);
-  icn2_down_coeff_ = funnel.down_coeff;
-  icn2_up_coeff_ = funnel.up_coeff;
+  if (config_.icn2.kind == topo::Icn2Kind::kFatTree) {
+    icn2_ = std::make_unique<topo::FatTree>(
+        topo::TreeShape{config_.m, config_.icn2_height()});
+
+    // Exact d-mod-k concentration coefficients (see icn2_funnel.hpp).
+    const Icn2Funnel funnel = Icn2Funnel::compute(config_, p_out);
+    icn2_down_coeff_ = funnel.down_coeff;
+    icn2_up_coeff_ = funnel.up_coeff;
+  } else {
+    // Graph ICN2: per-channel rates straight from the routing tables.
+    icn2_graph_ =
+        std::make_unique<topo::ChannelGraph>(topo::make_icn2_graph(config_));
+    icn2_coeff_ = GraphLoad::compute(*icn2_graph_, config_, p_out).coeff;
+  }
 }
 
 RefinedModel::SegmentResult RefinedModel::internal_segment(
@@ -117,13 +132,13 @@ RefinedModel::SegmentResult RefinedModel::internal_segment(
           {tcs, lambda_int * c.hop_tail[static_cast<std::size_t>(l)]});
     phys.push_back({tcn, lambda_int});  // ejection channel
     double zero_load = 0.0;
-    const RecursionResult rec = run_stages(phys, params_.message_flits,
-                                           zero_load);
+    const RecursionResult rec =
+        run_stages(phys, params_.message_flits, flow_, zero_load);
     out.stable = out.stable && rec.stable;
     const double pj = c.hop_prob[static_cast<std::size_t>(j - 1)];
     out.s_mean += pj * rec.s0;
     out.s_zero += pj * zero_load;
-    out.r_mean += pj * pipeline_r(j, params_);
+    out.r_mean += pj * pipeline_r(2 * j, params_, flow_);
   }
   return out;
 }
@@ -160,13 +175,13 @@ RefinedModel::SegmentResult RefinedModel::ecn1_outbound_segment(
                per_node});
     phys.push_back({tcn, funnel});  // ejection into the concentrator
     double zero_load = 0.0;
-    const RecursionResult rec = run_stages(phys, params_.message_flits,
-                                           zero_load);
+    const RecursionResult rec =
+        run_stages(phys, params_.message_flits, flow_, zero_load);
     out.stable = out.stable && rec.stable;
     const double pj = c.conc_prob[static_cast<std::size_t>(j - 1)];
     out.s_mean += pj * rec.s0;
     out.s_zero += pj * zero_load;
-    out.r_mean += pj * pipeline_r(j, params_);
+    out.r_mean += pj * pipeline_r(2 * j, params_, flow_);
   }
   return out;
 }
@@ -180,34 +195,56 @@ RefinedModel::SegmentResult RefinedModel::icn2_segment(
   const double out_rate = ci.nodes * ci.p_out * lambda_g;  // conc_i outbound
   const double in_rate = cv.nodes * cv.p_out * lambda_g;   // conc_v inbound
 
-  // Exact distance between the two concentrators in the ICN2 tree.
-  const int h = icn2_->nca_level(static_cast<topo::EndpointId>(i),
-                                 static_cast<topo::EndpointId>(v));
-
   std::vector<PhysStage> phys;
-  phys.push_back({tcn, out_rate});
-  // Ascending and descending rates use the precomputed exact d-mod-k
-  // funnel coefficients (see the constructor): the down chain toward
-  // conc_v aggregates the inbound traffic of v's whole ICN2 leaf group —
-  // the true system bottleneck when large clusters share a leaf.
-  for (int l = 1; l < h; ++l)
-    phys.push_back({tcs, icn2_up_coeff_[static_cast<std::size_t>(i)]
-                                       [static_cast<std::size_t>(l)] *
+
+  if (icn2_graph_) {
+    // Graph ICN2: walk the deterministic route i -> v; every channel's
+    // rate is its routing-table flow coefficient (graph_load.hpp). The
+    // switch segment comes by reference — predict() visits all C*(C-1)
+    // pairs, so this loop must not allocate.
+    auto coeff_stage = [&](topo::ChannelId c, double t) {
+      phys.push_back({t, icn2_coeff_[static_cast<std::size_t>(c)] *
                              lambda_g});
-  for (int l = h - 1; l >= 1; --l)
-    phys.push_back({tcs, icn2_down_coeff_[static_cast<std::size_t>(v)]
+    };
+    coeff_stage(icn2_graph_->injection_channel(
+                    static_cast<topo::EndpointId>(i)),
+                tcn);
+    for (const topo::ChannelId c : icn2_graph_->switch_route(
+             static_cast<topo::EndpointId>(i),
+             static_cast<topo::EndpointId>(v)))
+      coeff_stage(c, tcs);
+    coeff_stage(icn2_graph_->ejection_channel(
+                    static_cast<topo::EndpointId>(v)),
+                tcn);
+  } else {
+    // Exact distance between the two concentrators in the ICN2 tree.
+    const int h = icn2_->nca_level(static_cast<topo::EndpointId>(i),
+                                   static_cast<topo::EndpointId>(v));
+    phys.push_back({tcn, out_rate});
+    // Ascending and descending rates use the precomputed exact d-mod-k
+    // funnel coefficients (see the constructor): the down chain toward
+    // conc_v aggregates the inbound traffic of v's whole ICN2 leaf group —
+    // the true system bottleneck when large clusters share a leaf.
+    for (int l = 1; l < h; ++l)
+      phys.push_back({tcs, icn2_up_coeff_[static_cast<std::size_t>(i)]
                                          [static_cast<std::size_t>(l)] *
-                             lambda_g});
-  phys.push_back({tcn, in_rate});
+                               lambda_g});
+    for (int l = h - 1; l >= 1; --l)
+      phys.push_back({tcs, icn2_down_coeff_[static_cast<std::size_t>(v)]
+                                           [static_cast<std::size_t>(l)] *
+                               lambda_g});
+    phys.push_back({tcn, in_rate});
+  }
 
   SegmentResult out;
   double zero_load = 0.0;
-  const RecursionResult rec = run_stages(phys, params_.message_flits,
-                                         zero_load);
+  const RecursionResult rec =
+      run_stages(phys, params_.message_flits, flow_, zero_load);
   out.stable = rec.stable;
   out.s_mean = rec.s0;
   out.s_zero = zero_load;
-  out.r_mean = pipeline_r(h, params_);
+  out.r_mean =
+      pipeline_r(static_cast<int>(phys.size()), params_, flow_);
   return out;
 }
 
@@ -238,13 +275,13 @@ RefinedModel::SegmentResult RefinedModel::ecn1_inbound_segment(
           {tcs, per_node * c.conc_tail[static_cast<std::size_t>(l)]});
     phys.push_back({tcn, per_node});
     double zero_load = 0.0;
-    const RecursionResult rec = run_stages(phys, params_.message_flits,
-                                           zero_load);
+    const RecursionResult rec =
+        run_stages(phys, params_.message_flits, flow_, zero_load);
     out.stable = out.stable && rec.stable;
     const double pj = c.conc_prob[static_cast<std::size_t>(j - 1)];
     out.s_mean += pj * rec.s0;
     out.s_zero += pj * zero_load;
-    out.r_mean += pj * pipeline_r(j, params_);
+    out.r_mean += pj * pipeline_r(2 * j, params_, flow_);
   }
   return out;
 }

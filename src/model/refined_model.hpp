@@ -12,22 +12,33 @@
 //    store-and-forward relays, using the exact ICN2 distance per cluster
 //    pair and destination-cluster weights N_v/(N - N_i) instead of the
 //    paper's arithmetic 1/(C-1).
+//
+// Two extensions beyond the paper's scope:
+//  * graph-shaped ICN2s (SystemConfig::icn2.kind != kFatTree): the ICN2
+//    leg uses per-channel rates from the routing-table flow model
+//    (graph_load.hpp) instead of the d-mod-k funnel coefficients;
+//  * store-and-forward flow control: channel occupancies become M full
+//    message transmissions per hop instead of the wormhole span.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "model/graph_load.hpp"
 #include "model/latency.hpp"
 #include "topology/fat_tree.hpp"
+#include "topology/graph.hpp"
 
 namespace mcs::model {
 
 class RefinedModel final : public LatencyModel {
  public:
   /// `p_out_override` as in PaperModel: per-cluster outgoing probabilities
-  /// replacing Eq. (13) for locality-biased traffic patterns.
+  /// replacing Eq. (13) for locality-biased traffic patterns. `flow`
+  /// selects the switching mechanism the occupancies model.
   RefinedModel(topo::SystemConfig config, NetworkParams params,
-               std::vector<double> p_out_override = {});
+               std::vector<double> p_out_override = {},
+               FlowControl flow = FlowControl::kWormhole);
 
   [[nodiscard]] LatencyPrediction predict(double lambda_g) const override;
   [[nodiscard]] std::string name() const override { return "refined"; }
@@ -69,10 +80,13 @@ class RefinedModel final : public LatencyModel {
 
   topo::SystemConfig config_;
   NetworkParams params_;
+  FlowControl flow_ = FlowControl::kWormhole;
   std::vector<ClusterCache> clusters_;
-  std::vector<double> icn2_tail_;  ///< Pr(h > l) in the ICN2 tree
-  topo::TreeShape icn2_shape_{};
   std::unique_ptr<topo::FatTree> icn2_;  ///< for exact per-pair distances
+  /// Graph-shaped ICN2 (kind != kFatTree): the routed graph and its
+  /// per-channel flow coefficients, replacing the tree funnel below.
+  std::unique_ptr<topo::ChannelGraph> icn2_graph_;
+  std::vector<double> icn2_coeff_;
   double total_nodes_ = 0.0;
   double total_external_rate_coeff_ = 0.0;  ///< sum_i N_i * P_o^i
 

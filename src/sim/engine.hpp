@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "model/params.hpp"
 #include "sim/event_queue.hpp"
 
 namespace mcs::sim {
@@ -31,16 +32,9 @@ namespace mcs::sim {
 using GlobalChannelId = std::int32_t;
 using WormId = std::int32_t;
 
-/// Switching mechanism (Sec. 2 of the paper names both).
-enum class FlowControl : std::uint8_t {
-  /// Wormhole: the worm pipelines across its path, holding every acquired
-  /// channel until its tail passes (single-flit buffers).
-  kWormhole,
-  /// Store-and-forward: the whole message is buffered at each switch; a
-  /// channel is held for exactly M flit times and released before the
-  /// next channel is requested (infinite switch buffers assumed).
-  kStoreAndForward,
-};
+/// Switching mechanism — defined next to the NetworkParams it modulates
+/// (model/params.hpp) so the analytical models can share it.
+using FlowControl = model::FlowControl;
 
 /// One in-flight worm. `acquire[h]` is when channel `path[h]` was granted.
 struct Worm {

@@ -33,6 +33,11 @@ struct SimResult {
   util::ConfidenceInterval internal_latency;
   util::ConfidenceInterval external_latency;
 
+  /// Latency percentiles over all measured messages (-1 when none).
+  double latency_p50 = -1.0;
+  double latency_p95 = -1.0;
+  double latency_p99 = -1.0;
+
   /// Mean waits at the three queueing points of the message flow model
   /// (Fig. 2): source NIC, concentrator, dispatcher.
   double mean_source_wait = 0.0;

@@ -52,15 +52,17 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
         nets_.push_back(Net{NetKind::kIcn2, -1, &topology_.icn2(), base});
         icn2_base_ = base;
         base += static_cast<GlobalChannelId>(topology_.icn2().channel_count());
+        const int icn2_longest = topology_.icn2().max_route_length();
         if (config_.relay_mode == RelayMode::kCutThrough) {
-          // One merged worm spans both ECN1 legs plus the ICN2 crossing.
+          // One merged worm spans both ECN1 legs plus the ICN2 crossing
+          // (the ICN2 route's injection/ejection channels are the
+          // concentrator relays, still part of the worm).
           int max_cluster = 0;
           for (int i = 0; i < cfg.cluster_count(); ++i)
             max_cluster = std::max(max_cluster, topology_.icn1(i).height());
-          longest = std::max(longest, 4 * max_cluster +
-                                          2 * topology_.icn2().height());
+          longest = std::max(longest, 4 * max_cluster + icn2_longest);
         } else {
-          longest = std::max(longest, 2 * topology_.icn2().height());
+          longest = std::max(longest, icn2_longest);
         }
 
         if (config_.flow_control == FlowControl::kWormhole &&
@@ -77,12 +79,12 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
         channel_net_.assign(static_cast<std::size_t>(base), 0);
         for (std::size_t n = 0; n < nets_.size(); ++n) {
           const Net& net = nets_[n];
-          for (std::size_t c = 0; c < net.tree->channel_count(); ++c) {
+          for (std::size_t c = 0; c < net.net->channel_count(); ++c) {
             const auto g = static_cast<std::size_t>(net.base) + c;
             channel_net_[g] = static_cast<std::int32_t>(n);
             service[g] =
                 topo::is_node_link(
-                    net.tree->channel(static_cast<topo::ChannelId>(c)).kind)
+                    net.net->channel(static_cast<topo::ChannelId>(c)).kind)
                     ? params_.t_cn()
                     : params_.t_cs();
           }
@@ -122,6 +124,8 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
       config_.max_generated > 0
           ? config_.max_generated
           : 4 * (config_.warmup_messages + config_.measured_messages);
+  measured_latencies_.reserve(
+      static_cast<std::size_t>(config_.measured_messages));
 }
 
 bool Simulator::should_stop(double now, std::string& reason) const {
@@ -174,6 +178,11 @@ SimResult Simulator::run() {
   }
 
   result.latency = latency_.interval();
+  if (!measured_latencies_.empty()) {
+    result.latency_p50 = util::percentile_inplace(measured_latencies_, 0.50);
+    result.latency_p95 = util::percentile_inplace(measured_latencies_, 0.95);
+    result.latency_p99 = util::percentile_inplace(measured_latencies_, 0.99);
+  }
   result.internal_latency = internal_latency_.interval();
   result.external_latency = external_latency_.interval();
   result.mean_source_wait = source_wait_.mean();
@@ -240,7 +249,7 @@ void Simulator::handle_generate(std::int32_t node, double now) {
 
 void Simulator::spawn_segment(std::int32_t msg_id, double now) {
   const MsgRec& m = msgs_[static_cast<std::size_t>(msg_id)];
-  const topo::FatTree* tree = nullptr;
+  const topo::Network* tree = nullptr;
   GlobalChannelId base = 0;
   topo::EndpointId src = 0;
   topo::EndpointId dst = 0;
@@ -249,7 +258,7 @@ void Simulator::spawn_segment(std::int32_t msg_id, double now) {
     // Cut-through: concatenate the three legs into one worm. The relays
     // act as one-flit buffers along the path instead of full queues.
     path_scratch_.clear();
-    auto append = [&](const topo::FatTree& t, GlobalChannelId b,
+    auto append = [&](const topo::Network& t, GlobalChannelId b,
                       topo::EndpointId s, topo::EndpointId d) {
       route_scratch_.clear();
       t.route_into(s, d, route_scratch_);
@@ -342,6 +351,7 @@ void Simulator::finalize(std::int32_t msg_id, double now) {
   if (m.measured) {
     const double latency = now - m.gen_time;
     latency_.add(latency);
+    measured_latencies_.push_back(latency);
     (m.internal ? internal_latency_ : external_latency_).add(latency);
     per_cluster_[static_cast<std::size_t>(m.src_cluster)].add(latency);
     ++delivered_measured_;
@@ -365,7 +375,7 @@ void Simulator::collect_channel_classes(SimResult& result) const {
     const Net& net = nets_[static_cast<std::size_t>(channel_net_[c])];
     const auto local = static_cast<topo::ChannelId>(
         static_cast<GlobalChannelId>(c) - net.base);
-    const topo::Channel& ch = net.tree->channel(local);
+    const topo::Channel& ch = net.net->channel(local);
     const double util =
         engine_.busy_time(static_cast<GlobalChannelId>(c)) / duration;
     const double rate =

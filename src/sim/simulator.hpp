@@ -74,7 +74,7 @@ class Simulator : private WormholeEngine::Listener {
   struct Net {
     NetKind kind;
     int cluster;  ///< -1 for ICN2
-    const topo::FatTree* tree;
+    const topo::Network* net;
     GlobalChannelId base;
   };
 
@@ -133,6 +133,7 @@ class Simulator : private WormholeEngine::Listener {
   util::BatchMeans latency_;
   util::BatchMeans internal_latency_;
   util::BatchMeans external_latency_;
+  std::vector<double> measured_latencies_;  ///< for p50/p95/p99
   util::OnlineMoments source_wait_;
   util::OnlineMoments conc_wait_;
   util::OnlineMoments disp_wait_;

@@ -1,0 +1,51 @@
+#include "topology/dragonfly.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mcs::topo {
+
+int dragonfly_arity_for(int endpoints) {
+  if (endpoints < 1)
+    throw ConfigError("dragonfly_arity_for: need >= 1 endpoint");
+  for (int a = 2;; ++a)
+    if (static_cast<long long>(a) * a * (static_cast<long long>(a) * a + 1) >=
+        endpoints)
+      return a;
+}
+
+ChannelGraph make_dragonfly(int a, int endpoints) {
+  if (a < 2) throw ConfigError("make_dragonfly: a must be >= 2");
+  const int g = a * a + 1;  // groups; a*h = a^2 global links per group
+  const int switches = a * g;
+  if (endpoints < 1 || endpoints > a * switches)
+    throw ConfigError("make_dragonfly: endpoints must be in [1, " +
+                      std::to_string(a * switches) +
+                      "] for a=" + std::to_string(a));
+
+  ChannelGraph graph(switches, "dragonfly_a" + std::to_string(a));
+  const auto id = [a](int group, int s) { return group * a + s; };
+
+  // Intra-group all-to-all.
+  for (int u = 0; u < g; ++u)
+    for (int s = 0; s < a; ++s)
+      for (int t = s + 1; t < a; ++t) graph.add_link(id(u, s), id(u, t));
+
+  // One global link per group pair, palmtree arrangement: the link at
+  // cyclic offset d from group u attaches to switch (d-1)/a on u's side
+  // and — seen from the peer v = (u+d) mod g as offset g-d — to switch
+  // (g-d-1)/a on v's side. Each unordered pair is added once (u < v).
+  for (int u = 0; u < g; ++u) {
+    for (int d = 1; d <= a * a; ++d) {
+      const int v = (u + d) % g;
+      if (u < v) graph.add_link(id(u, (d - 1) / a), id(v, (g - d - 1) / a));
+    }
+  }
+
+  for (int e = 0; e < endpoints; ++e) graph.attach_endpoint(e % switches);
+  graph.build_routes();
+  return graph;
+}
+
+}  // namespace mcs::topo

@@ -1,0 +1,25 @@
+// Canonical dragonfly generator (Kim et al., a = p = h sizing) for the
+// pluggable ICN2: g = a^2 + 1 groups of `a` switches, all-to-all links
+// inside each group, and exactly one global link between every pair of
+// groups, spread over the group's switches in the standard palmtree
+// arrangement (switch s of group u owns the global links at cyclic group
+// offsets s*a+1 .. s*a+a). Endpoints are distributed round-robin over the
+// switches — the canonical p = a endpoint slots per switch bound the
+// supported endpoint count.
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace mcs::topo {
+
+/// Group size / global-link fanout a (>= 2): a*(a^2+1) switches with
+/// a^2*(a^2+1)/2 + (a^2+1)*(a-1)*a/2 links. Throws mcs::ConfigError when
+/// `endpoints` exceeds the canonical capacity a^2*(a^2+1) or inputs are
+/// out of range.
+[[nodiscard]] ChannelGraph make_dragonfly(int a, int endpoints);
+
+/// Smallest canonical size fitting `endpoints`: the least a >= 2 with
+/// a^2*(a^2+1) >= endpoints.
+[[nodiscard]] int dragonfly_arity_for(int endpoints);
+
+}  // namespace mcs::topo

@@ -167,12 +167,6 @@ int FatTree::nca_level(EndpointId src, EndpointId dst) const {
   return shape_.n - common;
 }
 
-std::vector<ChannelId> FatTree::route(EndpointId src, EndpointId dst) const {
-  std::vector<ChannelId> path;
-  route_into(src, dst, path);
-  return path;
-}
-
 int FatTree::route_into(EndpointId src, EndpointId dst,
                         std::vector<ChannelId>& out) const {
   const int j = nca_level(src, dst);

@@ -25,39 +25,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "topology/network.hpp"
 #include "topology/tree_math.hpp"
 
 namespace mcs::topo {
 
-using ChannelId = std::int32_t;
-using SwitchId = std::int32_t;
-using EndpointId = std::int32_t;
-
-enum class ChannelKind : std::uint8_t {
-  kInjection,  ///< endpoint -> leaf switch
-  kEjection,   ///< leaf switch -> endpoint
-  kUp,         ///< switch level L -> L+1
-  kDown        ///< switch level L+1 -> L
-};
-
-/// True for channels touching an endpoint (service time t_cn rather
-/// than the switch-to-switch t_cs).
-[[nodiscard]] constexpr bool is_node_link(ChannelKind kind) {
-  return kind == ChannelKind::kInjection || kind == ChannelKind::kEjection;
-}
-
-/// One unidirectional channel. Exactly one of the switch ids is -1 for
-/// injection/ejection channels.
-struct Channel {
-  ChannelKind kind;
-  std::int16_t level;       ///< inj/ej: 0; up/down between L and L+1: L
-  std::int16_t port;        ///< port index at the lower-level switch side
-  SwitchId src_switch = -1;
-  SwitchId dst_switch = -1;
-  EndpointId endpoint = -1;  ///< endpoint for inj (source) / ej (sink)
-};
-
-class FatTree {
+class FatTree final : public Network {
  public:
   explicit FatTree(TreeShape shape);
 
@@ -70,7 +43,7 @@ class FatTree {
   /// Extra endpoints (concentrators), ids in
   /// [endpoint_count(), total_endpoints()).
   [[nodiscard]] EndpointId extra_endpoint_count() const { return extras_; }
-  [[nodiscard]] EndpointId total_endpoints() const {
+  [[nodiscard]] EndpointId total_endpoints() const override {
     return endpoints_ + extras_;
   }
 
@@ -81,8 +54,10 @@ class FatTree {
   [[nodiscard]] SwitchId switch_count() const {
     return static_cast<SwitchId>(switch_level_.size());
   }
-  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
-  [[nodiscard]] const Channel& channel(ChannelId id) const {
+  [[nodiscard]] std::size_t channel_count() const override {
+    return channels_.size();
+  }
+  [[nodiscard]] const Channel& channel(ChannelId id) const override {
     return channels_[static_cast<std::size_t>(id)];
   }
 
@@ -91,7 +66,7 @@ class FatTree {
   /// Digit p_i (1-based position) of an endpoint address; extras are 0.
   [[nodiscard]] int digit(EndpointId e, int position) const;
   [[nodiscard]] SwitchId leaf_switch_of(EndpointId e) const;
-  [[nodiscard]] int switch_level(SwitchId s) const {
+  [[nodiscard]] int switch_level(SwitchId s) const override {
     return switch_level_[static_cast<std::size_t>(s)];
   }
   /// Group index of a switch at its level (prefix of endpoint digits).
@@ -121,13 +96,17 @@ class FatTree {
   /// u = (destination digit) mod k at each level (d-mod-k), then take the
   /// unique descending path. Returns the channel sequence
   /// [injection, up..., down..., ejection] of length 2*nca_level.
-  [[nodiscard]] std::vector<ChannelId> route(EndpointId src,
-                                             EndpointId dst) const;
+  using Network::route;
 
   /// Append the route to `out` (allocation-free hot path for the
   /// simulator). Returns the number of channels appended.
   int route_into(EndpointId src, EndpointId dst,
-                 std::vector<ChannelId>& out) const;
+                 std::vector<ChannelId>& out) const override;
+
+  /// Longest route: 2*height channels (NCA at the root level).
+  [[nodiscard]] int max_route_length() const override {
+    return 2 * height();
+  }
 
  private:
   [[nodiscard]] SwitchId switch_id(int level, std::int32_t group,

@@ -3,10 +3,137 @@
 #include <algorithm>
 #include <string>
 
+#include "topology/dragonfly.hpp"
+#include "topology/random_regular.hpp"
+#include "topology/torus.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace mcs::topo {
+
+const char* to_string(Icn2Kind kind) {
+  switch (kind) {
+    case Icn2Kind::kFatTree: return "fat_tree";
+    case Icn2Kind::kTorus: return "torus";
+    case Icn2Kind::kDragonfly: return "dragonfly";
+    case Icn2Kind::kRandomRegular: return "random";
+  }
+  return "?";
+}
+
+bool parse_icn2_kind(const std::string& name, Icn2Kind& kind, bool& wrap) {
+  if (name == "fat_tree" || name == "fat-tree") {
+    kind = Icn2Kind::kFatTree;
+  } else if (name == "torus") {
+    kind = Icn2Kind::kTorus;
+    wrap = true;
+  } else if (name == "mesh") {
+    kind = Icn2Kind::kTorus;
+    wrap = false;
+  } else if (name == "dragonfly") {
+    kind = Icn2Kind::kDragonfly;
+  } else if (name == "random" || name == "random_regular") {
+    kind = Icn2Kind::kRandomRegular;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* Icn2Config::label() const {
+  if (kind == Icn2Kind::kTorus && !torus_wrap) return "mesh";
+  return to_string(kind);
+}
+
+namespace {
+
+/// Derived graph-ICN2 sizing — one defaulting rule shared by validation
+/// and construction, so a config that validates is the config that
+/// builds. Throws the parameter-level ConfigErrors; remaining generator
+/// invariants (e.g. random-regular connectivity) surface at build time.
+struct Icn2Plan {
+  int switches = 0;     ///< torus (when rows unset) / random-regular
+  int torus_rows = 0;   ///< 0: derive the near-square shape from switches
+  int torus_cols = 0;
+  int dragonfly_a = 0;
+  int rr_degree = 0;
+};
+
+Icn2Plan plan_icn2(const SystemConfig& config) {
+  const Icn2Config& icn2 = config.icn2;
+  const int c = config.cluster_count();
+  Icn2Plan plan;
+  plan.switches = icn2.switches > 0 ? icn2.switches : c;
+  switch (icn2.kind) {
+    case Icn2Kind::kFatTree:
+      break;
+    case Icn2Kind::kTorus: {
+      if ((icn2.torus_rows > 0) != (icn2.torus_cols > 0))
+        throw ConfigError(
+            "SystemConfig: torus ICN2 wants both rows and cols (or neither)");
+      plan.torus_rows = icn2.torus_rows;
+      plan.torus_cols = icn2.torus_cols;
+      const int s = plan.torus_rows > 0 ? plan.torus_rows * plan.torus_cols
+                                        : plan.switches;
+      if (s < 2)
+        throw ConfigError("SystemConfig: torus ICN2 needs >= 2 switches");
+      break;
+    }
+    case Icn2Kind::kDragonfly: {
+      plan.dragonfly_a =
+          icn2.degree > 0 ? icn2.degree : dragonfly_arity_for(c);
+      const long long a = plan.dragonfly_a;
+      if (a < 2)
+        throw ConfigError("SystemConfig: dragonfly ICN2 arity must be >= 2");
+      if (a * a * (a * a + 1) < c)
+        throw ConfigError("SystemConfig: dragonfly ICN2 arity " +
+                          std::to_string(a) + " cannot host " +
+                          std::to_string(c) + " concentrators");
+      break;
+    }
+    case Icn2Kind::kRandomRegular: {
+      plan.rr_degree =
+          icn2.degree > 0 ? icn2.degree : std::min(4, plan.switches - 1);
+      if (plan.switches < 3)
+        throw ConfigError(
+            "SystemConfig: random-regular ICN2 needs >= 3 switches");
+      if (plan.rr_degree < 2 || plan.rr_degree >= plan.switches)
+        throw ConfigError(
+            "SystemConfig: random-regular ICN2 degree must be in [2, " +
+            std::to_string(plan.switches - 1) + "], got " +
+            std::to_string(plan.rr_degree));
+      if ((static_cast<long long>(plan.switches) * plan.rr_degree) % 2 != 0)
+        throw ConfigError(
+            "SystemConfig: random-regular ICN2 switches * degree must be "
+            "even");
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+ChannelGraph make_icn2_graph(const SystemConfig& config) {
+  const int c = config.cluster_count();
+  const Icn2Plan plan = plan_icn2(config);
+  switch (config.icn2.kind) {
+    case Icn2Kind::kFatTree:
+      throw ConfigError(
+          "make_icn2_graph: the fat-tree ICN2 is not a channel graph");
+    case Icn2Kind::kTorus:
+      if (plan.torus_rows > 0)
+        return make_torus(plan.torus_rows, plan.torus_cols,
+                          config.icn2.torus_wrap, c);
+      return make_torus(plan.switches, config.icn2.torus_wrap, c);
+    case Icn2Kind::kDragonfly:
+      return make_dragonfly(plan.dragonfly_a, c);
+    case Icn2Kind::kRandomRegular:
+      return make_random_regular(plan.switches, plan.rr_degree,
+                                 config.icn2.seed, c);
+  }
+  throw ConfigError("make_icn2_graph: unknown ICN2 kind");
+}
 
 SystemConfig SystemConfig::table1_org_a() {
   SystemConfig cfg;
@@ -38,7 +165,12 @@ void SystemConfig::validate() const {
     throw ConfigError("SystemConfig: need at least 2 clusters, got " +
                       std::to_string(cluster_heights.size()));
   for (int h : cluster_heights) TreeShape{m, h}.validate();
-  TreeShape{m, icn2_height()}.validate();
+  if (icn2.kind == Icn2Kind::kFatTree)
+    TreeShape{m, icn2_height()}.validate();
+  else
+    // Parameter feasibility only; the build (topology or model
+    // construction) enforces the remaining generator invariants.
+    static_cast<void>(plan_icn2(*this));
   if (total_nodes() < 2)
     throw ConfigError("SystemConfig: need at least 2 nodes");
 }
@@ -94,9 +226,12 @@ MultiClusterTopology::MultiClusterTopology(SystemConfig config)
   first_global_.push_back(next_global);
   total_nodes_ = next_global;
 
-  icn2_ = std::make_unique<FatTree>(TreeShape{config_.m,
-                                              config_.icn2_height()});
-  MCS_ENSURES(icn2_->endpoint_count() >= c);
+  if (config_.icn2.kind == Icn2Kind::kFatTree)
+    icn2_ = std::make_unique<FatTree>(TreeShape{config_.m,
+                                                config_.icn2_height()});
+  else
+    icn2_ = std::make_unique<ChannelGraph>(make_icn2_graph(config_));
+  MCS_ENSURES(icn2_->total_endpoints() >= c);
 }
 
 std::int64_t MultiClusterTopology::global_id(int cluster,

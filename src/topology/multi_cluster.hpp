@@ -6,13 +6,58 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "topology/fat_tree.hpp"
+#include "topology/graph.hpp"
 #include "topology/tree_math.hpp"
 
 namespace mcs::topo {
+
+/// Shape of the global inter-cluster network. The paper fixes the ICN2 to
+/// an m-ary fat tree; the graph kinds replace it with an arbitrary
+/// ChannelGraph routed Up*/Down* (see graph.hpp) while the per-cluster
+/// ICN1/ECN1 trees stay as published.
+enum class Icn2Kind : std::uint8_t {
+  kFatTree,        ///< the paper's m-port n-tree (default)
+  kTorus,          ///< 2D torus (wrap) or mesh (no wrap)
+  kDragonfly,      ///< canonical a = p = h dragonfly
+  kRandomRegular,  ///< seeded Jellyfish-style r-regular graph
+};
+
+[[nodiscard]] const char* to_string(Icn2Kind kind);
+
+/// Parse the user-facing kind vocabulary shared by the scenario INI
+/// dialect and the mcs_sweep --icn2 flag: fat_tree | fat-tree | torus |
+/// mesh | dragonfly | random | random_regular. "mesh" selects the torus
+/// generator and clears `wrap`; "torus" sets it. Returns false on an
+/// unknown name (kind/wrap untouched).
+[[nodiscard]] bool parse_icn2_kind(const std::string& name, Icn2Kind& kind,
+                                   bool& wrap);
+
+/// Parameters of the selected ICN2. Zero-valued sizing fields are derived
+/// from the cluster count: `switches` defaults to one switch per
+/// concentrator (torus/random), torus rows x cols to the near-square
+/// factorization, and the dragonfly arity to the smallest canonical size
+/// that fits.
+struct Icn2Config {
+  Icn2Kind kind = Icn2Kind::kFatTree;
+  int switches = 0;        ///< torus/random switch count; 0 = cluster count
+  int torus_rows = 0;      ///< explicit torus shape (both or neither)
+  int torus_cols = 0;
+  bool torus_wrap = true;  ///< false degrades the torus to a mesh
+  int degree = 0;          ///< random-regular r (0 = min(4, switches - 1))
+                           ///< or dragonfly arity a (0 = smallest fitting)
+  std::uint64_t seed = 1;  ///< random-regular wiring seed
+
+  /// Display name: to_string(kind), except the unwrapped torus reads
+  /// "mesh" (the wrap flag is the only thing distinguishing the two).
+  [[nodiscard]] const char* label() const;
+
+  friend bool operator==(const Icn2Config&, const Icn2Config&) = default;
+};
 
 /// Declarative system organization: one switch arity `m` for all networks
 /// (as in the paper) and one tree height per cluster. Cluster sizes follow
@@ -20,6 +65,7 @@ namespace mcs::topo {
 struct SystemConfig {
   int m = 4;
   std::vector<int> cluster_heights;  ///< n_i, one entry per cluster
+  Icn2Config icn2;                   ///< global network shape (default tree)
 
   /// Table 1, row 1: N=1120, C=32, m=8 — 12 clusters of height 1,
   /// 16 of height 2, 4 of height 3.
@@ -42,9 +88,10 @@ struct SystemConfig {
   [[nodiscard]] std::int64_t cluster_switches(int cluster) const;
   /// N = sum_i N_i.
   [[nodiscard]] std::int64_t total_nodes() const;
-  /// ICN2 height n_c: the paper requires C = 2*(m/2)^{n_c}; when C is not
-  /// an exact tree population we take the smallest height that fits and
-  /// leave the spare ICN2 endpoints idle.
+  /// ICN2 height n_c of the fat-tree kind: the paper requires
+  /// C = 2*(m/2)^{n_c}; when C is not an exact tree population we take the
+  /// smallest height that fits and leave the spare ICN2 endpoints idle.
+  /// Meaningless (but well-defined) for the graph kinds.
   [[nodiscard]] int icn2_height() const;
   /// Eq. (13): probability a message born in cluster i leaves the cluster,
   /// P_o = (N - N_i) / (N - 1), from uniform destination choice.
@@ -53,9 +100,15 @@ struct SystemConfig {
   friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
 };
 
+/// Build the configured graph-kind ICN2 (routes ready) with one endpoint
+/// per cluster. Throws mcs::ConfigError when `config.icn2.kind` is
+/// kFatTree or the graph parameters are infeasible.
+[[nodiscard]] ChannelGraph make_icn2_graph(const SystemConfig& config);
+
 /// Fully constructed topology: per-cluster ICN1 and ECN1 fat trees (the
 /// ECN1 carries the concentrator as an extra endpoint) plus the global
-/// ICN2 whose endpoint i is cluster i's concentrator.
+/// ICN2 — the configured fat tree or channel graph — whose endpoint i is
+/// cluster i's concentrator.
 class MultiClusterTopology {
  public:
   explicit MultiClusterTopology(SystemConfig config);
@@ -67,7 +120,7 @@ class MultiClusterTopology {
   [[nodiscard]] const FatTree& ecn1(int cluster) const {
     return *ecn1_[static_cast<std::size_t>(cluster)];
   }
-  [[nodiscard]] const FatTree& icn2() const { return *icn2_; }
+  [[nodiscard]] const Network& icn2() const { return *icn2_; }
 
   /// The concentrator's endpoint id inside ecn1(cluster).
   [[nodiscard]] EndpointId concentrator_endpoint(int cluster) const {
@@ -90,7 +143,7 @@ class MultiClusterTopology {
   SystemConfig config_;
   std::vector<std::unique_ptr<FatTree>> icn1_;
   std::vector<std::unique_ptr<FatTree>> ecn1_;
-  std::unique_ptr<FatTree> icn2_;
+  std::unique_ptr<Network> icn2_;
   std::vector<EndpointId> conc_endpoint_;
   std::vector<std::int64_t> first_global_;  ///< per cluster, plus sentinel
   std::int64_t total_nodes_ = 0;

@@ -1,0 +1,82 @@
+// Channel vocabulary and the abstract interconnection-network interface
+// shared by the m-port n-tree (FatTree) and the generic channel graph
+// (ChannelGraph). The simulator and the analytical models consume networks
+// exclusively through this interface: a network is a set of unidirectional
+// channels plus a deterministic router producing, for every ordered
+// endpoint pair, the channel sequence [injection, switch..., ejection].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcs::topo {
+
+using ChannelId = std::int32_t;
+using SwitchId = std::int32_t;
+using EndpointId = std::int32_t;
+
+enum class ChannelKind : std::uint8_t {
+  kInjection,  ///< endpoint -> switch
+  kEjection,   ///< switch -> endpoint
+  kUp,         ///< switch -> switch, toward the root (tree level L -> L+1,
+               ///< or decreasing BFS depth under a graph's Up*/Down*
+               ///< orientation)
+  kDown        ///< switch -> switch, away from the root
+};
+
+/// True for channels touching an endpoint (service time t_cn rather
+/// than the switch-to-switch t_cs).
+[[nodiscard]] constexpr bool is_node_link(ChannelKind kind) {
+  return kind == ChannelKind::kInjection || kind == ChannelKind::kEjection;
+}
+
+/// One unidirectional channel. Exactly one of the switch ids is -1 for
+/// injection/ejection channels.
+struct Channel {
+  ChannelKind kind;
+  std::int16_t level;       ///< inj/ej: 0; tree up/down between L and L+1:
+                            ///< L; graph links: min BFS depth of the ends
+  std::int16_t port;        ///< port index at the lower-level switch side
+  SwitchId src_switch = -1;
+  SwitchId dst_switch = -1;
+  EndpointId endpoint = -1;  ///< endpoint for inj (source) / ej (sink)
+};
+
+/// Abstract interconnection network: addressable channels plus a
+/// deterministic minimal router. Implementations must guarantee that the
+/// channel-dependency graph induced by their routes is acyclic (wormhole
+/// deadlock freedom) and that routing is reproducible across rebuilds.
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// All endpoints a route may start or end at, ids [0, total_endpoints()).
+  [[nodiscard]] virtual EndpointId total_endpoints() const = 0;
+  [[nodiscard]] virtual std::size_t channel_count() const = 0;
+  [[nodiscard]] virtual const Channel& channel(ChannelId id) const = 0;
+
+  /// Append the deterministic route src -> dst (channel sequence
+  /// [injection, switch channels..., ejection]) to `out`; returns the
+  /// number of channels appended.
+  virtual int route_into(EndpointId src, EndpointId dst,
+                         std::vector<ChannelId>& out) const = 0;
+
+  /// Length (in channels, injection/ejection included) of the longest
+  /// route over all ordered endpoint pairs — the wormhole engine's
+  /// worm-span requirement.
+  [[nodiscard]] virtual int max_route_length() const = 0;
+
+  /// Diagnostic level of a switch: tree level for the fat tree, BFS depth
+  /// of the Up*/Down* orientation for graphs.
+  [[nodiscard]] virtual int switch_level(SwitchId s) const = 0;
+
+  /// Allocating convenience wrapper over route_into.
+  [[nodiscard]] std::vector<ChannelId> route(EndpointId src,
+                                             EndpointId dst) const {
+    std::vector<ChannelId> path;
+    route_into(src, dst, path);
+    return path;
+  }
+};
+
+}  // namespace mcs::topo

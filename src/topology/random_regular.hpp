@@ -1,0 +1,23 @@
+// Seeded Jellyfish-style random r-regular graph generator for the
+// pluggable ICN2 (Singla et al., "Jellyfish: Networking Data Centers
+// Randomly"): every switch gets exactly `degree` link stubs; stubs are
+// shuffled and paired, rejecting pairings with self-loops, parallel links
+// or a disconnected result, until a simple connected graph emerges. The
+// construction is a pure function of (switches, degree, seed), so
+// topologies are reproducible across runs and machines.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/graph.hpp"
+
+namespace mcs::topo {
+
+/// Throws mcs::ConfigError when the parameters are infeasible (degree out
+/// of [2, switches-1], odd stub count) or no valid pairing is found within
+/// the retry budget (vanishingly unlikely for feasible parameters).
+[[nodiscard]] ChannelGraph make_random_regular(int switches, int degree,
+                                               std::uint64_t seed,
+                                               int endpoints);
+
+}  // namespace mcs::topo

@@ -1,0 +1,47 @@
+#include "topology/torus.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mcs::topo {
+
+ChannelGraph make_torus(int rows, int cols, bool wrap, int endpoints) {
+  if (rows < 1 || cols < 1)
+    throw ConfigError("make_torus: rows and cols must be >= 1");
+  if (endpoints < 1) throw ConfigError("make_torus: need >= 1 endpoint");
+  const int switches = rows * cols;
+  if (switches < 2)
+    throw ConfigError("make_torus: need at least 2 switches");
+
+  ChannelGraph graph(switches,
+                     std::string(wrap ? "torus" : "mesh") + "_" +
+                         std::to_string(rows) + "x" + std::to_string(cols));
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) graph.add_link(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) graph.add_link(id(r, c), id(r + 1, c));
+    }
+    // A 2-wide dimension already has the link; wrap would duplicate it.
+    if (wrap && cols > 2) graph.add_link(id(r, cols - 1), id(r, 0));
+  }
+  if (wrap && rows > 2)
+    for (int c = 0; c < cols; ++c)
+      graph.add_link(id(rows - 1, c), id(0, c));
+
+  for (int e = 0; e < endpoints; ++e) graph.attach_endpoint(e % switches);
+  graph.build_routes();
+  return graph;
+}
+
+ChannelGraph make_torus(int switches, bool wrap, int endpoints) {
+  if (switches < 2)
+    throw ConfigError("make_torus: need at least 2 switches");
+  int rows = 1;
+  for (int r = 1; r * r <= switches; ++r)
+    if (switches % r == 0) rows = r;
+  return make_torus(rows, switches / rows, wrap, endpoints);
+}
+
+}  // namespace mcs::topo

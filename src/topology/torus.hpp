@@ -1,0 +1,21 @@
+// 2D torus / mesh generator for the pluggable ICN2: rows x cols switches,
+// nearest-neighbour links in both dimensions, wrap-around links when
+// `wrap` is set (and the dimension has more than two switches, so the
+// wrap link is not a duplicate), and `endpoints` endpoints distributed
+// round-robin over the switches.
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace mcs::topo {
+
+/// Throws mcs::ConfigError on non-positive dimensions or endpoints.
+[[nodiscard]] ChannelGraph make_torus(int rows, int cols, bool wrap,
+                                      int endpoints);
+
+/// rows x cols with rows the largest divisor of `switches` not exceeding
+/// its square root — near-square, degenerating to a ring (1 x S) when
+/// `switches` is prime.
+[[nodiscard]] ChannelGraph make_torus(int switches, bool wrap, int endpoints);
+
+}  // namespace mcs::topo

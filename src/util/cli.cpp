@@ -73,4 +73,40 @@ std::vector<std::string> Args::unknown(
   return out;
 }
 
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // One-row dynamic program over the (|a|+1) x (|b|+1) edit lattice.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];  // D[i-1][j-1]
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];  // D[i-1][j]
+      row[j] = std::min({row[j - 1] + 1, up + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+std::vector<std::string> closest_matches(
+    const std::string& name, const std::vector<std::string>& candidates,
+    std::size_t limit) {
+  const std::size_t cutoff = std::max<std::size_t>(3, name.size() / 2);
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  for (const std::string& c : candidates) {
+    const std::size_t d = edit_distance(name, c);
+    if (d <= cutoff) ranked.push_back({d, c});
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::string> out;
+  for (const auto& [d, c] : ranked) {
+    (void)d;
+    if (out.size() == limit) break;
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace mcs::util

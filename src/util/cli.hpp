@@ -36,4 +36,16 @@ class Args {
   std::vector<std::string> positional_;
 };
 
+/// Levenshtein distance (unit insert/delete/substitute costs) — the
+/// closest-match ranking behind "unknown scenario" suggestions.
+[[nodiscard]] std::size_t edit_distance(const std::string& a,
+                                        const std::string& b);
+
+/// The `limit` entries of `candidates` closest to `name` by edit
+/// distance, nearest first; candidates further than max(3, |name|/2)
+/// edits are dropped. Ties rank alphabetically.
+[[nodiscard]] std::vector<std::string> closest_matches(
+    const std::string& name, const std::vector<std::string>& candidates,
+    std::size_t limit = 3);
+
 }  // namespace mcs::util

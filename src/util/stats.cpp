@@ -140,4 +140,22 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
+double percentile_inplace(std::vector<double>& xs, double q) {
+  MCS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (xs.empty()) return 0.0;
+  // Type-7: the quantile sits at rank h = q * (n - 1) between the floor(h)
+  // and floor(h)+1 order statistics.
+  const double h = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  auto lo_it = xs.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(xs.begin(), lo_it, xs.end());
+  const double below = *lo_it;
+  const double frac = h - static_cast<double>(lo);
+  if (frac == 0.0) return below;
+  // The next order statistic is the minimum of the suffix nth_element
+  // left above the pivot.
+  const double above = *std::min_element(lo_it + 1, xs.end());
+  return below + frac * (above - below);
+}
+
 }  // namespace mcs::util

@@ -76,6 +76,12 @@ class BatchMeans {
   OnlineMoments total_;
 };
 
+/// Exact sample quantile with linear interpolation between order
+/// statistics (type-7, the R/numpy default): q in [0, 1]. Partially sorts
+/// `xs` in place (nth_element) — O(n), no full sort. Returns 0 for an
+/// empty sample.
+[[nodiscard]] double percentile_inplace(std::vector<double>& xs, double q);
+
 /// Fixed-width histogram over [lo, hi); outliers are clamped into the
 /// first/last bin and counted separately.
 class Histogram {

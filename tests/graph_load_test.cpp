@@ -1,0 +1,157 @@
+// The graph channel-load model (model/graph_load): per-channel flow
+// conservation, totals against the traffic specification, and agreement
+// with the simulator's measured ICN2 channel rates at low load.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "model/graph_load.hpp"
+#include "sim/simulator.hpp"
+#include "topology/multi_cluster.hpp"
+
+namespace mcs::model {
+namespace {
+
+topo::SystemConfig graph_config(topo::Icn2Kind kind) {
+  topo::SystemConfig cfg;
+  cfg.m = 4;
+  cfg.cluster_heights = {2, 2, 3, 3, 2, 2, 3, 3};
+  cfg.icn2.kind = kind;
+  cfg.icn2.seed = 11;
+  return cfg;
+}
+
+const topo::Icn2Kind kGraphKinds[] = {topo::Icn2Kind::kTorus,
+                                      topo::Icn2Kind::kDragonfly,
+                                      topo::Icn2Kind::kRandomRegular};
+
+TEST(GraphLoadTest, FlowIsConservedAtEverySwitch) {
+  for (const topo::Icn2Kind kind : kGraphKinds) {
+    const topo::SystemConfig cfg = graph_config(kind);
+    const topo::ChannelGraph graph = topo::make_icn2_graph(cfg);
+    const GraphLoad load = GraphLoad::compute(graph, cfg);
+
+    // Per switch: everything entering (transit + injections) leaves
+    // (transit + ejections).
+    std::map<topo::SwitchId, double> in, out;
+    for (std::size_t c = 0; c < graph.channel_count(); ++c) {
+      const topo::Channel& ch = graph.channel(static_cast<topo::ChannelId>(c));
+      const double f = load.coeff[c];
+      if (ch.dst_switch >= 0) in[ch.dst_switch] += f;
+      if (ch.src_switch >= 0) out[ch.src_switch] += f;
+    }
+    for (topo::SwitchId s = 0; s < graph.switch_count(); ++s)
+      EXPECT_NEAR(in[s], out[s], 1e-9 * (1.0 + in[s]))
+          << to_string(kind) << " switch " << s;
+  }
+}
+
+TEST(GraphLoadTest, TotalsMatchTheTrafficSpecification) {
+  for (const topo::Icn2Kind kind : kGraphKinds) {
+    const topo::SystemConfig cfg = graph_config(kind);
+    const topo::ChannelGraph graph = topo::make_icn2_graph(cfg);
+    const GraphLoad load = GraphLoad::compute(graph, cfg);
+
+    double want_total = 0.0;
+    for (int i = 0; i < cfg.cluster_count(); ++i)
+      want_total +=
+          static_cast<double>(cfg.cluster_size(i)) * cfg.p_outgoing(i);
+
+    double inj = 0.0, ej = 0.0;
+    for (std::size_t c = 0; c < graph.channel_count(); ++c) {
+      const topo::ChannelKind k =
+          graph.channel(static_cast<topo::ChannelId>(c)).kind;
+      if (k == topo::ChannelKind::kInjection) inj += load.coeff[c];
+      if (k == topo::ChannelKind::kEjection) ej += load.coeff[c];
+    }
+    EXPECT_NEAR(inj, want_total, 1e-9 * want_total) << to_string(kind);
+    EXPECT_NEAR(ej, want_total, 1e-9 * want_total) << to_string(kind);
+
+    // Each concentrator's injection channel carries exactly its cluster's
+    // outbound coefficient.
+    for (int i = 0; i < cfg.cluster_count(); ++i)
+      EXPECT_NEAR(load.coeff[static_cast<std::size_t>(
+                      graph.injection_channel(i))],
+                  load.out_coeff[static_cast<std::size_t>(i)],
+                  1e-12 + 1e-9 * load.out_coeff[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(GraphLoadTest, POutgoingOverrideScalesTheMatrix) {
+  const topo::SystemConfig cfg = graph_config(topo::Icn2Kind::kTorus);
+  const topo::ChannelGraph graph = topo::make_icn2_graph(cfg);
+  const std::vector<double> half(
+      static_cast<std::size_t>(cfg.cluster_count()), 0.5);
+  const GraphLoad load = GraphLoad::compute(graph, cfg, half);
+  for (int i = 0; i < cfg.cluster_count(); ++i)
+    EXPECT_NEAR(load.out_coeff[static_cast<std::size_t>(i)],
+                0.5 * static_cast<double>(cfg.cluster_size(i)), 1e-12);
+}
+
+TEST(GraphLoadTest, InterClusterOverrideIsRouted) {
+  // A single-pair matrix loads exactly the channels of that pair's route.
+  const topo::SystemConfig cfg = graph_config(topo::Icn2Kind::kDragonfly);
+  const topo::ChannelGraph graph = topo::make_icn2_graph(cfg);
+  const int c_count = cfg.cluster_count();
+  std::vector<double> inter(
+      static_cast<std::size_t>(c_count) * static_cast<std::size_t>(c_count),
+      0.0);
+  inter[static_cast<std::size_t>(0) * static_cast<std::size_t>(c_count) + 5] =
+      2.0;
+  const GraphLoad load = GraphLoad::compute(graph, cfg, {}, inter);
+
+  const std::vector<topo::ChannelId> path = graph.route(0, 5);
+  double loaded_channels = 0.0;
+  for (std::size_t c = 0; c < graph.channel_count(); ++c)
+    if (load.coeff[c] > 0.0) {
+      EXPECT_NEAR(load.coeff[c], 2.0, 1e-12);
+      ++loaded_channels;
+    }
+  EXPECT_EQ(loaded_channels, static_cast<double>(path.size()));
+}
+
+TEST(GraphLoadTest, SimulatedIcn2ChannelRatesMatchTheModel) {
+  // The simulator's measured per-class ICN2 rates must reproduce the
+  // model's aggregate coefficients (the identity the latency predictions
+  // are built on) — the graph analogue of flow_conservation_test.
+  const topo::SystemConfig cfg = graph_config(topo::Icn2Kind::kRandomRegular);
+  const topo::ChannelGraph graph = topo::make_icn2_graph(cfg);
+  const GraphLoad load = GraphLoad::compute(graph, cfg);
+  const topo::MultiClusterTopology topology(cfg);
+  const model::NetworkParams params;
+  const double lambda = 1.5e-4;
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.warmup_messages = 2'000;
+  sim_cfg.measured_messages = 30'000;
+  sim_cfg.collect_channel_stats = true;
+  sim::Simulator simulator(topology, params, lambda, sim_cfg);
+  const sim::SimResult result = simulator.run();
+  ASSERT_FALSE(result.saturated);
+
+  double model_switch_total = 0.0;  // up + down transit, coefficient form
+  for (std::size_t c = 0; c < graph.channel_count(); ++c)
+    if (!is_node_link(graph.channel(static_cast<topo::ChannelId>(c)).kind))
+      model_switch_total += load.coeff[c];
+
+  double sim_inj = 0.0, sim_switch = 0.0;
+  for (const auto& cls : result.channel_classes) {
+    if (cls.net != sim::NetKind::kIcn2) continue;
+    const double total =
+        cls.mean_message_rate * static_cast<double>(cls.channels);
+    if (cls.kind == topo::ChannelKind::kInjection) sim_inj += total;
+    if (cls.kind == topo::ChannelKind::kUp ||
+        cls.kind == topo::ChannelKind::kDown)
+      sim_switch += total;
+  }
+
+  double want_inj = 0.0;
+  for (const double o : load.out_coeff) want_inj += o;
+  EXPECT_NEAR(sim_inj, want_inj * lambda, 0.08 * want_inj * lambda);
+  EXPECT_NEAR(sim_switch, model_switch_total * lambda,
+              0.08 * (model_switch_total * lambda + 1e-12));
+}
+
+}  // namespace
+}  // namespace mcs::model

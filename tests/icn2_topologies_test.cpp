@@ -1,0 +1,193 @@
+// End-to-end coverage of the pluggable ICN2: the simulator runs over each
+// graph topology, and at low load the refined model's graph channel-load
+// variant tracks the measured latency — the acceptance bar of the
+// topology-comparison engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "model/refined_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace mcs {
+namespace {
+
+topo::SystemConfig small_system(topo::Icn2Kind kind) {
+  topo::SystemConfig cfg;
+  cfg.m = 4;
+  cfg.cluster_heights = {2, 2, 3, 3, 2, 2, 3, 3};
+  cfg.icn2.kind = kind;
+  cfg.icn2.seed = 11;
+  return cfg;
+}
+
+class Icn2ModelVsSim : public ::testing::TestWithParam<topo::Icn2Kind> {};
+
+TEST_P(Icn2ModelVsSim, RefinedModelTracksSimulatorAtLowLoad) {
+  const topo::SystemConfig cfg = small_system(GetParam());
+  const model::NetworkParams params;
+  const model::RefinedModel refined(cfg, params);
+  const double lambda = 1e-4;  // far below every topology's knee
+
+  const topo::MultiClusterTopology topology(cfg);
+  sim::SimConfig sim_cfg;
+  sim_cfg.warmup_messages = 2'000;
+  sim_cfg.measured_messages = 20'000;
+  sim::Simulator simulator(topology, params, lambda, sim_cfg);
+  const sim::SimResult measured = simulator.run();
+  ASSERT_FALSE(measured.saturated);
+
+  const model::LatencyPrediction predicted = refined.predict(lambda);
+  ASSERT_TRUE(predicted.stable);
+  const double rel_err =
+      std::abs(predicted.mean_latency - measured.latency.mean) /
+      measured.latency.mean;
+  EXPECT_LT(rel_err, 0.15) << "model " << predicted.mean_latency
+                           << " vs sim " << measured.latency.mean;
+
+  // Percentile satellite: medians and tails populated and ordered.
+  ASSERT_GE(measured.latency_p50, 0.0);
+  EXPECT_LE(measured.latency_p50, measured.latency_p95);
+  EXPECT_LE(measured.latency_p95, measured.latency_p99);
+  EXPECT_GT(measured.latency_p99, measured.latency.mean * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphKinds, Icn2ModelVsSim,
+    ::testing::Values(topo::Icn2Kind::kFatTree, topo::Icn2Kind::kTorus,
+                      topo::Icn2Kind::kDragonfly,
+                      topo::Icn2Kind::kRandomRegular),
+    [](const auto& info) { return std::string(to_string(info.param)); });
+
+TEST(Icn2Scenario, ParsesTheIcn2Keys) {
+  const exp::ScenarioSpec spec = exp::parse_scenario_string(R"(
+    [sweep]
+    loads = 1e-4
+    [system tree]
+    preset = homogeneous
+    m = 4
+    height = 2
+    clusters = 8
+    [system torus]
+    m = 4
+    heights = 2, 2, 2, 2, 2, 2, 2, 2
+    icn2 = torus
+    icn2_rows = 2
+    icn2_cols = 4
+    [system mesh]
+    preset = homogeneous
+    m = 4
+    height = 2
+    clusters = 8
+    icn2 = mesh
+    [system rr]
+    preset = homogeneous
+    m = 4
+    height = 2
+    clusters = 8
+    icn2 = random
+    icn2_degree = 3
+    icn2_switches = 8
+    icn2_seed = 99
+  )");
+  ASSERT_EQ(spec.systems.size(), 4u);
+  EXPECT_EQ(spec.systems[0].config.icn2.kind, topo::Icn2Kind::kFatTree);
+  EXPECT_EQ(spec.systems[1].config.icn2.kind, topo::Icn2Kind::kTorus);
+  EXPECT_TRUE(spec.systems[1].config.icn2.torus_wrap);
+  EXPECT_EQ(spec.systems[1].config.icn2.torus_rows, 2);
+  EXPECT_EQ(spec.systems[1].config.icn2.torus_cols, 4);
+  EXPECT_EQ(spec.systems[2].config.icn2.kind, topo::Icn2Kind::kTorus);
+  EXPECT_FALSE(spec.systems[2].config.icn2.torus_wrap);
+  EXPECT_EQ(spec.systems[3].config.icn2.kind,
+            topo::Icn2Kind::kRandomRegular);
+  EXPECT_EQ(spec.systems[3].config.icn2.degree, 3);
+  EXPECT_EQ(spec.systems[3].config.icn2.switches, 8);
+  EXPECT_EQ(spec.systems[3].config.icn2.seed, 99u);
+}
+
+TEST(Icn2Scenario, RejectsParametersTheKindNeverReads) {
+  // A knob the selected topology ignores must fail loudly, not silently
+  // shape nothing.
+  EXPECT_THROW(exp::parse_scenario_string(R"(
+    [sweep]
+    loads = 1e-4
+    [system s]
+    preset = homogeneous
+    m = 4
+    height = 2
+    clusters = 8
+    icn2 = torus
+    icn2_degree = 4
+  )"),
+               ConfigError);
+  EXPECT_THROW(exp::parse_scenario_string(R"(
+    [sweep]
+    loads = 1e-4
+    [system s]
+    preset = homogeneous
+    m = 4
+    height = 2
+    clusters = 8
+    icn2_seed = 3
+  )"),
+               ConfigError);
+  EXPECT_THROW(exp::parse_scenario_string(R"(
+    [sweep]
+    loads = 1e-4
+    [system s]
+    preset = homogeneous
+    m = 4
+    height = 2
+    clusters = 8
+    icn2 = dragonfly
+    icn2_rows = 2
+    icn2_cols = 4
+  )"),
+               ConfigError);
+}
+
+TEST(Icn2Scenario, RejectsUnknownKind) {
+  EXPECT_THROW(exp::parse_scenario_string(R"(
+    [sweep]
+    loads = 1e-4
+    [system s]
+    preset = homogeneous
+    m = 4
+    height = 2
+    clusters = 8
+    icn2 = hypercube
+  )"),
+               ConfigError);
+}
+
+TEST(Icn2Sweep, BundledScenarioRunsEndToEndOverAllKinds) {
+  // The acceptance run at reduced counts: all four kinds, sim and
+  // graph-load model populated on every row, paper model only on the
+  // fat-tree rows.
+  exp::ScenarioSpec spec =
+      exp::load_scenario(exp::default_scenario_dir() + "/icn2_topologies.ini");
+  spec.warmup = 500;
+  spec.measured = 4'000;
+  spec.loads = {1e-4};
+  const exp::SweepResult result = exp::SweepRunner(std::move(spec)).run();
+
+  ASSERT_EQ(result.rows.size(), 4u);
+  for (const exp::SweepRow& row : result.rows) {
+    EXPECT_TRUE(row.refined_run) << row.system_id;
+    EXPECT_TRUE(row.refined_stable) << row.system_id;
+    EXPECT_EQ(row.paper_run, row.icn2_kind == "fat_tree") << row.system_id;
+    EXPECT_EQ(row.completed, 1) << row.system_id;
+    EXPECT_EQ(row.sim_state, 0) << row.system_id;
+    EXPECT_GT(row.sim_p50, 0.0) << row.system_id;
+    EXPECT_GE(row.sim_p99, row.sim_p95) << row.system_id;
+    const double rel_err =
+        std::abs(row.refined_latency - row.sim_latency) / row.sim_latency;
+    EXPECT_LT(rel_err, 0.2) << row.system_id;
+  }
+}
+
+}  // namespace
+}  // namespace mcs

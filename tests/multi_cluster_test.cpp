@@ -101,7 +101,7 @@ TEST(MultiClusterTopology, BuildsAllNetworksForOrgA) {
               topo.ecn1(i).endpoint_count());
     EXPECT_EQ(topo.icn1(i).extra_endpoint_count(), 0);
   }
-  EXPECT_GE(topo.icn2().endpoint_count(), topo.config().cluster_count());
+  EXPECT_GE(topo.icn2().total_endpoints(), topo.config().cluster_count());
 }
 
 TEST(MultiClusterTopology, GlobalAddressingRoundTrips) {
@@ -132,7 +132,7 @@ TEST(MultiClusterTopology, NonPowerClusterCountGetsSpareIcn2Slots) {
   const SystemConfig cfg = SystemConfig::homogeneous(4, 1, 6);
   EXPECT_EQ(cfg.icn2_height(), 2);
   const MultiClusterTopology topo(cfg);
-  EXPECT_EQ(topo.icn2().endpoint_count(), 8);
+  EXPECT_EQ(topo.icn2().total_endpoints(), 8);
 }
 
 }  // namespace

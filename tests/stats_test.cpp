@@ -129,6 +129,27 @@ TEST(Histogram, QuantileOfUniformData) {
   EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
 }
 
+TEST(PercentileInplace, MatchesSortedOrderStatistics) {
+  // 0..100 shuffled: type-7 quantiles are exact on the integer lattice.
+  std::vector<double> xs;
+  for (int i = 100; i >= 0; --i) xs.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile_inplace(xs, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_inplace(xs, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(percentile_inplace(xs, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(percentile_inplace(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_inplace(xs, 1.0), 100.0);
+}
+
+TEST(PercentileInplace, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  // h = 0.5 * 3 = 1.5 -> halfway between the 2nd and 3rd order statistic.
+  EXPECT_DOUBLE_EQ(percentile_inplace(xs, 0.5), 2.5);
+  std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile_inplace(one, 0.99), 7.0);
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(percentile_inplace(empty, 0.5), 0.0);
+}
+
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 0.0, 10), ConfigError);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);

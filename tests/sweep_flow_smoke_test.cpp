@@ -1,0 +1,77 @@
+// Store-and-forward through the full sweep path: for every bundled
+// scenario, one low-load point with `flow = store_and_forward` must run
+// end-to-end — simulator completing in steady state and the refined
+// model's store-and-forward occupancy variant tracking it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "exp/sweep_io.hpp"
+
+namespace mcs::exp {
+namespace {
+
+std::vector<std::string> bundled_scenarios() {
+  std::vector<std::string> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(default_scenario_dir()))
+    if (entry.path().extension() == ".ini")
+      paths.push_back(entry.path().string());
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(StoreAndForwardSweepSmoke, EveryBundledScenarioAtLowLoad) {
+  const std::vector<std::string> scenarios = bundled_scenarios();
+  ASSERT_FALSE(scenarios.empty());
+
+  for (const std::string& path : scenarios) {
+    SCOPED_TRACE(path);
+    ScenarioSpec spec = load_scenario(path);
+
+    // One grid point: first system and pattern, smallest load, the
+    // store-and-forward switching mechanism, store-forward relays (the
+    // mode the three-segment model describes).
+    spec.systems.resize(1);
+    if (!spec.patterns.empty()) spec.patterns.resize(1);
+    spec.message_flits.resize(1);
+    spec.flit_bytes.resize(1);
+    spec.relay_modes = {sim::RelayMode::kStoreForward};
+    spec.flow_controls = {sim::FlowControl::kStoreAndForward};
+    spec.loads = {*std::min_element(spec.loads.begin(), spec.loads.end())};
+    spec.replications = 1;
+    spec.warmup = 500;
+    spec.measured = 5'000;
+    spec.run_sim = true;
+    spec.run_paper_model = false;
+    spec.run_refined_model = true;
+    spec.find_knee = false;
+
+    const SweepResult result = SweepRunner(std::move(spec)).run();
+    ASSERT_EQ(result.rows.size(), 1u);
+    const SweepRow& row = result.rows.front();
+
+    EXPECT_EQ(row.flow, sim::FlowControl::kStoreAndForward);
+    EXPECT_EQ(row.completed, 1);
+    EXPECT_EQ(row.sim_state, 0) << "saturated at the scenario's lowest load";
+    EXPECT_GT(row.sim_latency, 0.0);
+    EXPECT_GT(row.sim_p50, 0.0);
+
+    if (row.refined_run) {  // hotspot-style patterns have no model column
+      EXPECT_TRUE(row.refined_stable);
+      const double rel_err =
+          std::abs(row.refined_latency - row.sim_latency) / row.sim_latency;
+      EXPECT_LT(rel_err, 0.25)
+          << "model " << row.refined_latency << " vs sim " << row.sim_latency;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs::exp
