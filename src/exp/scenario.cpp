@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/cli.hpp"
 #include "util/error.hpp"
 
 namespace mcs::exp {
@@ -32,6 +33,52 @@ std::vector<std::string> split_list(const std::string& s, char sep = ',') {
 [[noreturn]] void fail(const std::string& source, int line,
                        const std::string& what) {
   throw ConfigError(source + ":" + std::to_string(line) + ": " + what);
+}
+
+/// "did you mean ...?" suffix for an unrecognized name, ranked by edit
+/// distance over the vocabulary that is legal in this position. Empty when
+/// nothing is plausibly close (then the bare error stands).
+std::string suggest(const std::string& name,
+                    const std::vector<std::string>& known) {
+  const std::vector<std::string> close = util::closest_matches(name, known);
+  if (close.empty()) return "";
+  std::string hint = "; did you mean";
+  for (std::size_t i = 0; i < close.size(); ++i)
+    hint += (i == 0 ? " '" : ", '") + close[i] + "'";
+  hint += "?";
+  return hint;
+}
+
+[[noreturn]] void fail_unknown(const std::string& source, int line,
+                               const std::string& what,
+                               const std::string& name,
+                               const std::vector<std::string>& known) {
+  fail(source, line, what + " '" + name + "'" + suggest(name, known));
+}
+
+const std::vector<std::string>& sweep_keys() {
+  static const std::vector<std::string> keys = {
+      "name",      "seed",       "replications", "warmup",
+      "measured",  "message_flits", "flit_bytes", "loads",
+      "load_grid", "models",     "sim",          "knee",
+      "relay",     "flow",       "alpha_net",    "alpha_sw",
+      "beta_net"};
+  return keys;
+}
+
+const std::vector<std::string>& system_keys() {
+  static const std::vector<std::string> keys = {
+      "preset",     "m",         "height",        "clusters",
+      "heights",    "icn2",      "icn2_switches", "icn2_rows",
+      "icn2_cols",  "icn2_wrap", "icn2_degree",   "icn2_seed"};
+  return keys;
+}
+
+const std::vector<std::string>& pattern_keys() {
+  static const std::vector<std::string> keys = {
+      "kind", "hotspot_fraction", "hotspot_node", "local_fraction",
+      "cluster_shift"};
+  return keys;
 }
 
 double parse_double(const std::string& source, int line,
@@ -145,7 +192,9 @@ topo::SystemConfig finish_system(const std::string& source,
     config = topo::SystemConfig::homogeneous(d.m, d.height, d.clusters);
   } else if (!d.preset.empty()) {
     fail(source, d.line,
-         "[system " + d.id + "]: unknown preset '" + d.preset + "'");
+         "[system " + d.id + "]: unknown preset '" + d.preset + "'" +
+             suggest(d.preset,
+                     {"table1_org_a", "table1_org_b", "homogeneous"}));
   } else {
     if (d.m <= 0 || d.heights.empty())
       fail(source, d.line,
@@ -275,7 +324,9 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
           if (p.id == pattern.id)
             fail(source, line_no, "duplicate pattern id '" + pattern.id + "'");
       } else {
-        fail(source, line_no, "unknown section [" + header + "]");
+        fail(source, line_no,
+             "unknown section [" + header + "]" +
+                 suggest(header, {"sweep", "system", "pattern"}));
       }
       continue;
     }
@@ -367,7 +418,8 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
         } else if (key == "beta_net") {
           spec.base_params.beta_net = parse_double(source, line_no, value);
         } else {
-          fail(source, line_no, "unknown [sweep] key '" + key + "'");
+          fail_unknown(source, line_no, "unknown [sweep] key", key,
+                       sweep_keys());
         }
         break;
       }
@@ -389,7 +441,9 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
         } else if (key == "icn2") {
           if (!topo::parse_icn2_kind(value, system.icn2.kind,
                                      system.icn2.torus_wrap))
-            fail(source, line_no, "unknown icn2 kind '" + value + "'");
+            fail_unknown(source, line_no, "unknown icn2 kind", value,
+                         {"fat_tree", "torus", "mesh", "dragonfly",
+                          "random_regular"});
         } else if (key == "icn2_switches") {
           system.icn2.switches =
               static_cast<int>(parse_int(source, line_no, value));
@@ -410,7 +464,8 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
           system.icn2.seed =
               static_cast<std::uint64_t>(parse_int(source, line_no, value));
         } else {
-          fail(source, line_no, "unknown [system] key '" + key + "'");
+          fail_unknown(source, line_no, "unknown [system] key", key,
+                       system_keys());
         }
         break;
       }
@@ -427,7 +482,9 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
           else if (value == "cluster_permutation")
             pattern.pattern.kind = sim::PatternKind::kClusterPermutation;
           else
-            fail(source, line_no, "unknown pattern kind '" + value + "'");
+            fail_unknown(source, line_no, "unknown pattern kind", value,
+                         {"uniform", "hotspot", "local_favor",
+                          "cluster_permutation"});
         } else if (key == "hotspot_fraction") {
           pattern.pattern.hotspot_fraction =
               parse_double(source, line_no, value);
@@ -440,7 +497,8 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
           pattern.pattern.cluster_shift =
               static_cast<int>(parse_int(source, line_no, value));
         } else {
-          fail(source, line_no, "unknown [pattern] key '" + key + "'");
+          fail_unknown(source, line_no, "unknown [pattern] key", key,
+                       pattern_keys());
         }
         break;
       }

@@ -1,11 +1,54 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "util/contracts.hpp"
 
 namespace mcs::sim {
+
+namespace {
+
+// Fixed-path-length drain kernel: the whole start(f, j) row lives in
+// locals, so the compiler keeps it in registers and the out-of-order core
+// overlaps the add/max chains of consecutive flit rows on its own — no
+// store/load round-trips in the latency-critical recurrence. The formulas
+// and evaluation order per cell are EXACTLY the generic loop's, so the
+// computed doubles are bit-identical.
+template <int K>
+void drain_fixed(const double* acquire, const double* svc_in, int rows,
+                 double* out) {
+  static_assert(K >= 2);
+  double svc[K];
+  double p[K];
+  for (int j = 0; j < K; ++j) svc[j] = svc_in[j];
+  for (int j = 0; j < K; ++j) p[j] = acquire[j];
+  for (; rows > 0; --rows) {
+    double c[K];
+    c[0] = std::max(p[0] + svc[0], p[1]);
+    for (int j = 1; j + 1 < K; ++j)
+      c[j] = std::max(c[j - 1] + svc[j - 1], p[j + 1]);
+    c[K - 1] = std::max(c[K - 2] + svc[K - 2], p[K - 1] + svc[K - 1]);
+    for (int j = 0; j < K; ++j) p[j] = c[j];
+  }
+  for (int j = 0; j < K; ++j) out[j] = p[j];
+}
+
+using DrainFn = void (*)(const double*, const double*, int, double*);
+
+// Dispatch table for the path lengths that occur in practice (trees:
+// 2..2*height; cut-through relays: up to 4*height + ICN2 diameter).
+constexpr DrainFn kDrainFixed[] = {
+    nullptr,          nullptr,          drain_fixed<2>,  drain_fixed<3>,
+    drain_fixed<4>,   drain_fixed<5>,   drain_fixed<6>,  drain_fixed<7>,
+    drain_fixed<8>,   drain_fixed<9>,   drain_fixed<10>, drain_fixed<11>,
+    drain_fixed<12>,  drain_fixed<13>,  drain_fixed<14>, drain_fixed<15>,
+    drain_fixed<16>};
+constexpr std::size_t kMaxFixedDrain =
+    sizeof(kDrainFixed) / sizeof(kDrainFixed[0]) - 1;
+
+}  // namespace
 
 WormholeEngine::WormholeEngine(std::vector<double> channel_service,
                                int message_flits, EventQueue& queue,
@@ -17,13 +60,61 @@ WormholeEngine::WormholeEngine(std::vector<double> channel_service,
       listener_(listener),
       channels_(service_.size()) {
   MCS_EXPECTS(flits_ >= 1);
+  MCS_EXPECTS(service_.size() <=
+              static_cast<std::size_t>(EventQueue::kMaxPayload));
+  crossing_.resize(service_.size());
+  for (std::size_t c = 0; c < service_.size(); ++c)
+    crossing_[c] = flow_control_ == FlowControl::kWormhole
+                       ? service_[c]
+                       : flits_ * service_[c];
   busy_time_.assign(service_.size(), 0.0);
   traversals_.assign(service_.size(), 0);
+  drain_svc_.resize(stride_);
+  drain_prev_.resize(stride_);
+  drain_mid_.resize(stride_);
+  drain_cur_.resize(stride_);
 }
 
 void WormholeEngine::enable_channel_stats() {
   stats_enabled_ = true;
   window_start_ = std::numeric_limits<double>::infinity();
+}
+
+void WormholeEngine::reserve_worms(int expected_worms, int max_path_len) {
+  MCS_EXPECTS(expected_worms >= 0 && max_path_len >= 0);
+  if (static_cast<std::size_t>(max_path_len) > stride_)
+    grow_stride(max_path_len);
+  worms_.reserve(static_cast<std::size_t>(expected_worms));
+  free_worms_.reserve(static_cast<std::size_t>(expected_worms));
+  path_pool_.reserve(static_cast<std::size_t>(expected_worms) * stride_);
+  acquire_pool_.reserve(static_cast<std::size_t>(expected_worms) * stride_);
+}
+
+void WormholeEngine::grow_stride(std::int32_t needed_len) {
+  // Rare: only when a path longer than any seen so far arrives. Re-lay the
+  // pools at the wider stride; row indices (worm ids) stay valid, so
+  // in-flight worms survive the move.
+  const std::size_t new_stride =
+      std::max<std::size_t>(static_cast<std::size_t>(needed_len),
+                            2 * stride_);
+  const std::size_t rows = worms_.size();
+  std::vector<GlobalChannelId> path(rows * new_stride);
+  std::vector<double> acquire(rows * new_stride);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto len = static_cast<std::size_t>(worms_[i].len);
+    std::copy_n(path_pool_.begin() + static_cast<std::ptrdiff_t>(i * stride_),
+                len, path.begin() + static_cast<std::ptrdiff_t>(i * new_stride));
+    std::copy_n(
+        acquire_pool_.begin() + static_cast<std::ptrdiff_t>(i * stride_), len,
+        acquire.begin() + static_cast<std::ptrdiff_t>(i * new_stride));
+  }
+  path_pool_ = std::move(path);
+  acquire_pool_ = std::move(acquire);
+  stride_ = new_stride;
+  drain_svc_.resize(stride_);
+  drain_prev_.resize(stride_);
+  drain_mid_.resize(stride_);
+  drain_cur_.resize(stride_);
 }
 
 WormId WormholeEngine::spawn(std::int32_t msg,
@@ -34,6 +125,8 @@ WormId WormholeEngine::spawn(std::int32_t msg,
   // comment. Store-and-forward holds one channel at a time.
   MCS_EXPECTS(flow_control_ == FlowControl::kStoreAndForward ||
               static_cast<int>(path.size()) <= flits_);
+  if (path.size() > stride_)
+    grow_stride(static_cast<std::int32_t>(path.size()));
 
   WormId id;
   if (!free_worms_.empty()) {
@@ -41,16 +134,20 @@ WormId WormholeEngine::spawn(std::int32_t msg,
     free_worms_.pop_back();
   } else {
     id = static_cast<WormId>(worms_.size());
+    MCS_EXPECTS(id <= EventQueue::kMaxPayload);
     worms_.emplace_back();
+    path_pool_.resize(worms_.size() * stride_);
+    acquire_pool_.resize(worms_.size() * stride_);
   }
   Worm& w = worms_[static_cast<std::size_t>(id)];
-  w.path.assign(path.begin(), path.end());
-  w.acquire.assign(path.size(), 0.0);
+  std::copy_n(path.data(), path.size(), path_pool_.data() + row(id));
   w.enqueue_time = now;
   w.msg = msg;
   w.hop = 0;
+  w.len = static_cast<std::int32_t>(path.size());
   w.next_waiter = Worm::kNoWorm;
   ++live_worms_;
+  ++spawned_;
 
   request(id, now);
   return id;
@@ -58,7 +155,8 @@ WormId WormholeEngine::spawn(std::int32_t msg,
 
 void WormholeEngine::request(WormId id, double now) {
   Worm& w = worms_[static_cast<std::size_t>(id)];
-  const GlobalChannelId c = w.path[static_cast<std::size_t>(w.hop)];
+  const GlobalChannelId c =
+      path_pool_[row(id) + static_cast<std::size_t>(w.hop)];
   ChannelState& ch = channels_[static_cast<std::size_t>(c)];
   if (ch.holder == Worm::kNoWorm) {
     MCS_ASSERT(ch.wait_head == Worm::kNoWorm);
@@ -78,18 +176,16 @@ void WormholeEngine::request(WormId id, double now) {
 
 void WormholeEngine::acquire(WormId id, double now) {
   Worm& w = worms_[static_cast<std::size_t>(id)];
-  const GlobalChannelId c = w.path[static_cast<std::size_t>(w.hop)];
+  const std::size_t hop = static_cast<std::size_t>(w.hop);
+  const GlobalChannelId c = path_pool_[row(id) + hop];
   ChannelState& ch = channels_[static_cast<std::size_t>(c)];
   MCS_ASSERT(ch.holder == Worm::kNoWorm);
   ch.holder = id;
-  w.acquire[static_cast<std::size_t>(w.hop)] = now;
+  acquire_pool_[row(id) + hop] = now;
   // Wormhole: the header crosses in one flit time. Store-and-forward: the
-  // entire message crosses before anything else happens.
-  const double crossing =
-      flow_control_ == FlowControl::kWormhole
-          ? service_[static_cast<std::size_t>(c)]
-          : flits_ * service_[static_cast<std::size_t>(c)];
-  queue_.push(now + crossing, EventKind::kHeaderAdvance, id);
+  // entire message crosses before anything else happens (see crossing_).
+  queue_.push(now + crossing_[static_cast<std::size_t>(c)],
+              EventKind::kHeaderAdvance, id);
 }
 
 void WormholeEngine::handle(const Event& event) {
@@ -118,10 +214,10 @@ void WormholeEngine::header_advanced(WormId id, double now) {
     // The full message crossed this channel: release it immediately, then
     // queue for the next hop (or deliver).
     const auto hop = static_cast<std::size_t>(w.hop);
-    account(w.path[hop], w.acquire[hop], now);
-    release(w.path[hop], now);
+    account(path_pool_[row(id) + hop], acquire_pool_[row(id) + hop], now);
+    release(path_pool_[row(id) + hop], now);
     ++w.hop;
-    if (w.hop < static_cast<std::int32_t>(w.path.size())) {
+    if (w.hop < w.len) {
       request(id, now);
     } else {
       queue_.push(now, EventKind::kWormDone, id);
@@ -129,7 +225,7 @@ void WormholeEngine::header_advanced(WormId id, double now) {
     return;
   }
   ++w.hop;
-  if (w.hop < static_cast<std::int32_t>(w.path.size())) {
+  if (w.hop < w.len) {
     request(id, now);
   } else {
     finish_header(id, now);
@@ -137,42 +233,87 @@ void WormholeEngine::header_advanced(WormId id, double now) {
 }
 
 void WormholeEngine::finish_header(WormId id, double now) {
-  Worm& w = worms_[static_cast<std::size_t>(id)];
-  const std::size_t hops = w.path.size();
+  const Worm& w = worms_[static_cast<std::size_t>(id)];
+  const std::size_t hops = static_cast<std::size_t>(w.len);
+  const GlobalChannelId* path = path_pool_.data() + row(id);
+  const double* acquire = acquire_pool_.data() + row(id);
+
+  // Hoist the per-hop service times out of the flit loop: one indirect
+  // lookup per hop instead of one per (flit, hop) pair.
+  double* const svc = drain_svc_.data();
+  for (std::size_t j = 0; j < hops; ++j)
+    svc[j] = service_[static_cast<std::size_t>(path[j])];
 
   // Evaluate the drain recurrence. Row f holds start(f, j); the header row
   // is start(0, j) = acquire[j].
-  drain_prev_.assign(w.acquire.begin(), w.acquire.end());
-  drain_cur_.resize(hops);
-  auto svc = [&](std::size_t j) {
-    return service_[static_cast<std::size_t>(w.path[j])];
-  };
-  for (int f = 1; f < flits_; ++f) {
-    // j = 0: flits wait in the source; constrained by channel reuse and
-    // the buffer one stage ahead (if any).
-    drain_cur_[0] = drain_prev_[0] + svc(0);
-    if (hops > 1) drain_cur_[0] = std::max(drain_cur_[0], drain_prev_[1]);
-    for (std::size_t j = 1; j + 1 < hops; ++j) {
-      drain_cur_[j] =
-          std::max(drain_cur_[j - 1] + svc(j - 1), drain_prev_[j + 1]);
+  //
+  // Every cell is computed with the ORIGINAL per-flit formula on the
+  // original operands — reordering independent cells cannot change their
+  // values, so results stay bit-identical (the golden tests pin this).
+  // The loop is software-pipelined two flit rows per pass: cell (f+1, j-1)
+  // only needs (f, j), so the second row trails the first by one column
+  // and the two serial add/max dependency chains overlap — the recurrence
+  // is latency-bound, and this halves its critical path.
+  double* prev = drain_prev_.data();
+  double* mid = drain_mid_.data();
+  double* cur = drain_cur_.data();
+  int rows = flits_ - 1;
+  if (hops == 1) {
+    // Degenerate single-channel path: the recurrence is a chain of adds.
+    prev[0] = acquire[0];
+    for (; rows > 0; --rows) prev[0] += svc[0];
+  } else if (hops <= kMaxFixedDrain) {
+    // Reads acquire[] directly and fills prev[] completely.
+    kDrainFixed[hops](acquire, svc, rows, prev);
+  } else {
+    std::copy_n(acquire, hops, prev);
+    const std::size_t last = hops - 1;
+    // One row: to = next flit row after from. (j = 0: flits wait in the
+    // source, constrained by channel reuse and the buffer one stage
+    // ahead; j = last: tail leaves through both service terms.)
+    const auto single = [&](const double* from, double* to) {
+      to[0] = std::max(from[0] + svc[0], from[1]);
+      for (std::size_t j = 1; j + 1 < hops; ++j)
+        to[j] = std::max(to[j - 1] + svc[j - 1], from[j + 1]);
+      to[last] =
+          std::max(to[last - 1] + svc[last - 1], from[last] + svc[last]);
+    };
+    // Two rows: m = row after from, to = row after m, interleaved. Only
+    // paths longer than every fixed-K kernel reach this fallback, so the
+    // steady-state loop needs no short-path special cases.
+    MCS_ASSERT(hops > kMaxFixedDrain);
+    const auto dual = [&](const double* from, double* m, double* to) {
+      m[0] = std::max(from[0] + svc[0], from[1]);
+      m[1] = std::max(m[0] + svc[0], from[2]);
+      to[0] = std::max(m[0] + svc[0], m[1]);
+      for (std::size_t j = 2; j + 1 < hops; ++j) {
+        m[j] = std::max(m[j - 1] + svc[j - 1], from[j + 1]);
+        to[j - 1] = std::max(to[j - 2] + svc[j - 2], m[j]);
+      }
+      m[last] =
+          std::max(m[last - 1] + svc[last - 1], from[last] + svc[last]);
+      to[last - 1] = std::max(to[last - 2] + svc[last - 2], m[last]);
+      to[last] = std::max(to[last - 1] + svc[last - 1], m[last] + svc[last]);
+    };
+    for (; rows >= 2; rows -= 2) {
+      dual(prev, mid, cur);
+      std::swap(prev, cur);
     }
-    if (hops > 1) {
-      const std::size_t last = hops - 1;
-      drain_cur_[last] = std::max(drain_cur_[last - 1] + svc(last - 1),
-                                  drain_prev_[last] + svc(last));
+    if (rows == 1) {
+      single(prev, cur);
+      std::swap(prev, cur);
     }
-    std::swap(drain_prev_, drain_cur_);
   }
 
   // Release channel j when the tail finishes crossing it. Releases are
   // non-decreasing in j; the worm is done when the tail crosses the last
   // channel. The max() guards the M == path-length edge case where a
-  // release could precede this event (see engine.hpp).
+  // release could precede this event (see the header comment).
   double done = now;
   for (std::size_t j = 0; j < hops; ++j) {
-    const double rel = std::max(drain_prev_[j] + svc(j), now);
-    account(w.path[j], w.acquire[j], rel);
-    queue_.push(rel, EventKind::kRelease, w.path[j]);
+    const double rel = std::max(prev[j] + svc[j], now);
+    account(path[j], acquire[j], rel);
+    queue_.push(rel, EventKind::kRelease, path[j]);
     done = std::max(done, rel);
   }
   queue_.push(done, EventKind::kWormDone, id);

@@ -18,6 +18,13 @@
 // evaluated in closed form at header arrival (O(M*K) arithmetic instead of
 // O(M*K) heap events). A brute-force per-flit event simulator in the test
 // suite verifies the recurrence.
+//
+// Hot-path data layout (DESIGN.md §9): worm records are plain structs in a
+// free-listed pool, and their per-hop path/acquire arrays live in two flat
+// stride-indexed pools (`worm row i` = elements [i*stride, i*stride+len)),
+// so spawning a worm is a memcpy into a recycled row and the drain
+// recurrence walks contiguous memory — no per-worm allocation anywhere in
+// steady state.
 #pragma once
 
 #include <cstdint>
@@ -36,13 +43,13 @@ using WormId = std::int32_t;
 /// (model/params.hpp) so the analytical models can share it.
 using FlowControl = model::FlowControl;
 
-/// One in-flight worm. `acquire[h]` is when channel `path[h]` was granted.
+/// One in-flight worm. The per-hop path/acquire arrays live in the
+/// engine's flat pools; read them via path_of() / acquire_times().
 struct Worm {
-  std::vector<GlobalChannelId> path;
-  std::vector<double> acquire;
   double enqueue_time = 0.0;
   std::int32_t msg = -1;      ///< owning message, opaque to the engine
   std::int32_t hop = 0;       ///< next channel index to acquire
+  std::int32_t len = 0;       ///< path length in channels
   std::int32_t next_waiter = kNoWorm;  ///< intrusive FIFO link
 
   static constexpr std::int32_t kNoWorm = -1;
@@ -63,6 +70,11 @@ class WormholeEngine {
                  EventQueue& queue, Listener& listener,
                  FlowControl flow_control = FlowControl::kWormhole);
 
+  /// Pre-size the worm pools: rows for `expected_worms` concurrently live
+  /// worms of up to `max_path_len` hops. Purely an allocation hint — the
+  /// pools grow on demand either way.
+  void reserve_worms(int expected_worms, int max_path_len);
+
   /// Spawn a worm at `now`: it joins the FIFO of path[0] (the source/relay
   /// queue) and is granted immediately when that channel is idle.
   WormId spawn(std::int32_t msg, std::span<const GlobalChannelId> path,
@@ -74,7 +86,19 @@ class WormholeEngine {
   [[nodiscard]] const Worm& worm(WormId id) const {
     return worms_[static_cast<std::size_t>(id)];
   }
+  [[nodiscard]] std::span<const GlobalChannelId> path_of(WormId id) const {
+    const Worm& w = worms_[static_cast<std::size_t>(id)];
+    return {path_pool_.data() + row(id), static_cast<std::size_t>(w.len)};
+  }
+  /// acquire_times(id)[h] is when channel path_of(id)[h] was granted
+  /// (meaningful for hops already acquired).
+  [[nodiscard]] std::span<const double> acquire_times(WormId id) const {
+    const Worm& w = worms_[static_cast<std::size_t>(id)];
+    return {acquire_pool_.data() + row(id), static_cast<std::size_t>(w.len)};
+  }
   [[nodiscard]] std::int64_t live_worms() const { return live_worms_; }
+  /// Total worms ever spawned (perf-harness worms/sec numerator).
+  [[nodiscard]] std::uint64_t total_spawned() const { return spawned_; }
   /// Worms currently blocked in some channel FIFO (saturation signal).
   [[nodiscard]] std::int64_t waiting_worms() const { return waiting_; }
   [[nodiscard]] int message_flits() const { return flits_; }
@@ -104,6 +128,11 @@ class WormholeEngine {
     WormId wait_tail = Worm::kNoWorm;
   };
 
+  [[nodiscard]] std::size_t row(WormId id) const {
+    return static_cast<std::size_t>(id) * stride_;
+  }
+  void grow_stride(std::int32_t needed_len);
+
   void request(WormId w, double now);
   void acquire(WormId w, double now);
   void header_advanced(WormId w, double now);
@@ -112,6 +141,10 @@ class WormholeEngine {
   void account(GlobalChannelId c, double from, double to);
 
   std::vector<double> service_;
+  /// Header-crossing time per channel: service_[c] under wormhole,
+  /// flits_ * service_[c] under store-and-forward — precomputed so
+  /// acquire() pays neither the branch nor the multiply.
+  std::vector<double> crossing_;
   int flits_;
   FlowControl flow_control_;
   EventQueue& queue_;
@@ -122,14 +155,26 @@ class WormholeEngine {
   std::vector<WormId> free_worms_;
   std::int64_t live_worms_ = 0;
   std::int64_t waiting_ = 0;
+  std::uint64_t spawned_ = 0;
+
+  // Flat per-hop storage: row i spans [i*stride_, i*stride_ + worm.len).
+  // stride_ grows (rarely) when a longer path than ever seen arrives.
+  std::size_t stride_ = 8;
+  std::vector<GlobalChannelId> path_pool_;
+  std::vector<double> acquire_pool_;
 
   bool stats_enabled_ = false;
   double window_start_ = 0.0;
   std::vector<double> busy_time_;
   std::vector<std::uint64_t> traversals_;
 
-  // Scratch rows for the drain recurrence (avoid per-worm allocation).
+  // Scratch rows for the drain recurrence (avoid per-worm allocation):
+  // hoisted per-hop service times plus the rolling start(f, j) rows. The
+  // third row lets finish_header evaluate two flit rows per pass (see the
+  // software-pipelining note there).
+  std::vector<double> drain_svc_;
   std::vector<double> drain_prev_;
+  std::vector<double> drain_mid_;
   std::vector<double> drain_cur_;
 };
 

@@ -56,6 +56,7 @@ struct SimResult {
 
   double end_time = 0.0;
   std::uint64_t events_processed = 0;
+  std::uint64_t worms_spawned = 0;
 
   /// Mean latency by source cluster (Eq. 35's per-cluster view).
   std::vector<double> per_cluster_latency;

@@ -1,9 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <map>
 #include <string>
-#include <tuple>
 
 #include "util/contracts.hpp"
 #include "util/error.hpp"
@@ -65,6 +63,7 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
           longest = std::max(longest, icn2_longest);
         }
 
+        max_path_len_ = longest;
         if (config_.flow_control == FlowControl::kWormhole &&
             longest > params_.message_flits)
           throw ConfigError(
@@ -97,6 +96,7 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
       internal_latency_(config_.batch_size),
       external_latency_(config_.batch_size) {
   const std::int64_t n = topology_.total_nodes();
+  MCS_EXPECTS(n <= EventQueue::kMaxPayload);
   cluster_of_.reserve(static_cast<std::size_t>(n));
   local_of_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < topology_.config().cluster_count(); ++i) {
@@ -116,6 +116,31 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
 
   per_cluster_.resize(
       static_cast<std::size_t>(topology_.config().cluster_count()));
+
+  // Shape the route memo to its use-sites (see simulator.hpp).
+  const int clusters = topology_.config().cluster_count();
+  icn1_routes_.resize(static_cast<std::size_t>(clusters));
+  ecn1_to_conc_.resize(static_cast<std::size_t>(clusters));
+  ecn1_from_conc_.resize(static_cast<std::size_t>(clusters));
+  for (int i = 0; i < clusters; ++i) {
+    const auto size =
+        static_cast<std::size_t>(topology_.config().cluster_size(i));
+    icn1_routes_[static_cast<std::size_t>(i)].resize(size * size);
+    ecn1_to_conc_[static_cast<std::size_t>(i)].resize(size);
+    ecn1_from_conc_[static_cast<std::size_t>(i)].resize(size);
+  }
+  icn2_routes_.resize(static_cast<std::size_t>(clusters) *
+                      static_cast<std::size_t>(clusters));
+
+  // Pre-size the hot pools: recycled worm rows for the expected number of
+  // concurrently live worms, and the pending-event heap's high-water mark
+  // (the standing kGenerate event per node plus the in-flight worm events
+  // — a worm contributes one pending event while advancing and a burst of
+  // path-length + 1 at drain time).
+  engine_.reserve_worms(256, max_path_len_);
+  queue_.enable_generate_lane(static_cast<std::size_t>(n));
+  queue_.reserve(static_cast<std::size_t>(n) +
+                 256 * static_cast<std::size_t>(max_path_len_ + 2));
 
   waiting_cap_ = config_.max_waiting_worms > 0
                      ? config_.max_waiting_worms
@@ -196,6 +221,7 @@ SimResult Simulator::run() {
       static_cast<std::int64_t>(external_latency_.count());
   result.end_time = now;
   result.events_processed = events_processed_;
+  result.worms_spawned = engine_.total_spawned();
   for (const auto& m : per_cluster_) {
     result.per_cluster_latency.push_back(m.mean());
     result.per_cluster_count.push_back(static_cast<std::int64_t>(m.count()));
@@ -247,72 +273,85 @@ void Simulator::handle_generate(std::int32_t node, double now) {
   spawn_segment(msg_id, now);
 }
 
+std::span<const GlobalChannelId> Simulator::route_via(
+    RouteSlot& slot, const topo::Network& net, GlobalChannelId base,
+    topo::EndpointId src, topo::EndpointId dst) {
+  if (slot.off < 0) {
+    route_scratch_.clear();
+    net.route_into(src, dst, route_scratch_);
+    slot.off = static_cast<std::int32_t>(route_pool_.size());
+    slot.len = static_cast<std::int16_t>(route_scratch_.size());
+    for (const topo::ChannelId c : route_scratch_)
+      route_pool_.push_back(base + c);
+  }
+  return {route_pool_.data() + slot.off, static_cast<std::size_t>(slot.len)};
+}
+
 void Simulator::spawn_segment(std::int32_t msg_id, double now) {
   const MsgRec& m = msgs_[static_cast<std::size_t>(msg_id)];
-  const topo::Network* tree = nullptr;
-  GlobalChannelId base = 0;
-  topo::EndpointId src = 0;
-  topo::EndpointId dst = 0;
+  const auto sc = static_cast<std::size_t>(m.src_cluster);
+  const auto dc = static_cast<std::size_t>(m.dst_cluster);
+  const auto clusters =
+      static_cast<std::size_t>(topology_.config().cluster_count());
 
-  if (m.segment == 4) {
-    // Cut-through: concatenate the three legs into one worm. The relays
-    // act as one-flit buffers along the path instead of full queues.
-    path_scratch_.clear();
-    auto append = [&](const topo::Network& t, GlobalChannelId b,
-                      topo::EndpointId s, topo::EndpointId d) {
-      route_scratch_.clear();
-      t.route_into(s, d, route_scratch_);
-      for (const topo::ChannelId c : route_scratch_)
-        path_scratch_.push_back(b + c);
-    };
-    append(topology_.ecn1(m.src_cluster),
-           ecn1_base_[static_cast<std::size_t>(m.src_cluster)], m.src_local,
-           topology_.concentrator_endpoint(m.src_cluster));
-    append(topology_.icn2(), icn2_base_,
-           topology_.icn2_endpoint(m.src_cluster),
-           topology_.icn2_endpoint(m.dst_cluster));
-    append(topology_.ecn1(m.dst_cluster),
-           ecn1_base_[static_cast<std::size_t>(m.dst_cluster)],
-           topology_.concentrator_endpoint(m.dst_cluster), m.dst_local);
-    engine_.spawn(msg_id, path_scratch_, now);
-    return;
-  }
+  const auto icn1 = [&]() {
+    const auto size = static_cast<std::size_t>(
+        topology_.config().cluster_size(m.src_cluster));
+    return route_via(
+        icn1_routes_[sc][static_cast<std::size_t>(m.src_local) * size +
+                         static_cast<std::size_t>(m.dst_local)],
+        topology_.icn1(m.src_cluster), icn1_base_[sc], m.src_local,
+        m.dst_local);
+  };
+  const auto ecn1_out = [&]() {
+    return route_via(ecn1_to_conc_[sc][static_cast<std::size_t>(m.src_local)],
+                     topology_.ecn1(m.src_cluster), ecn1_base_[sc],
+                     m.src_local,
+                     topology_.concentrator_endpoint(m.src_cluster));
+  };
+  const auto icn2 = [&]() {
+    return route_via(icn2_routes_[sc * clusters + dc], topology_.icn2(),
+                     icn2_base_, topology_.icn2_endpoint(m.src_cluster),
+                     topology_.icn2_endpoint(m.dst_cluster));
+  };
+  const auto ecn1_in = [&]() {
+    return route_via(
+        ecn1_from_conc_[dc][static_cast<std::size_t>(m.dst_local)],
+        topology_.ecn1(m.dst_cluster), ecn1_base_[dc],
+        topology_.concentrator_endpoint(m.dst_cluster), m.dst_local);
+  };
 
   switch (m.segment) {
     case 0:  // internal: one worm through the cluster's ICN1
-      tree = &topology_.icn1(m.src_cluster);
-      base = icn1_base_[static_cast<std::size_t>(m.src_cluster)];
-      src = m.src_local;
-      dst = m.dst_local;
-      break;
+      engine_.spawn(msg_id, icn1(), now);
+      return;
     case 1:  // external leg 1: source ECN1, node -> concentrator
-      tree = &topology_.ecn1(m.src_cluster);
-      base = ecn1_base_[static_cast<std::size_t>(m.src_cluster)];
-      src = m.src_local;
-      dst = topology_.concentrator_endpoint(m.src_cluster);
-      break;
+      engine_.spawn(msg_id, ecn1_out(), now);
+      return;
     case 2:  // external leg 2: ICN2, concentrator_i -> concentrator_v
-      tree = &topology_.icn2();
-      base = icn2_base_;
-      src = topology_.icn2_endpoint(m.src_cluster);
-      dst = topology_.icn2_endpoint(m.dst_cluster);
-      break;
+      engine_.spawn(msg_id, icn2(), now);
+      return;
     case 3:  // external leg 3: destination ECN1, concentrator -> node
-      tree = &topology_.ecn1(m.dst_cluster);
-      base = ecn1_base_[static_cast<std::size_t>(m.dst_cluster)];
-      src = topology_.concentrator_endpoint(m.dst_cluster);
-      dst = m.dst_local;
-      break;
+      engine_.spawn(msg_id, ecn1_in(), now);
+      return;
+    case 4: {
+      // Cut-through: concatenate the three legs into one worm. The relays
+      // act as one-flit buffers along the path instead of full queues.
+      // Each cached span is copied before the next lookup (a cache miss
+      // may reallocate route_pool_ and invalidate earlier spans).
+      path_scratch_.clear();
+      const auto append = [&](std::span<const GlobalChannelId> leg) {
+        path_scratch_.insert(path_scratch_.end(), leg.begin(), leg.end());
+      };
+      append(ecn1_out());
+      append(icn2());
+      append(ecn1_in());
+      engine_.spawn(msg_id, path_scratch_, now);
+      return;
+    }
     default:
       MCS_ASSERT(false);
   }
-
-  route_scratch_.clear();
-  tree->route_into(src, dst, route_scratch_);
-  path_scratch_.clear();
-  for (const topo::ChannelId c : route_scratch_)
-    path_scratch_.push_back(base + c);
-  engine_.spawn(msg_id, path_scratch_, now);
 }
 
 void Simulator::on_worm_done(WormId worm, double time) {
@@ -320,7 +359,7 @@ void Simulator::on_worm_done(WormId worm, double time) {
   MsgRec& m = msgs_[static_cast<std::size_t>(w.msg)];
 
   if (m.measured) {
-    const double wait = w.acquire.front() - w.enqueue_time;
+    const double wait = engine_.acquire_times(worm).front() - w.enqueue_time;
     switch (m.segment) {
       case 0:
       case 1:
@@ -363,13 +402,18 @@ void Simulator::collect_channel_classes(SimResult& result) const {
   const double duration = result.end_time - measure_start_time_;
   if (!(duration > 0.0)) return;
 
+  // Flat (key, accumulator) pairs instead of a std::map: the class count
+  // is tiny (network kind x channel kind x level), so a linear probe plus
+  // one final sort reproduces the map's (net, kind, level) output order
+  // without any node allocation.
   struct Accum {
+    std::int64_t key = 0;
     std::size_t channels = 0;
     double util_sum = 0.0;
     double util_max = 0.0;
     double rate_sum = 0.0;
   };
-  std::map<std::tuple<int, int, int>, Accum> classes;
+  std::vector<Accum> classes;
 
   for (std::size_t c = 0; c < engine_.channel_count(); ++c) {
     const Net& net = nets_[static_cast<std::size_t>(channel_net_[c])];
@@ -382,19 +426,29 @@ void Simulator::collect_channel_classes(SimResult& result) const {
         static_cast<double>(
             engine_.traversals(static_cast<GlobalChannelId>(c))) /
         duration;
-    Accum& a = classes[{static_cast<int>(net.kind), static_cast<int>(ch.kind),
-                        ch.level}];
-    ++a.channels;
-    a.util_sum += util;
-    a.util_max = std::max(a.util_max, util);
-    a.rate_sum += rate;
+    // Lexicographic (net, kind, level) packed into one sortable key.
+    const std::int64_t key = (static_cast<std::int64_t>(net.kind) << 40) |
+                             (static_cast<std::int64_t>(ch.kind) << 32) |
+                             static_cast<std::uint32_t>(ch.level);
+    auto it = std::find_if(classes.begin(), classes.end(),
+                           [&](const Accum& a) { return a.key == key; });
+    if (it == classes.end()) {
+      classes.push_back(Accum{key, 0, 0.0, 0.0, 0.0});
+      it = classes.end() - 1;
+    }
+    ++it->channels;
+    it->util_sum += util;
+    it->util_max = std::max(it->util_max, util);
+    it->rate_sum += rate;
   }
 
-  for (const auto& [key, a] : classes) {
+  std::sort(classes.begin(), classes.end(),
+            [](const Accum& a, const Accum& b) { return a.key < b.key; });
+  for (const Accum& a : classes) {
     ChannelClassStat stat;
-    stat.net = static_cast<NetKind>(std::get<0>(key));
-    stat.kind = static_cast<topo::ChannelKind>(std::get<1>(key));
-    stat.level = std::get<2>(key);
+    stat.net = static_cast<NetKind>(a.key >> 40);
+    stat.kind = static_cast<topo::ChannelKind>((a.key >> 32) & 0xFF);
+    stat.level = static_cast<int>(a.key & 0xFFFFFFFF);
     stat.channels = a.channels;
     stat.mean_utilization = a.util_sum / static_cast<double>(a.channels);
     stat.max_utilization = a.util_max;

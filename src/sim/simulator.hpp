@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "model/params.hpp"
@@ -92,6 +93,16 @@ class Simulator : private WormholeEngine::Listener {
     bool internal = false;
   };
 
+  /// One memoized route, global-channel-translated: off/len into
+  /// route_pool_ (-1 = not computed yet). Routes are deterministic, so
+  /// caching them is invisible to results — it only removes the repeated
+  /// tree/graph arithmetic and the per-spawn translate loop from the hot
+  /// path (DESIGN.md §9).
+  struct RouteSlot {
+    std::int32_t off = -1;
+    std::int16_t len = 0;
+  };
+
   void on_worm_done(WormId worm, double time) override;
 
   void handle_generate(std::int32_t node, double now);
@@ -99,6 +110,14 @@ class Simulator : private WormholeEngine::Listener {
   void finalize(std::int32_t msg_id, double now);
   [[nodiscard]] bool should_stop(double now, std::string& reason) const;
   void collect_channel_classes(SimResult& result) const;
+
+  /// Fill `slot` on first use with net's src->dst route shifted by `base`;
+  /// return the cached global-channel path.
+  std::span<const GlobalChannelId> route_via(RouteSlot& slot,
+                                             const topo::Network& net,
+                                             GlobalChannelId base,
+                                             topo::EndpointId src,
+                                             topo::EndpointId dst);
 
   const topo::MultiClusterTopology& topology_;
   model::NetworkParams params_;
@@ -114,6 +133,7 @@ class Simulator : private WormholeEngine::Listener {
   std::vector<GlobalChannelId> icn1_base_;
   std::vector<GlobalChannelId> ecn1_base_;
   GlobalChannelId icn2_base_ = 0;
+  int max_path_len_ = 0;  ///< longest worm path (queue/pool size hints)
   WormholeEngine engine_;
 
   // Node addressing and per-node RNG streams.
@@ -141,6 +161,16 @@ class Simulator : private WormholeEngine::Listener {
   std::int64_t waiting_cap_ = 0;
   std::int64_t generated_cap_ = 0;
   std::uint64_t events_processed_ = 0;
+
+  // Route memo (see RouteSlot): only the pairs a workload actually routes
+  // get pool entries, and the slot tables are shaped per use-site — ICN1
+  // carries all-pairs internal traffic, the ECN1s only ever route to/from
+  // their concentrator, the ICN2 routes concentrator pairs.
+  std::vector<std::vector<RouteSlot>> icn1_routes_;    ///< [cl][src*N+dst]
+  std::vector<std::vector<RouteSlot>> ecn1_to_conc_;   ///< [cl][src]
+  std::vector<std::vector<RouteSlot>> ecn1_from_conc_; ///< [cl][dst]
+  std::vector<RouteSlot> icn2_routes_;                 ///< [src_c*C+dst_c]
+  std::vector<GlobalChannelId> route_pool_;
 
   std::vector<topo::ChannelId> route_scratch_;
   std::vector<GlobalChannelId> path_scratch_;

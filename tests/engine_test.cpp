@@ -25,7 +25,8 @@ struct DoneCapture : WormholeEngine::Listener {
   void on_worm_done(WormId worm, double time) override {
     const Worm& w = engine->worm(worm);
     done[w.msg] = time;
-    acquires[w.msg] = w.acquire;
+    const std::span<const double> acquire = engine->acquire_times(worm);
+    acquires[w.msg].assign(acquire.begin(), acquire.end());
   }
 };
 
@@ -147,21 +148,33 @@ TEST(EngineDeathTest, PathLongerThanMessageIsRejected) {
 // ---------------------------------------------------------------------------
 
 class EngineVsReference : public ::testing::TestWithParam<int> {};
+class EngineVsReferenceLongPath : public ::testing::TestWithParam<int> {};
 
-TEST_P(EngineVsReference, RandomScenarioMatchesFlitReference) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+/// Shared body: random scenario of `base_channels..base_channels +
+/// channel_spread - 1` channels, `base_flits..` flits and paths up to
+/// `len_cap` hops, run through both simulators and compared. The long-path
+/// variant exercises the engine's generic drain fallback (paths longer
+/// than every fixed-K kernel, see engine.cpp).
+void random_scenario_matches_reference(int seed, int base_channels,
+                                       int channel_spread, int base_flits,
+                                       int flit_spread, int len_cap) {
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
 
   testsupport::RefScenario ref;
-  const int n_channels = 6 + static_cast<int>(rng.next_below(10));
+  const int n_channels =
+      base_channels +
+      static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+          channel_spread)));
   const double services[] = {0.25, 0.5, 0.75, 1.0};
   for (int c = 0; c < n_channels; ++c)
     ref.channel_service.push_back(
         services[rng.next_below(4)]);
-  ref.flits = 2 + static_cast<int>(rng.next_below(9));  // 2..10
+  ref.flits = base_flits + static_cast<int>(rng.next_below(
+                               static_cast<std::uint64_t>(flit_spread)));
 
   const int n_worms = 2 + static_cast<int>(rng.next_below(10));
   const int max_len =
-      std::max(1, std::min(ref.flits - 1, 5));  // avoid the M==K clamp edge
+      std::max(1, std::min(ref.flits - 1, len_cap));  // avoid M==K clamp edge
   for (int w = 0; w < n_worms; ++w) {
     testsupport::RefWormSpec spec;
     spec.spawn_time = rng.next_double() * 12.0;
@@ -235,7 +248,23 @@ TEST_P(EngineVsReference, RandomScenarioMatchesFlitReference) {
         << "busy-time mismatch on channel " << c;
 }
 
+TEST_P(EngineVsReference, RandomScenarioMatchesFlitReference) {
+  random_scenario_matches_reference(GetParam(), /*base_channels=*/6,
+                                    /*channel_spread=*/10, /*base_flits=*/2,
+                                    /*flit_spread=*/9, /*len_cap=*/5);
+}
+
+TEST_P(EngineVsReferenceLongPath, RandomScenarioMatchesFlitReference) {
+  // Paths of up to 24 hops overflow every fixed-K drain kernel (K <= 16),
+  // forcing the software-pipelined generic fallback.
+  random_scenario_matches_reference(GetParam() + 1000, /*base_channels=*/26,
+                                    /*channel_spread=*/8, /*base_flits=*/25,
+                                    /*flit_spread=*/12, /*len_cap=*/24);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineVsReference, ::testing::Range(0, 40));
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineVsReferenceLongPath,
+                         ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace mcs::sim

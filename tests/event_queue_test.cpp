@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <queue>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -61,6 +62,112 @@ TEST(EventQueue, SizeTracksContents) {
   (void)q.pop();
   EXPECT_EQ(q.size(), 1u);
   EXPECT_EQ(q.pushed(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Property/fuzz tests against a reference oracle. The oracle is a
+// std::priority_queue over the same (time, seq) total order; because every
+// seq is unique the order is strict, so ANY correct pending-event structure
+// must pop the exact same sequence. This is what licenses swapping the
+// queue implementation under the golden tests: equivalence here + a total
+// order implies bit-identical simulations.
+
+struct OracleAfter {
+  bool operator()(const Event& x, const Event& y) const {
+    return x.after(y);  // max-heap adaptor + "after" = min-queue
+  }
+};
+using Oracle =
+    std::priority_queue<Event, std::vector<Event>, OracleAfter>;
+
+TEST(EventQueueProperty, MatchesPriorityQueueOracleOnRandomWorkloads) {
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    util::Rng rng(1000 + trial);
+    EventQueue q;
+    Oracle oracle;
+    std::uint64_t seq = 0;
+    double now = 0.0;
+    // Random interleaving of pushes and pops with drift-free clock: pops
+    // advance `now`, pushes schedule at or after it (ties are common by
+    // construction: ~1/4 of pushes reuse the current time exactly).
+    for (int step = 0; step < 4000; ++step) {
+      const bool do_push = oracle.empty() || rng.next_below(100) < 55;
+      if (do_push) {
+        const double dt = rng.next_below(4) == 0
+                              ? 0.0
+                              : rng.next_double() * 8.0;
+        const auto kind = static_cast<EventKind>(rng.next_below(4));
+        const auto a = static_cast<std::int32_t>(rng.next_below(512));
+        q.push(now + dt, kind, a);
+        oracle.push(Event{now + dt, seq++, kind, a});
+      } else {
+        const Event expected = oracle.top();
+        oracle.pop();
+        const Event got = q.pop();
+        EXPECT_EQ(got.time, expected.time);
+        EXPECT_EQ(got.seq, expected.seq);
+        EXPECT_EQ(got.kind, expected.kind);
+        EXPECT_EQ(got.a, expected.a);
+        ASSERT_GE(got.time, now);  // monotonic-pop invariant
+        now = got.time;
+      }
+      ASSERT_EQ(q.size(), oracle.size());
+    }
+    // Drain: the tail must match too, and stay monotone.
+    while (!oracle.empty()) {
+      const Event expected = oracle.top();
+      oracle.pop();
+      const Event got = q.pop();
+      ASSERT_EQ(got.seq, expected.seq);
+      ASSERT_GE(got.time, now);
+      now = got.time;
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(EventQueueProperty, BurstyTiesPopInSeqOrder) {
+  // Adversarial tie pattern: many bursts pushed at identical times in
+  // shuffled arrival order must come out in global seq order per time.
+  util::Rng rng(42);
+  EventQueue q;
+  std::vector<Event> pushed;
+  std::uint64_t seq = 0;
+  for (int burst = 0; burst < 64; ++burst) {
+    const double t = static_cast<double>(rng.next_below(16));
+    const int n = 1 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < n; ++i) {
+      q.push(t, EventKind::kRelease, burst);
+      pushed.push_back(Event{t, seq++, EventKind::kRelease, burst});
+    }
+  }
+  std::sort(pushed.begin(), pushed.end(),
+            [](const Event& x, const Event& y) { return y.after(x); });
+  for (const Event& expected : pushed) {
+    const Event got = q.pop();
+    ASSERT_EQ(got.time, expected.time);
+    ASSERT_EQ(got.seq, expected.seq);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueProperty, ReserveDoesNotChangeBehavior) {
+  util::Rng rng(7);
+  EventQueue plain;
+  EventQueue hinted;
+  hinted.reserve(10'000);
+  for (int i = 0; i < 5000; ++i) {
+    const double t = rng.next_double() * 100.0;
+    plain.push(t, EventKind::kGenerate, i);
+    hinted.push(t, EventKind::kGenerate, i);
+  }
+  while (!plain.empty()) {
+    const Event a = plain.pop();
+    const Event b = hinted.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(hinted.empty());
 }
 
 TEST(EventQueueDeathTest, PopOnEmptyAborts) {

@@ -1,0 +1,195 @@
+// Negative and fuzz tests for the scenario parser: every malformed input —
+// unknown keys, out-of-range values, truncated or bit-flipped files — must
+// surface as mcs::ConfigError (with a closest-match suggestion where a
+// vocabulary exists), never as a crash, hang, or silent acceptance. The CI
+// sanitizer job runs these under ASan/UBSan, which is what turns "no
+// crash" into a real memory-safety claim.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mcs::exp {
+namespace {
+
+const char* kMinimalSystem = "[system a]\npreset = table1_org_a\n";
+
+std::string valid_spec() {
+  return std::string("[sweep]\nloads = 0.001\n") + kMinimalSystem;
+}
+
+/// Parse and return the ConfigError message; fails the test on success.
+std::string error_of(const std::string& text) {
+  try {
+    (void)parse_scenario_string(text);
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected ConfigError for:\n" << text;
+  return "";
+}
+
+TEST(ScenarioNegative, UnknownSweepKeyGetsSuggestion) {
+  const std::string msg =
+      error_of("[sweep]\nmesage_flits = 32\nloads = 0.001\n" +
+               std::string(kMinimalSystem));
+  EXPECT_NE(msg.find("unknown [sweep] key 'mesage_flits'"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("did you mean 'message_flits'"), std::string::npos)
+      << msg;
+}
+
+TEST(ScenarioNegative, UnknownSystemKeyGetsSuggestion) {
+  const std::string msg = error_of(
+      "[sweep]\nloads = 0.001\n[system a]\npreset = table1_org_a\n"
+      "hieghts = 1,2\n");
+  EXPECT_NE(msg.find("unknown [system] key 'hieghts'"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("'heights'"), std::string::npos) << msg;
+}
+
+TEST(ScenarioNegative, MistypedIcn2KeysGetSuggestions) {
+  const std::string msg = error_of(
+      "[sweep]\nloads = 0.001\n[system a]\npreset = table1_org_a\n"
+      "icn2_degres = 4\n");
+  EXPECT_NE(msg.find("'icn2_degres'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'icn2_degree'"), std::string::npos) << msg;
+
+  const std::string kind = error_of(
+      "[sweep]\nloads = 0.001\n[system a]\npreset = table1_org_a\n"
+      "icn2 = dragonfyl\n");
+  EXPECT_NE(kind.find("unknown icn2 kind 'dragonfyl'"), std::string::npos)
+      << kind;
+  EXPECT_NE(kind.find("'dragonfly'"), std::string::npos) << kind;
+}
+
+TEST(ScenarioNegative, UnknownSectionAndPatternKindGetSuggestions) {
+  const std::string section = error_of("[sytem a]\nm = 4\n");
+  EXPECT_NE(section.find("unknown section [sytem a]"), std::string::npos)
+      << section;
+  EXPECT_NE(section.find("'system'"), std::string::npos) << section;
+
+  const std::string kind =
+      error_of(valid_spec() + "[pattern p]\nkind = uniformm\n");
+  EXPECT_NE(kind.find("'uniform'"), std::string::npos) << kind;
+
+  const std::string preset = error_of(
+      "[sweep]\nloads = 0.001\n[system a]\npreset = homogenous\n");
+  EXPECT_NE(preset.find("'homogeneous'"), std::string::npos) << preset;
+}
+
+TEST(ScenarioNegative, OutOfRangeValuesAreConfigErrors) {
+  const std::vector<std::string> bad = {
+      // [sweep] ranges
+      "[sweep]\nloads = -0.5\n" + std::string(kMinimalSystem),
+      "[sweep]\nloads = 0\n" + std::string(kMinimalSystem),
+      "[sweep]\nmessage_flits = 0\nloads = 0.001\n" +
+          std::string(kMinimalSystem),
+      "[sweep]\nflit_bytes = -256\nloads = 0.001\n" +
+          std::string(kMinimalSystem),
+      "[sweep]\nreplications = 0\nloads = 0.001\n" +
+          std::string(kMinimalSystem),
+      "[sweep]\nwarmup = -1\nloads = 0.001\n" + std::string(kMinimalSystem),
+      "[sweep]\nmeasured = 0\nloads = 0.001\n" + std::string(kMinimalSystem),
+      "[sweep]\nload_grid = -1 : 4\nloads = 0.001\n" +
+          std::string(kMinimalSystem),
+      "[sweep]\nload_grid = 0.001 : 0\nloads = 0.001\n" +
+          std::string(kMinimalSystem),
+      // [system] ranges: bad arity/heights, malformed numbers
+      "[sweep]\nloads = 0.001\n[system a]\nm = -4\nheights = 1,2\n",
+      "[sweep]\nloads = 0.001\n[system a]\nm = 3\nheights = 1,2\n",
+      "[sweep]\nloads = 0.001\n[system a]\nm = 4\nheights = 1,-2\n",
+      "[sweep]\nloads = 0.001\n[system a]\nm = 4\n",
+      "[sweep]\nloads = 0.001\n[system a]\nm = four\nheights = 1\n",
+      // icn2 knobs that the selected kind never reads must fail loudly
+      "[sweep]\nloads = 0.001\n[system a]\npreset = table1_org_a\n"
+      "icn2_rows = 4\n",
+      "[sweep]\nloads = 0.001\n[system a]\npreset = table1_org_a\n"
+      "icn2 = dragonfly\nicn2_seed = 7\n",
+      // [pattern] ranges (validated against the topology by the runner,
+      // but parse-time shape errors must still throw)
+      valid_spec() + "[pattern p]\nhotspot_fraction = 0.5\n",
+      valid_spec() + "[pattern p]\nkind = hotspot\nhotspot_node = x\n",
+  };
+  for (const std::string& text : bad)
+    EXPECT_THROW((void)parse_scenario_string(text), ConfigError)
+        << "accepted:\n"
+        << text;
+}
+
+std::vector<std::filesystem::path> bundled_scenarios() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(default_scenario_dir()))
+    if (entry.path().extension() == ".ini") files.push_back(entry.path());
+  EXPECT_GE(files.size(), 4u);
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Parsing arbitrary bytes must either yield a spec or throw ConfigError.
+void expect_no_crash(const std::string& text) {
+  try {
+    (void)parse_scenario_string(text);
+  } catch (const ConfigError&) {
+    // expected for most mutations
+  }
+}
+
+TEST(ScenarioFuzz, TruncatedBundledFilesNeverCrash) {
+  for (const auto& path : bundled_scenarios()) {
+    const std::string whole = slurp(path);
+    ASSERT_FALSE(whole.empty()) << path;
+    // Every line-prefix, plus every byte-prefix around each line boundary
+    // (cuts mid-key, mid-value, mid-section-header).
+    for (std::size_t pos = 0; pos <= whole.size(); ++pos) {
+      const bool line_boundary = pos == whole.size() || whole[pos] == '\n';
+      if (line_boundary)
+        for (std::size_t back = 0; back <= 8 && back <= pos; ++back)
+          expect_no_crash(whole.substr(0, pos - back));
+    }
+  }
+}
+
+TEST(ScenarioFuzz, RandomByteMutationsNeverCrash) {
+  util::Rng rng(20060814);
+  for (const auto& path : bundled_scenarios()) {
+    const std::string whole = slurp(path);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string mutated = whole;
+      const int edits = 1 + static_cast<int>(rng.next_below(4));
+      for (int e = 0; e < edits; ++e) {
+        const std::size_t at = rng.next_below(mutated.size());
+        switch (rng.next_below(3)) {
+          case 0:  // flip to a random printable byte (or newline)
+            mutated[at] = static_cast<char>(' ' + rng.next_below(95));
+            break;
+          case 1:  // delete a byte
+            mutated.erase(at, 1);
+            break;
+          default:  // duplicate a byte
+            mutated.insert(at, 1, mutated[at]);
+            break;
+        }
+        if (mutated.empty()) break;
+      }
+      expect_no_crash(mutated);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs::exp
