@@ -22,6 +22,12 @@
 //   --icn2=KIND       force every system's ICN2 topology
 //                     (fat_tree | torus | mesh | dragonfly | random)
 //   --icn2-degree=D --icn2-switches=S --icn2-seed=X  its parameters
+//   --load-scale=LIST per-cluster offered-load multipliers applied to
+//                     every system: one value broadcasts, or one
+//                     comma-separated entry per cluster
+//   --icn2-alpha-net=A --icn2-alpha-sw=A --icn2-beta-net=B
+//                     give every system's ICN2 its own channel timing
+//                     (a distinct backbone technology)
 //
 // An unknown scenario name fails with closest-match suggestions over the
 // bundled and on-disk scenario names.
@@ -31,7 +37,9 @@
 // coordinates alone.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -117,6 +125,74 @@ void apply_icn2_overrides(const mcs::util::Args& args,
   }
 }
 
+/// Apply the heterogeneity flag overrides (--load-scale, --icn2-*-net/-sw
+/// channel timing) to every [system] in the spec.
+void apply_hetero_overrides(const mcs::util::Args& args,
+                            mcs::exp::ScenarioSpec& spec) {
+  // Presence is decided with Args::has, and present-but-invalid (empty,
+  // negative, non-numeric) is an error — never a silent fall-through to
+  // the "unset" sentinel (the same footgun the scenario parser rejects
+  // in [icn2_params]).
+  const auto icn2_field = [&](const char* name, bool strictly_positive) {
+    if (!args.has(name)) return -1.0;  // flag absent: inherit
+    const std::string raw = args.get(name, "");
+    char* end = nullptr;
+    const double v = std::strtod(raw.c_str(), &end);
+    const bool numeric = !raw.empty() && end == raw.c_str() + raw.size();
+    const bool ok = numeric && (strictly_positive ? v > 0.0 : v >= 0.0);
+    if (!ok)
+      throw mcs::ConfigError(std::string("--") + name + " must be " +
+                             (strictly_positive ? "> 0" : ">= 0") +
+                             ", got '" + raw + "'");
+    return v;
+  };
+  mcs::model::NetworkParamsOverride icn2_net;
+  icn2_net.alpha_net = icn2_field("icn2-alpha-net", false);
+  icn2_net.alpha_sw = icn2_field("icn2-alpha-sw", false);
+  icn2_net.beta_net = icn2_field("icn2-beta-net", true);
+  const std::string scales = args.get("load-scale", "");
+  if (args.has("load-scale") && scales.empty())
+    throw mcs::ConfigError("--load-scale: empty list");
+  if (scales.empty() && !icn2_net.any()) return;
+
+  std::vector<double> scale_list;
+  if (!scales.empty()) {
+    // std::getline drops a trailing separator's empty token, which would
+    // silently turn an intended list into a broadcast — reject it.
+    if (scales.back() == ',')
+      throw mcs::ConfigError("--load-scale: trailing comma in '" + scales +
+                             "'");
+    std::istringstream in(scales);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(item.c_str(), &end);
+      if (end == item.c_str() || *end != '\0' || !(v > 0.0))
+        throw mcs::ConfigError(
+            "--load-scale: expected positive numbers, got '" + item + "'");
+      scale_list.push_back(v);
+    }
+    if (scale_list.empty())
+      throw mcs::ConfigError("--load-scale: empty list");
+  }
+
+  for (mcs::exp::SystemEntry& system : spec.systems) {
+    const auto clusters =
+        static_cast<std::size_t>(system.config.cluster_count());
+    if (scale_list.size() == 1) {
+      system.config.load_scale.assign(clusters, scale_list.front());
+    } else if (!scale_list.empty()) {
+      if (scale_list.size() != clusters)
+        throw mcs::ConfigError(
+            "--load-scale: got " + std::to_string(scale_list.size()) +
+            " entries but system '" + system.id + "' has " +
+            std::to_string(clusters) + " clusters");
+      system.config.load_scale = scale_list;
+    }
+    if (icn2_net.any()) system.config.icn2_net = icn2_net;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +225,7 @@ int main(int argc, char** argv) {
     if (args.get_flag("no-sim")) spec.run_sim = false;
     if (args.get_flag("knee")) spec.find_knee = true;
     apply_icn2_overrides(args, spec);
+    apply_hetero_overrides(args, spec);
 
     mcs::exp::SweepRunner runner(std::move(spec));
     mcs::exp::SweepRunOptions options;

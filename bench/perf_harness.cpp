@@ -27,6 +27,24 @@ topo::SystemConfig torus_system() {
   return cfg;
 }
 
+topo::SystemConfig hetero_tech_system() {
+  // hetero_tree_system with per-cluster technologies and a skewed load:
+  // exercises the per-net service table and per-cluster arrival-rate
+  // paths (DESIGN.md §10) so they stay perf-gated like the rest.
+  topo::SystemConfig cfg = hetero_tree_system();
+  cfg.cluster_net.assign(4, {});
+  cfg.cluster_net[0].beta_net = 0.001;  // fast small cluster
+  cfg.cluster_net[1].beta_net = 0.001;
+  cfg.cluster_net[2].beta_net = 0.004;  // slow big cluster
+  cfg.cluster_net[2].alpha_sw = 0.02;
+  cfg.cluster_net[3].beta_net = 0.004;
+  cfg.cluster_net[3].alpha_sw = 0.02;
+  cfg.icn2_net.alpha_net = 0.04;  // long-haul backbone
+  cfg.icn2_net.beta_net = 0.001;
+  cfg.load_scale = {2.0, 2.0, 0.75, 0.75};  // hot small clusters
+  return cfg;
+}
+
 sim::SimConfig phases(bool smoke) {
   sim::SimConfig cfg;
   cfg.seed = 20060814;
@@ -87,6 +105,16 @@ std::vector<PerfScenario> perf_scenarios(bool smoke) {
     s.system = hetero_tree_system();
     s.sim = base;
     s.sim.relay_mode = sim::RelayMode::kCutThrough;
+    s.lambda = 3e-4;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    PerfScenario s;
+    s.id = "wormhole_hetero_tech";
+    s.description =
+        "hetero m=4 {2,2,3,3}, per-cluster technologies + skewed load";
+    s.system = hetero_tech_system();
+    s.sim = base;
     s.lambda = 3e-4;
     scenarios.push_back(std::move(s));
   }

@@ -36,7 +36,10 @@ struct PerfScenario {
 
 /// The bundled scenario matrix: {fat-tree, torus} ICN2 x {wormhole,
 /// store-and-forward}, plus the cut-through relay variant — the same axes
-/// the golden tests pin. `smoke` shrinks the phases for CI wall-clock.
+/// the golden tests pin — and a heterogeneous-parameters scenario
+/// (per-cluster technologies + skewed load, DESIGN.md §10) so the
+/// per-net service and per-cluster rate paths are perf-gated too.
+/// `smoke` shrinks the phases for CI wall-clock.
 [[nodiscard]] std::vector<PerfScenario> perf_scenarios(bool smoke);
 
 struct PerfMeasurement {

@@ -81,6 +81,18 @@ const std::vector<std::string>& pattern_keys() {
   return keys;
 }
 
+const std::vector<std::string>& cluster_keys() {
+  static const std::vector<std::string> keys = {
+      "alpha_net", "alpha_sw", "beta_net", "flit_bytes", "load_scale"};
+  return keys;
+}
+
+const std::vector<std::string>& icn2_params_keys() {
+  static const std::vector<std::string> keys = {"alpha_net", "alpha_sw",
+                                                "beta_net", "flit_bytes"};
+  return keys;
+}
+
 double parse_double(const std::string& source, int line,
                     const std::string& value) {
   char* end = nullptr;
@@ -125,7 +137,16 @@ sim::FlowControl parse_flow(const std::string& source, int line,
   fail(source, line, "unknown flow control '" + value + "'");
 }
 
-// State of one in-progress [system <id>] section.
+// State of one in-progress [cluster.<i>] sub-section.
+struct ClusterSection {
+  int index = 0;
+  int line = 0;
+  model::NetworkParamsOverride net;
+  double load_scale = -1.0;  ///< < 0 = unset
+};
+
+// State of one in-progress [system <id>] section (including its
+// [cluster.<i>] / [icn2_params] sub-sections).
 struct SystemDraft {
   std::string id;
   int line = 0;  ///< section header line (for error reporting)
@@ -140,6 +161,10 @@ struct SystemDraft {
   bool wrap_set = false;
   bool wrap_value = true;
   bool seed_set = false;
+  std::vector<ClusterSection> cluster_sections;
+  model::NetworkParamsOverride icn2_net;
+  bool icn2_params_seen = false;
+  int icn2_params_line = 0;
 };
 
 /// A knob the selected ICN2 kind never reads is a silent no-op — the
@@ -205,6 +230,42 @@ topo::SystemConfig finish_system(const std::string& source,
   check_icn2_params(source, d);
   config.icn2 = d.icn2;
   if (d.wrap_set) config.icn2.torus_wrap = d.wrap_value;
+
+  // Resolve the [cluster.<i>] / [icn2_params] sub-sections now that the
+  // cluster count is known. Only the dimensions actually used are
+  // populated, so a file without sub-sections yields the exact
+  // homogeneous default config.
+  const int c_count = static_cast<int>(config.cluster_heights.size());
+  bool any_net = false;
+  bool any_scale = false;
+  for (const ClusterSection& cs : d.cluster_sections) {
+    if (cs.index < 0 || cs.index >= c_count)
+      fail(source, cs.line,
+           "[cluster." + std::to_string(cs.index) + "]: system '" + d.id +
+               "' has clusters 0.." + std::to_string(c_count - 1));
+    if (!cs.net.any() && cs.load_scale < 0.0)
+      fail(source, cs.line,
+           "[cluster." + std::to_string(cs.index) +
+               "]: empty override (set alpha_net, alpha_sw, beta_net, "
+               "flit_bytes or load_scale)");
+    any_net = any_net || cs.net.any();
+    any_scale = any_scale || cs.load_scale >= 0.0;
+  }
+  if (any_net)
+    config.cluster_net.assign(static_cast<std::size_t>(c_count), {});
+  if (any_scale)
+    config.load_scale.assign(static_cast<std::size_t>(c_count), 1.0);
+  for (const ClusterSection& cs : d.cluster_sections) {
+    if (cs.net.any())
+      config.cluster_net[static_cast<std::size_t>(cs.index)] = cs.net;
+    if (cs.load_scale >= 0.0)
+      config.load_scale[static_cast<std::size_t>(cs.index)] = cs.load_scale;
+  }
+  if (d.icn2_params_seen && !d.icn2_net.any())
+    fail(source, d.icn2_params_line,
+         "[icn2_params]: empty override (set alpha_net, alpha_sw, beta_net "
+         "or flit_bytes)");
+  config.icn2_net = d.icn2_net;
   return config;
 }
 
@@ -266,10 +327,17 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
   spec.relay_modes.clear();
   spec.flow_controls.clear();
 
-  enum class Section { kNone, kSweep, kSystem, kPattern };
+  // kCluster / kIcn2Params are sub-sections of the still-open [system]
+  // draft: they extend it rather than closing it.
+  enum class Section { kNone, kSweep, kSystem, kCluster, kIcn2Params,
+                       kPattern };
   Section section = Section::kNone;
   SystemDraft system;
   PatternDraft pattern;
+  const auto in_system = [&] {
+    return section == Section::kSystem || section == Section::kCluster ||
+           section == Section::kIcn2Params;
+  };
 
   // List-valued [sweep] keys replace the whole list, so a repeat is a
   // copy-paste error (it would silently multiply the grid). loads and
@@ -277,7 +345,7 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
   std::vector<std::string> seen_list_keys;
 
   auto flush_section = [&] {
-    if (section == Section::kSystem)
+    if (in_system())
       spec.systems.push_back({system.id, finish_system(source, system)});
     if (section == Section::kPattern) {
       if (!pattern.kind_set)
@@ -299,11 +367,39 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
     if (line.front() == '[') {
       if (line.back() != ']')
         fail(source, line_no, "unterminated section header");
-      flush_section();
       const std::string header = trim(line.substr(1, line.size() - 2));
       if (header == "sweep") {
+        flush_section();
         section = Section::kSweep;
+      } else if (header.rfind("cluster.", 0) == 0) {
+        // Sub-section of the open [system]: do NOT flush it.
+        if (!in_system())
+          fail(source, line_no,
+               "[" + header + "] must follow a [system <id>] section");
+        ClusterSection cs;
+        cs.index =
+            static_cast<int>(parse_int(source, line_no,
+                                       trim(header.substr(8))));
+        cs.line = line_no;
+        for (const ClusterSection& seen : system.cluster_sections)
+          if (seen.index == cs.index)
+            fail(source, line_no,
+                 "duplicate [cluster." + std::to_string(cs.index) +
+                     "] in system '" + system.id + "'");
+        system.cluster_sections.push_back(cs);
+        section = Section::kCluster;
+      } else if (header == "icn2_params") {
+        if (!in_system())
+          fail(source, line_no,
+               "[icn2_params] must follow a [system <id>] section");
+        if (system.icn2_params_seen)
+          fail(source, line_no,
+               "duplicate [icn2_params] in system '" + system.id + "'");
+        system.icn2_params_seen = true;
+        system.icn2_params_line = line_no;
+        section = Section::kIcn2Params;
       } else if (header.rfind("system", 0) == 0) {
+        flush_section();
         section = Section::kSystem;
         system = SystemDraft{};
         system.id = trim(header.substr(6));
@@ -314,6 +410,7 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
           if (s.id == system.id)
             fail(source, line_no, "duplicate system id '" + system.id + "'");
       } else if (header.rfind("pattern", 0) == 0) {
+        flush_section();
         section = Section::kPattern;
         pattern = PatternDraft{};
         pattern.id = trim(header.substr(7));
@@ -326,7 +423,8 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
       } else {
         fail(source, line_no,
              "unknown section [" + header + "]" +
-                 suggest(header, {"sweep", "system", "pattern"}));
+                 suggest(header, {"sweep", "system", "pattern", "cluster.0",
+                                  "icn2_params"}));
       }
       continue;
     }
@@ -466,6 +564,44 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
         } else {
           fail_unknown(source, line_no, "unknown [system] key", key,
                        system_keys());
+        }
+        break;
+      }
+
+      case Section::kCluster:
+      case Section::kIcn2Params: {
+        // A negative value would read as "inherit" downstream — reject it
+        // here so a typo cannot become a silent no-op.
+        const auto checked = [&](bool strictly_positive) {
+          const double v = parse_double(source, line_no, value);
+          const bool ok = strictly_positive ? v > 0.0 : v >= 0.0;
+          if (!ok)
+            fail(source, line_no,
+                 key + (strictly_positive ? " must be > 0" : " must be >= 0") +
+                     ", got '" + value + "'");
+          return v;
+        };
+        model::NetworkParamsOverride& net =
+            section == Section::kCluster ? system.cluster_sections.back().net
+                                         : system.icn2_net;
+        if (key == "alpha_net") {
+          net.alpha_net = checked(false);
+        } else if (key == "alpha_sw") {
+          net.alpha_sw = checked(false);
+        } else if (key == "beta_net") {
+          net.beta_net = checked(true);
+        } else if (key == "flit_bytes") {
+          net.flit_bytes = checked(true);
+        } else if (key == "load_scale" && section == Section::kCluster) {
+          system.cluster_sections.back().load_scale = checked(true);
+        } else {
+          fail_unknown(source, line_no,
+                       section == Section::kCluster
+                           ? "unknown [cluster.<i>] key"
+                           : "unknown [icn2_params] key",
+                       key,
+                       section == Section::kCluster ? cluster_keys()
+                                                    : icn2_params_keys());
         }
         break;
       }

@@ -38,6 +38,28 @@
 // repeat and accumulate grid points; the other list keys
 // (`message_flits`, `flit_bytes`, `models`, `relay`, `flow`) set the
 // whole list and may appear only once.
+//
+// Heterogeneous technology and load (DESIGN.md §10): a `[system]` section
+// may be followed by `[cluster.<i>]` sub-sections overriding cluster i's
+// channel timing (`alpha_net`, `alpha_sw`, `beta_net`, `flit_bytes`) and
+// offered-load multiplier (`load_scale`), and by one `[icn2_params]`
+// sub-section giving the global network its own timing (same keys minus
+// `load_scale`). Sub-sections bind to the most recent `[system]`; unset
+// fields inherit the shared [sweep] parameters, and an empty sub-section
+// is rejected (it would be a silent no-op):
+//
+//   [system mixed]
+//   preset = homogeneous
+//   m = 4
+//   height = 2
+//   clusters = 4
+//   [cluster.0]                      # a 2x-fast cluster...
+//   beta_net = 0.001
+//   [cluster.3]                      # ...carrying 2.5x the load
+//   load_scale = 2.5
+//   [icn2_params]                    # long-haul backbone
+//   alpha_net = 0.04
+//   beta_net = 0.001
 #pragma once
 
 #include <cstdint>

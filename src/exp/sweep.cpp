@@ -15,18 +15,6 @@
 
 namespace mcs::exp {
 
-std::uint64_t derive_seed(std::uint64_t base,
-                          std::initializer_list<std::uint64_t> coords) {
-  std::uint64_t state = base;
-  for (const std::uint64_t c : coords) {
-    // Mix the coordinate into the state, then advance through splitmix64.
-    // The +1 keeps coordinate 0 from being a no-op on a zero state.
-    util::SplitMix64 sm(state ^ (0x9e3779b97f4a7c15ULL * (c + 1)));
-    state = sm.next();
-  }
-  return state;
-}
-
 namespace {
 
 // One (system, message_flits, flit_bytes, pattern, flow) combination: the
@@ -48,6 +36,15 @@ struct ModelGroup {
 // hotspot pattern breaks that symmetry, so model columns stay empty.
 bool pattern_model_supported(const sim::TrafficPattern& pattern) {
   return pattern.kind != sim::PatternKind::kHotspot;
+}
+
+const char* hetero_label(const topo::SystemConfig& config) {
+  const bool net = config.heterogeneous_params();
+  const bool load = config.heterogeneous_load();
+  if (net && load) return "net+load";
+  if (net) return "net";
+  if (load) return "load";
+  return "uniform";
 }
 
 }  // namespace
@@ -107,6 +104,8 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
                 row.pattern_id = patterns[static_cast<std::size_t>(pi)].id;
                 row.icn2_kind = spec_.systems[static_cast<std::size_t>(sys)]
                                     .config.icn2.label();
+                row.hetero = hetero_label(
+                    spec_.systems[static_cast<std::size_t>(sys)].config);
                 row.message_flits =
                     spec_.message_flits[static_cast<std::size_t>(fi)];
                 row.flit_bytes = spec_.flit_bytes[static_cast<std::size_t>(bi)];
@@ -127,12 +126,16 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
                   const sim::TrafficPattern& pattern =
                       patterns[static_cast<std::size_t>(pi)].pattern;
                   group.refined_supported = pattern_model_supported(pattern);
-                  // The paper-literal model is tree- and wormhole-only.
+                  // The paper-literal model is tree-, wormhole- and
+                  // homogeneous-only (one technology, uniform load).
+                  const topo::SystemConfig& sys_config =
+                      spec_.systems[static_cast<std::size_t>(sys)].config;
                   group.paper_supported =
                       group.refined_supported &&
-                      spec_.systems[static_cast<std::size_t>(sys)]
-                              .config.icn2.kind == topo::Icn2Kind::kFatTree &&
-                      row.flow == sim::FlowControl::kWormhole;
+                      sys_config.icn2.kind == topo::Icn2Kind::kFatTree &&
+                      row.flow == sim::FlowControl::kWormhole &&
+                      !sys_config.heterogeneous_params() &&
+                      !sys_config.heterogeneous_load();
                   if (pattern.kind != sim::PatternKind::kUniform &&
                       group.refined_supported) {
                     const auto& topology = *topologies[

@@ -16,14 +16,15 @@
 #include "exp/scenario.hpp"
 #include "exp/thread_pool.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace mcs::exp {
 
 /// Chain `coords` through splitmix64 starting from `base`: every
 /// coordinate permutes the state, so tasks that differ in any single
 /// coordinate (replication, load index, ...) get decorrelated seeds.
-[[nodiscard]] std::uint64_t derive_seed(
-    std::uint64_t base, std::initializer_list<std::uint64_t> coords);
+/// (Defined in util/rng.hpp; run_replications shares it.)
+using util::derive_seed;
 
 /// One grid point of the sweep, with every evaluated output attached.
 /// Latency fields are negative when the corresponding evaluator did not
@@ -42,6 +43,10 @@ struct SweepRow {
   std::string system_id;
   std::string pattern_id;
   std::string icn2_kind;  ///< the system's ICN2 topology (to_string form)
+  /// The system's heterogeneity axes: "uniform", "net" (per-cluster/ICN2
+  /// technology overrides), "load" (per-cluster load multipliers), or
+  /// "net+load".
+  std::string hetero = "uniform";
   int message_flits = 32;
   double flit_bytes = 256;
   sim::RelayMode relay = sim::RelayMode::kStoreForward;

@@ -46,15 +46,16 @@ std::string opt_num(bool present, double v, int precision) {
 
 void write_csv(const SweepResult& result, const std::string& path) {
   util::CsvWriter csv(
-      path, {"system", "icn2", "message_flits", "flit_bytes", "pattern",
-             "relay", "flow", "lambda", "paper_latency", "paper_stable",
+      path, {"system", "icn2", "hetero", "message_flits", "flit_bytes",
+             "pattern", "relay", "flow", "lambda", "paper_latency",
+             "paper_stable",
              "refined_latency", "refined_stable", "knee_lambda",
              "replications", "completed", "saturated", "sim_latency",
              "sim_ci95", "sim_p50", "sim_p95", "sim_p99", "sim_internal",
              "sim_external", "external_share", "sim_state"});
   for (const SweepRow& row : result.rows) {
     const bool sim_ok = row.sim_run && row.completed > 0;
-    csv.add_row({row.system_id, row.icn2_kind,
+    csv.add_row({row.system_id, row.icn2_kind, row.hetero,
                  std::to_string(row.message_flits),
                  util::TextTable::num(row.flit_bytes, 0), row.pattern_id,
                  to_string(row.relay), to_string(row.flow),
@@ -151,6 +152,7 @@ void write_json(const SweepResult& result, std::ostream& out) {
     bool first = true;
     json_field(out, "system", row.system_id, first);
     json_field(out, "icn2", row.icn2_kind, first);
+    json_field(out, "hetero", row.hetero, first);
     json_field(out, "message_flits",
                static_cast<std::int64_t>(row.message_flits), first);
     json_field(out, "flit_bytes", row.flit_bytes, first);
@@ -204,7 +206,7 @@ void write_json_file(const SweepResult& result, const std::string& path) {
 
 util::TextTable to_table(const SweepResult& result) {
   // Decide which coordinate columns vary across the sweep.
-  std::set<std::string> systems, patterns, icn2s;
+  std::set<std::string> systems, patterns, icn2s, heteros;
   std::set<int> flits;
   std::set<double> bytes;
   std::set<int> relays, flows;
@@ -214,6 +216,7 @@ util::TextTable to_table(const SweepResult& result) {
     systems.insert(row.system_id);
     patterns.insert(row.pattern_id);
     icn2s.insert(row.icn2_kind);
+    heteros.insert(row.hetero);
     flits.insert(row.message_flits);
     bytes.insert(row.flit_bytes);
     relays.insert(static_cast<int>(row.relay));
@@ -227,6 +230,7 @@ util::TextTable to_table(const SweepResult& result) {
   std::vector<std::string> headers;
   if (systems.size() > 1) headers.push_back("system");
   if (icn2s.size() > 1) headers.push_back("icn2");
+  if (heteros.size() > 1) headers.push_back("hetero");
   if (flits.size() > 1) headers.push_back("M");
   if (bytes.size() > 1) headers.push_back("L_m");
   if (patterns.size() > 1) headers.push_back("pattern");
@@ -246,6 +250,7 @@ util::TextTable to_table(const SweepResult& result) {
     std::vector<std::string> cells;
     if (systems.size() > 1) cells.push_back(row.system_id);
     if (icn2s.size() > 1) cells.push_back(row.icn2_kind);
+    if (heteros.size() > 1) cells.push_back(row.hetero);
     if (flits.size() > 1) cells.push_back(std::to_string(row.message_flits));
     if (bytes.size() > 1)
       cells.push_back(util::TextTable::num(row.flit_bytes, 0));

@@ -4,6 +4,7 @@
 #include <map>
 #include <tuple>
 
+#include "model/graph_load.hpp"
 #include "model/icn2_funnel.hpp"
 #include "topology/tree_math.hpp"
 #include "util/contracts.hpp"
@@ -29,8 +30,10 @@ std::vector<double> tail_of(const std::vector<double>& p) {
 
 struct Acc {
   std::int64_t channels = 0;
-  double total = 0.0;
-  double worst = 0.0;
+  double total = 0.0;       ///< messages/time summed over the class
+  double total_util = 0.0;  ///< rate x owning network's occupancy, summed
+  double worst = 0.0;       ///< rate of the worst channel (by utilization)
+  double worst_util = 0.0;
   std::string worst_desc;
 };
 
@@ -43,28 +46,58 @@ std::vector<ClassLoad> analyze_bottlenecks(const topo::SystemConfig& config,
   params.validate();
   MCS_EXPECTS(lambda_g >= 0.0);
 
+  // Wormhole occupancy per message — the body drains at the slowest
+  // channel's rhythm — per network technology: a class aggregates the
+  // same structural position across clusters, so utilization must be
+  // computed at add time from the owning network's occupancy.
+  const auto occupancy_of = [&](const NetworkParams& p) {
+    return p.message_flits * std::max(p.t_cs(), p.t_cn());
+  };
+  const double occ_icn2 = occupancy_of(config.icn2_params(params));
+
   std::map<std::tuple<int, int, int>, Acc> acc;
   auto add = [&](NetworkLayer net, topo::ChannelKind kind, int level,
                  std::int64_t channels, double total, double worst,
-                 const std::string& desc) {
+                 double occupancy, const std::string& desc) {
     Acc& a = acc[{static_cast<int>(net), static_cast<int>(kind), level}];
     a.channels += channels;
     a.total += total;
-    if (worst > a.worst) {
+    a.total_util += total * occupancy;
+    if (worst * occupancy > a.worst_util) {
       a.worst = worst;
+      a.worst_util = worst * occupancy;
       a.worst_desc = desc;
     }
   };
 
+  // Per-cluster outbound flow (load-scale-weighted) and its inbound
+  // counterpart — under skewed load the latter is the explicit matrix sum
+  // shared with RefinedModel::in_coeff (inbound_coefficients, DESIGN.md
+  // §10).
+  const int c_count = config.cluster_count();
+  std::vector<double> out_funnel(static_cast<std::size_t>(c_count));
+  for (int i = 0; i < c_count; ++i)
+    out_funnel[static_cast<std::size_t>(i)] =
+        static_cast<double>(config.cluster_size(i)) * config.p_outgoing(i) *
+        (config.cluster_load_scale(i) * lambda_g);
+  const std::vector<double> in_funnel =
+      inbound_coefficients(config, out_funnel);
+
   using topo::ChannelKind;
-  for (int i = 0; i < config.cluster_count(); ++i) {
+  for (int i = 0; i < c_count; ++i) {
     const topo::TreeShape shape{
         config.m, config.cluster_heights[static_cast<std::size_t>(i)]};
     const auto ni = static_cast<double>(shape.node_count());
     const double po = config.p_outgoing(i);
-    const double node_int = (1.0 - po) * lambda_g;  // per ICN1 NIC
-    const double node_ext = po * lambda_g;          // per ECN1 NIC
-    const double funnel = ni * node_ext;            // conc/disp flow
+    // Per-node rate scaled by the cluster's load multiplier (exact 1.0
+    // multiply on uniform-load configs).
+    const double lam = config.cluster_load_scale(i) * lambda_g;
+    const double node_int = (1.0 - po) * lam;       // per ICN1 NIC
+    const double node_ext = po * lam;               // per ECN1 NIC
+    const double out_f = out_funnel[static_cast<std::size_t>(i)];
+    const double in_f = in_funnel[static_cast<std::size_t>(i)];
+    const double node_in = in_f / ni;               // per node ejection
+    const double occ = occupancy_of(config.cluster_params(i, params));
     const auto hop_tail = tail_of(shape.hop_distribution());
     const auto conc_tail =
         tail_of(topo::concentrator_hop_distribution(shape));
@@ -73,70 +106,80 @@ std::vector<ClassLoad> analyze_bottlenecks(const topo::SystemConfig& config,
 
     // ICN1: perfectly balanced within each class.
     add(NetworkLayer::kIcn1, ChannelKind::kInjection, 0,
-        shape.node_count(), ni * node_int, node_int, "node NIC, " + cname);
+        shape.node_count(), ni * node_int, node_int, occ,
+        "node NIC, " + cname);
     add(NetworkLayer::kIcn1, ChannelKind::kEjection, 0, shape.node_count(),
-        ni * node_int, node_int, "node, " + cname);
+        ni * node_int, node_int, occ, "node, " + cname);
     for (int l = 1; l < shape.n; ++l) {
       const double per_channel =
           node_int * hop_tail[static_cast<std::size_t>(l)];
       add(NetworkLayer::kIcn1, ChannelKind::kUp, l, shape.node_count(),
-          ni * per_channel, per_channel, "switch link, " + cname);
+          ni * per_channel, per_channel, occ, "switch link, " + cname);
       add(NetworkLayer::kIcn1, ChannelKind::kDown, l, shape.node_count(),
-          ni * per_channel, per_channel, "switch link, " + cname);
+          ni * per_channel, per_channel, occ, "switch link, " + cname);
     }
 
     // ECN1: the concentrator/dispatcher attachment and the d-mod-k chain
-    // toward the concentrator are serial funnels.
+    // toward the concentrator are serial funnels. Outbound flows funnel
+    // into the concentrator; inbound (the dispatcher's re-injections)
+    // funnel out of it.
     add(NetworkLayer::kEcn1, ChannelKind::kInjection, 0,
-        shape.node_count() + 1, ni * node_ext + funnel, funnel,
+        shape.node_count() + 1, ni * node_ext + in_f, in_f, occ,
         "dispatcher injection, " + cname);
     add(NetworkLayer::kEcn1, ChannelKind::kEjection, 0,
-        shape.node_count() + 1, ni * node_ext + funnel, funnel,
+        shape.node_count() + 1, in_f + out_f, out_f, occ,
         "concentrator ejection, " + cname);
     for (int l = 1; l < shape.n; ++l) {
       const double crossing =
-          2.0 * funnel * conc_tail[static_cast<std::size_t>(l)];
+          (out_f + in_f) * conc_tail[static_cast<std::size_t>(l)];
       const auto k_l = static_cast<double>(
           topo::checked_pow(shape.k(), l));
       const double worst_up = std::max(
           k_l * node_ext,  // outbound port-0 chain of a level-l group
-          funnel * conc_tail[static_cast<std::size_t>(l)] / k_l);
-      const double worst_down = (ni - k_l) * node_ext;
+          in_f * conc_tail[static_cast<std::size_t>(l)] / k_l);
+      const double worst_down =
+          std::max((ni - k_l) * node_ext,
+                   node_in * conc_tail[static_cast<std::size_t>(l)]);
       add(NetworkLayer::kEcn1, ChannelKind::kUp, l, shape.node_count(),
-          crossing, worst_up, "ascent chain, " + cname);
+          crossing, worst_up, occ, "ascent chain, " + cname);
       add(NetworkLayer::kEcn1, ChannelKind::kDown, l, shape.node_count(),
-          crossing, worst_down,
+          crossing, worst_down, occ,
           "descent chain into concentrator, " + cname);
     }
   }
 
-  // ICN2: exact pairwise funnel coefficients.
+  // ICN2: exact pairwise funnel coefficients (out_coeff is already
+  // load-scale-weighted). Injection carries each concentrator's outbound
+  // flow; ejection its inbound flow — distinct under skewed load.
   const Icn2Funnel funnel = Icn2Funnel::compute(config);
   const topo::TreeShape icn2{config.m, config.icn2_height()};
   double total_external = 0.0;
-  double worst_endpoint = 0.0;
-  int worst_cluster = 0;
-  for (int i = 0; i < config.cluster_count(); ++i) {
-    const double coeff = funnel.out_coeff[static_cast<std::size_t>(i)];
-    total_external += coeff * lambda_g;
-    if (coeff > worst_endpoint) {
-      worst_endpoint = coeff;
-      worst_cluster = i;
+  double worst_out = 0.0, worst_in = 0.0;
+  int worst_out_cluster = 0, worst_in_cluster = 0;
+  for (int i = 0; i < c_count; ++i) {
+    total_external += out_funnel[static_cast<std::size_t>(i)];
+    if (out_funnel[static_cast<std::size_t>(i)] > worst_out) {
+      worst_out = out_funnel[static_cast<std::size_t>(i)];
+      worst_out_cluster = i;
+    }
+    if (in_funnel[static_cast<std::size_t>(i)] > worst_in) {
+      worst_in = in_funnel[static_cast<std::size_t>(i)];
+      worst_in_cluster = i;
     }
   }
-  const std::string biggest =
-      "concentrator of the " +
-      std::to_string(config.cluster_size(worst_cluster)) + "-node cluster";
-  add(NetworkLayer::kIcn2, ChannelKind::kInjection, 0,
-      config.cluster_count(), total_external, worst_endpoint * lambda_g,
-      biggest);
-  add(NetworkLayer::kIcn2, ChannelKind::kEjection, 0, config.cluster_count(),
-      total_external, worst_endpoint * lambda_g, biggest);
+  const auto conc_of = [&](int cluster) {
+    return "concentrator of the " +
+           std::to_string(config.cluster_size(cluster)) + "-node cluster";
+  };
+  add(NetworkLayer::kIcn2, ChannelKind::kInjection, 0, c_count,
+      total_external, worst_out, occ_icn2, conc_of(worst_out_cluster));
+  add(NetworkLayer::kIcn2, ChannelKind::kEjection, 0, c_count,
+      total_external, worst_in, occ_icn2, conc_of(worst_in_cluster));
   for (int l = 1; l < icn2.n; ++l) {
     double total_up = 0.0, total_down = 0.0;
     double worst_up = 0.0, worst_down = 0.0;
     int worst_down_v = 0;
-    for (int v = 0; v < config.cluster_count(); ++v) {
+    for (int v = 0; v < c_count; ++v) {
       const double down =
           funnel.down_coeff[static_cast<std::size_t>(v)]
                            [static_cast<std::size_t>(l)] *
@@ -156,18 +199,13 @@ std::vector<ClassLoad> analyze_bottlenecks(const topo::SystemConfig& config,
       }
     }
     add(NetworkLayer::kIcn2, ChannelKind::kUp, l, icn2.node_count(),
-        total_up, worst_up, "ICN2 ascent");
+        total_up, worst_up, occ_icn2, "ICN2 ascent");
     add(NetworkLayer::kIcn2, ChannelKind::kDown, l, icn2.node_count(),
-        total_down, worst_down,
+        total_down, worst_down, occ_icn2,
         "ICN2 descent toward the leaf group of the " +
             std::to_string(config.cluster_size(worst_down_v)) +
             "-node cluster");
   }
-
-  // Wormhole occupancy per message: the body drains at the slowest
-  // channel's rhythm.
-  const double occupancy =
-      params.message_flits * std::max(params.t_cs(), params.t_cn());
 
   std::vector<ClassLoad> out;
   for (const auto& [key, a] : acc) {
@@ -181,8 +219,11 @@ std::vector<ClassLoad> analyze_bottlenecks(const topo::SystemConfig& config,
                          ? a.total / static_cast<double>(a.channels)
                          : 0.0;
     load.worst_rate = a.worst;
-    load.mean_utilization = load.mean_rate * occupancy;
-    load.worst_utilization = load.worst_rate * occupancy;
+    load.mean_utilization = a.channels > 0
+                                ? a.total_util /
+                                      static_cast<double>(a.channels)
+                                : 0.0;
+    load.worst_utilization = a.worst_util;
     load.hottest = a.worst_desc;
     out.push_back(std::move(load));
   }

@@ -23,9 +23,10 @@ enum class NetworkLayer : std::uint8_t { kIcn1, kEcn1, kIcn2 };
 
 /// One channel class with its analytic traffic figures. `mean_rate` is
 /// the class-average messages/time per channel; `worst_rate` the rate of
-/// the single hottest channel of the class (funnels make the two differ
-/// by orders of magnitude); utilizations multiply by the wormhole
-/// occupancy per message, M * max(t_cs, t_cn).
+/// the hottest channel of the class by utilization (funnels make the two
+/// differ by orders of magnitude); utilizations multiply each rate by the
+/// owning network's wormhole occupancy per message, M * max(t_cs, t_cn)
+/// of that network's (possibly overridden) technology.
 struct ClassLoad {
   NetworkLayer net;
   topo::ChannelKind kind;

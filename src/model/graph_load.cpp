@@ -5,6 +5,27 @@
 
 namespace mcs::model {
 
+std::vector<double> inbound_coefficients(const topo::SystemConfig& config,
+                                         const std::vector<double>& out) {
+  const int c_count = config.cluster_count();
+  MCS_EXPECTS(out.size() == static_cast<std::size_t>(c_count));
+  if (!config.heterogeneous_load()) return out;
+
+  const auto n_total = static_cast<double>(config.total_nodes());
+  std::vector<double> in(static_cast<std::size_t>(c_count), 0.0);
+  for (int v = 0; v < c_count; ++v) {
+    double sum = 0.0;
+    for (int i = 0; i < c_count; ++i) {
+      if (i == v) continue;
+      sum += out[static_cast<std::size_t>(i)] *
+             static_cast<double>(config.cluster_size(v)) /
+             (n_total - static_cast<double>(config.cluster_size(i)));
+    }
+    in[static_cast<std::size_t>(v)] = sum;
+  }
+  return in;
+}
+
 GraphLoad GraphLoad::compute(const topo::ChannelGraph& graph,
                              const topo::SystemConfig& config,
                              const std::vector<double>& p_outgoing,
@@ -25,8 +46,11 @@ GraphLoad GraphLoad::compute(const topo::ChannelGraph& graph,
     const double po = p_outgoing.empty()
                           ? config.p_outgoing(i)
                           : p_outgoing[static_cast<std::size_t>(i)];
+    // Weight by the cluster's offered-load multiplier: a hot-spot cluster
+    // pushes proportionally more flow onto every channel its routes cross
+    // (exact multiply by 1.0 on uniform-load configs).
     load.out_coeff.push_back(static_cast<double>(config.cluster_size(i)) *
-                             po);
+                             po * config.cluster_load_scale(i));
   }
 
   load.inter.assign(static_cast<std::size_t>(c_count) *

@@ -23,7 +23,8 @@ struct GraphLoad {
   /// Flow is conserved per switch: transit in + injections equals transit
   /// out + ejections (verified by the tests).
   std::vector<double> coeff;
-  /// out_coeff[i] = N_i * P_o^i: cluster i's outbound rate coefficient.
+  /// out_coeff[i] = N_i * P_o^i * load_scale[i]: cluster i's outbound rate
+  /// coefficient, weighted by the config's per-cluster load multiplier.
   std::vector<double> out_coeff;
   /// inter[i*C + v]: rate coefficient of the (i -> v) cluster pair.
   std::vector<double> inter;
@@ -38,5 +39,17 @@ struct GraphLoad {
       const std::vector<double>& p_outgoing = {},
       const std::vector<double>& inter_override = {});
 };
+
+/// Per-destination-cluster inbound rate coefficients from the outbound
+/// ones, under the uniform destination split:
+///   in[v] = sum_{i != v} out[i] * N_v / (N - N_i).
+/// Linear in `out`, so any common multiplier (lambda_g, or none) passes
+/// through. When the config's load is uniform the split makes inbound
+/// equal outbound and `out` is returned VERBATIM — the N_v * P_o^i
+/// identity — keeping homogeneous results bit-identical. Shared by
+/// RefinedModel's dispatcher/inbound-leg rates and analyze_bottlenecks
+/// so the two cannot silently diverge.
+[[nodiscard]] std::vector<double> inbound_coefficients(
+    const topo::SystemConfig& config, const std::vector<double>& out);
 
 }  // namespace mcs::model

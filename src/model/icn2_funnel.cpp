@@ -30,8 +30,11 @@ Icn2Funnel Icn2Funnel::compute(const topo::SystemConfig& config,
     const double po = p_outgoing.empty()
                           ? config.p_outgoing(i)
                           : p_outgoing[static_cast<std::size_t>(i)];
-    funnel.out_coeff.push_back(
-        static_cast<double>(config.cluster_size(i)) * po);
+    // Load-scale-weighted: pair_coeff below splits this outbound over the
+    // destination clusters, so a hot cluster's flow funnels accordingly
+    // (exact multiply by 1.0 on uniform-load configs).
+    funnel.out_coeff.push_back(static_cast<double>(config.cluster_size(i)) *
+                               po * config.cluster_load_scale(i));
   }
 
   // rate_{i,v} per unit lambda: cluster i's outbound, split over the

@@ -23,8 +23,9 @@ struct Icn2Funnel {
   /// up_coeff[i][l]: per-channel rate coefficient on the ascending path
   /// from concentrator i at boundary l.
   std::vector<std::vector<double>> up_coeff;
-  /// out_coeff[i] = N_i * P_o^i: concentrator i's outbound (and, under
-  /// uniform traffic, inbound) rate per unit lambda_g.
+  /// out_coeff[i] = N_i * P_o^i * load_scale[i]: concentrator i's outbound
+  /// (and, under uniform traffic and load, inbound) rate per unit
+  /// lambda_g, weighted by the config's per-cluster load multiplier.
   std::vector<double> out_coeff;
   int height = 0;
 

@@ -18,4 +18,23 @@ void NetworkParams::validate() const {
     throw ConfigError("NetworkParams: flit_bytes must be > 0");
 }
 
+bool NetworkParamsOverride::any() const {
+  return alpha_net >= 0.0 || alpha_sw >= 0.0 || beta_net >= 0.0 ||
+         flit_bytes >= 0.0;
+}
+
+NetworkParams NetworkParamsOverride::apply(NetworkParams base) const {
+  if (alpha_net >= 0.0) base.alpha_net = alpha_net;
+  if (alpha_sw >= 0.0) base.alpha_sw = alpha_sw;
+  if (beta_net >= 0.0) base.beta_net = beta_net;
+  if (flit_bytes >= 0.0) base.flit_bytes = flit_bytes;
+  return base;
+}
+
+void NetworkParamsOverride::validate() const {
+  // A set field must land in the same range NetworkParams::validate
+  // enforces; applying to the (valid) defaults checks exactly that.
+  apply(NetworkParams{}).validate();
+}
+
 }  // namespace mcs::model

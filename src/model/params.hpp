@@ -43,6 +43,40 @@ struct NetworkParams {
 
   /// Throws mcs::ConfigError on non-physical values.
   void validate() const;
+
+  friend bool operator==(const NetworkParams&, const NetworkParams&) = default;
+};
+
+/// Partial override of the channel-timing parameters for one network in a
+/// technology-heterogeneous system (topo::SystemConfig::cluster_net /
+/// icn2_net): negative fields inherit from the shared NetworkParams.
+///
+/// Only link-technology fields can differ per network. The message shape
+/// (message_flits) is a property of the message, not of the link it
+/// happens to cross — a worm cannot change length at a cluster boundary —
+/// so M always comes from the shared params. flit_bytes IS overridable:
+/// it enters only through the per-channel flit transfer times t_cn/t_cs,
+/// so a per-network value models a technology with a different effective
+/// phit width.
+struct NetworkParamsOverride {
+  double alpha_net = -1.0;   ///< network (node link) latency; < 0 inherits
+  double alpha_sw = -1.0;    ///< switch latency; < 0 inherits
+  double beta_net = -1.0;    ///< per-byte transmission time; < 0 inherits
+  double flit_bytes = -1.0;  ///< flit length in bytes; < 0 inherits
+
+  /// True when at least one field is set (the override does anything).
+  [[nodiscard]] bool any() const;
+
+  /// `base` with the set fields replaced. When !any() the result carries
+  /// exactly the base's bits, so homogeneous defaults stay bit-identical.
+  [[nodiscard]] NetworkParams apply(NetworkParams base) const;
+
+  /// Throws mcs::ConfigError when a set field is non-physical (the same
+  /// ranges NetworkParams::validate enforces).
+  void validate() const;
+
+  friend bool operator==(const NetworkParamsOverride&,
+                         const NetworkParamsOverride&) = default;
 };
 
 }  // namespace mcs::model

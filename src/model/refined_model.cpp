@@ -66,6 +66,7 @@ RefinedModel::RefinedModel(topo::SystemConfig config, NetworkParams params,
     : config_(std::move(config)), params_(std::move(params)), flow_(flow) {
   config_.validate();
   params_.validate();
+  icn2_params_ = config_.icn2_params(params_);
   if (!p_out_override.empty() &&
       p_out_override.size() !=
           static_cast<std::size_t>(config_.cluster_count()))
@@ -81,6 +82,8 @@ RefinedModel::RefinedModel(topo::SystemConfig config, NetworkParams params,
     c.p_out = p_out_override.empty()
                   ? config_.p_outgoing(i)
                   : p_out_override[static_cast<std::size_t>(i)];
+    c.scale = config_.cluster_load_scale(i);
+    c.net = config_.cluster_params(i, params_);
     c.hop_prob = shape.hop_distribution();
     c.hop_tail = tail_of(c.hop_prob);
     c.conc_prob = topo::concentrator_hop_distribution(shape);
@@ -88,7 +91,25 @@ RefinedModel::RefinedModel(topo::SystemConfig config, NetworkParams params,
     for (int l = 0; l <= shape.n; ++l)
       c.k_pow.push_back(topo::checked_pow(shape.k(), l));
     clusters_.push_back(std::move(c));
-    total_external_rate_coeff_ += c.nodes * c.p_out;
+    gen_weight_ += c.nodes * c.scale;
+  }
+
+  // Inbound rate coefficient of each destination cluster. Under uniform
+  // load the uniform-destination split makes inbound equal outbound
+  // (N_v * P_o^v — the exact identity for Eq. 13's p_out, and the model's
+  // standing approximation under p_out_override); non-uniform load breaks
+  // that symmetry and inbound_coefficients sums the scale-weighted
+  // inter-cluster matrix instead (shared with analyze_bottlenecks).
+  const bool skewed = config_.heterogeneous_load();
+  std::vector<double> out_coeffs;
+  for (const ClusterCache& c : clusters_)
+    out_coeffs.push_back(c.nodes * c.p_out * c.scale);
+  const std::vector<double> in_coeffs =
+      inbound_coefficients(config_, out_coeffs);
+  for (int v = 0; v < config_.cluster_count(); ++v) {
+    ClusterCache& cv = clusters_[static_cast<std::size_t>(v)];
+    cv.in_coeff = in_coeffs[static_cast<std::size_t>(v)];
+    cv.in_per_node = skewed ? cv.in_coeff / cv.nodes : cv.p_out;
   }
 
   std::vector<double> p_out;
@@ -112,9 +133,10 @@ RefinedModel::RefinedModel(topo::SystemConfig config, NetworkParams params,
 RefinedModel::SegmentResult RefinedModel::internal_segment(
     int cluster, double lambda_g) const {
   const ClusterCache& c = clusters_[static_cast<std::size_t>(cluster)];
-  const double tcn = params_.t_cn();
-  const double tcs = params_.t_cs();
-  const double lambda_int = (1.0 - c.p_out) * lambda_g;  // per-NIC rate
+  const double tcn = c.net.t_cn();
+  const double tcs = c.net.t_cs();
+  const double lam = c.scale * lambda_g;  // cluster's per-node rate
+  const double lambda_int = (1.0 - c.p_out) * lam;  // per-NIC rate
 
   SegmentResult out;
   std::vector<PhysStage> phys;
@@ -138,7 +160,7 @@ RefinedModel::SegmentResult RefinedModel::internal_segment(
     const double pj = c.hop_prob[static_cast<std::size_t>(j - 1)];
     out.s_mean += pj * rec.s0;
     out.s_zero += pj * zero_load;
-    out.r_mean += pj * pipeline_r(2 * j, params_, flow_);
+    out.r_mean += pj * pipeline_r(2 * j, c.net, flow_);
   }
   return out;
 }
@@ -146,9 +168,9 @@ RefinedModel::SegmentResult RefinedModel::internal_segment(
 RefinedModel::SegmentResult RefinedModel::ecn1_outbound_segment(
     int cluster, double lambda_g) const {
   const ClusterCache& c = clusters_[static_cast<std::size_t>(cluster)];
-  const double tcn = params_.t_cn();
-  const double tcs = params_.t_cs();
-  const double per_node = c.p_out * lambda_g;
+  const double tcn = c.net.t_cn();
+  const double tcs = c.net.t_cs();
+  const double per_node = c.p_out * (c.scale * lambda_g);
   const double funnel = c.nodes * per_node;  // whole cluster's outbound
 
   SegmentResult out;
@@ -181,7 +203,7 @@ RefinedModel::SegmentResult RefinedModel::ecn1_outbound_segment(
     const double pj = c.conc_prob[static_cast<std::size_t>(j - 1)];
     out.s_mean += pj * rec.s0;
     out.s_zero += pj * zero_load;
-    out.r_mean += pj * pipeline_r(2 * j, params_, flow_);
+    out.r_mean += pj * pipeline_r(2 * j, c.net, flow_);
   }
   return out;
 }
@@ -190,10 +212,11 @@ RefinedModel::SegmentResult RefinedModel::icn2_segment(
     int i, int v, double lambda_g) const {
   const ClusterCache& ci = clusters_[static_cast<std::size_t>(i)];
   const ClusterCache& cv = clusters_[static_cast<std::size_t>(v)];
-  const double tcn = params_.t_cn();
-  const double tcs = params_.t_cs();
-  const double out_rate = ci.nodes * ci.p_out * lambda_g;  // conc_i outbound
-  const double in_rate = cv.nodes * cv.p_out * lambda_g;   // conc_v inbound
+  const double tcn = icn2_params_.t_cn();
+  const double tcs = icn2_params_.t_cs();
+  // conc_i outbound / conc_v inbound, load-scale-weighted.
+  const double out_rate = ci.nodes * ci.p_out * (ci.scale * lambda_g);
+  const double in_rate = cv.in_coeff * lambda_g;
 
   std::vector<PhysStage> phys;
 
@@ -244,17 +267,17 @@ RefinedModel::SegmentResult RefinedModel::icn2_segment(
   out.s_mean = rec.s0;
   out.s_zero = zero_load;
   out.r_mean =
-      pipeline_r(static_cast<int>(phys.size()), params_, flow_);
+      pipeline_r(static_cast<int>(phys.size()), icn2_params_, flow_);
   return out;
 }
 
 RefinedModel::SegmentResult RefinedModel::ecn1_inbound_segment(
     int cluster, double lambda_g) const {
   const ClusterCache& c = clusters_[static_cast<std::size_t>(cluster)];
-  const double tcn = params_.t_cn();
-  const double tcs = params_.t_cs();
-  const double funnel = c.nodes * c.p_out * lambda_g;  // dispatcher inbound
-  const double per_node = c.p_out * lambda_g;
+  const double tcn = c.net.t_cn();
+  const double tcs = c.net.t_cs();
+  const double funnel = c.in_coeff * lambda_g;  // dispatcher inbound
+  const double per_node = c.in_per_node * lambda_g;
 
   SegmentResult out;
   std::vector<PhysStage> phys;
@@ -281,7 +304,7 @@ RefinedModel::SegmentResult RefinedModel::ecn1_inbound_segment(
     const double pj = c.conc_prob[static_cast<std::size_t>(j - 1)];
     out.s_mean += pj * rec.s0;
     out.s_zero += pj * zero_load;
-    out.r_mean += pj * pipeline_r(2 * j, params_, flow_);
+    out.r_mean += pj * pipeline_r(2 * j, c.net, flow_);
   }
   return out;
 }
@@ -300,13 +323,14 @@ LatencyPrediction RefinedModel::predict(double lambda_g) const {
     seg3[static_cast<std::size_t>(v)] = ecn1_inbound_segment(v, lambda_g);
     const SegmentResult& s3 = seg3[static_cast<std::size_t>(v)];
     w_disp[static_cast<std::size_t>(v)] =
-        mg1_wait(cv.nodes * cv.p_out * lambda_g, s3.s_mean,
+        mg1_wait(cv.in_coeff * lambda_g, s3.s_mean,
                  draper_ghosh_variance(s3.s_mean, s3.s_zero));
   }
 
   double weighted = 0.0;
   for (int i = 0; i < c_count; ++i) {
     const ClusterCache& ci = clusters_[static_cast<std::size_t>(i)];
+    const double lam = ci.scale * lambda_g;  // cluster's per-node rate
     ClusterLatency cl;
     cl.p_outgoing = ci.p_out;
 
@@ -314,7 +338,7 @@ LatencyPrediction RefinedModel::predict(double lambda_g) const {
     const SegmentResult internal = internal_segment(i, lambda_g);
     cl.s_internal = internal.s_mean;
     cl.w_source_internal =
-        mg1_wait((1.0 - ci.p_out) * lambda_g, internal.s_mean,
+        mg1_wait((1.0 - ci.p_out) * lam, internal.s_mean,
                  draper_ghosh_variance(internal.s_mean, internal.s_zero));
     cl.t_internal = cl.w_source_internal + internal.s_mean + internal.r_mean;
     cl.stable = internal.stable && std::isfinite(cl.t_internal);
@@ -322,7 +346,7 @@ LatencyPrediction RefinedModel::predict(double lambda_g) const {
     // External messages: three chained segments.
     const SegmentResult seg1 = ecn1_outbound_segment(i, lambda_g);
     cl.w_source_external =
-        mg1_wait(ci.p_out * lambda_g, seg1.s_mean,
+        mg1_wait(ci.p_out * lam, seg1.s_mean,
                  draper_ghosh_variance(seg1.s_mean, seg1.s_zero));
     cl.stable = cl.stable && seg1.stable;
 
@@ -349,7 +373,7 @@ LatencyPrediction RefinedModel::predict(double lambda_g) const {
     // Concentrator queue: arrivals are the cluster's whole outbound flow;
     // service is the ICN2 injection occupancy (the next segment's S_0).
     const double w_conc =
-        mg1_wait(ci.nodes * ci.p_out * lambda_g, s2_mean,
+        mg1_wait(ci.nodes * ci.p_out * lam, s2_mean,
                  draper_ghosh_variance(s2_mean, s2_zero));
     double w_disp_avg = 0.0;
     for (int v = 0; v < c_count; ++v) {
@@ -367,7 +391,10 @@ LatencyPrediction RefinedModel::predict(double lambda_g) const {
 
     cl.latency = (1.0 - ci.p_out) * cl.t_internal + ci.p_out * cl.t_external;
     prediction.stable = prediction.stable && cl.stable;
-    weighted += (ci.nodes / total_nodes_) * cl.latency;
+    // Eq. (36) generalized: weight by each cluster's share of generated
+    // messages, N_i * scale_i / sum_j N_j * scale_j (the plain node mix
+    // when the load is uniform).
+    weighted += (ci.nodes * ci.scale / gen_weight_) * cl.latency;
     prediction.clusters.push_back(cl);
   }
   prediction.mean_latency = weighted;

@@ -13,12 +13,18 @@
 //    pair and destination-cluster weights N_v/(N - N_i) instead of the
 //    paper's arithmetic 1/(C-1).
 //
-// Two extensions beyond the paper's scope:
+// Three extensions beyond the paper's scope:
 //  * graph-shaped ICN2s (SystemConfig::icn2.kind != kFatTree): the ICN2
 //    leg uses per-channel rates from the routing-table flow model
 //    (graph_load.hpp) instead of the d-mod-k funnel coefficients;
 //  * store-and-forward flow control: channel occupancies become M full
-//    message transmissions per hop instead of the wormhole span.
+//    message transmissions per hop instead of the wormhole span;
+//  * true heterogeneity (DESIGN.md §10): per-cluster / ICN2 technology
+//    overrides (SystemConfig::cluster_net / icn2_net) give each segment
+//    its own t_cn/t_cs, and per-cluster load multipliers (load_scale)
+//    scale every cluster's arrival rates — including the inbound rate at
+//    a destination cluster, which is then the explicit source-weighted
+//    matrix sum rather than the uniform-load shortcut N_v * P_o^v.
 #pragma once
 
 #include <memory>
@@ -54,6 +60,10 @@ class RefinedModel final : public LatencyModel {
     int height = 0;
     double nodes = 0.0;
     double p_out = 0.0;
+    double scale = 1.0;       ///< load_scale[i]: per-node rate multiplier
+    double in_coeff = 0.0;    ///< inbound rate coefficient (of lambda_g)
+    double in_per_node = 0.0; ///< inbound spread over the N_i down chains
+    NetworkParams net;        ///< the cluster's resolved channel timing
     std::vector<double> hop_prob;       ///< node-to-node, Eq. (4)
     std::vector<double> hop_tail;       ///< tail[l] = Pr(j > l), l = 0..n
     std::vector<double> conc_prob;      ///< node-to-concentrator
@@ -80,6 +90,7 @@ class RefinedModel final : public LatencyModel {
 
   topo::SystemConfig config_;
   NetworkParams params_;
+  NetworkParams icn2_params_;  ///< ICN2 technology (== params_ by default)
   FlowControl flow_ = FlowControl::kWormhole;
   std::vector<ClusterCache> clusters_;
   std::unique_ptr<topo::FatTree> icn2_;  ///< for exact per-pair distances
@@ -88,7 +99,7 @@ class RefinedModel final : public LatencyModel {
   std::unique_ptr<topo::ChannelGraph> icn2_graph_;
   std::vector<double> icn2_coeff_;
   double total_nodes_ = 0.0;
-  double total_external_rate_coeff_ = 0.0;  ///< sum_i N_i * P_o^i
+  double gen_weight_ = 0.0;  ///< sum_i N_i * scale_i: Eq. (36) denominator
 
   // Exact d-mod-k funnel rates in the ICN2 (coefficients of lambda_g),
   // precomputed from pairwise concentrator distances. The boundary-l down

@@ -1,6 +1,9 @@
 #include "sim/replication.hpp"
 
+#include <limits>
+
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace mcs::sim {
@@ -20,7 +23,11 @@ ReplicationResult run_replications(const topo::MultiClusterTopology& topology,
 
   auto run_one = [&](std::int64_t r) {
     SimConfig cfg = base;
-    cfg.seed = base.seed + static_cast<std::uint64_t>(r);
+    // splitmix64-derived per-replication seed. `base.seed + r` would make
+    // replication r of seed S identical to replication r-1 of seed S+1,
+    // silently sharing runs between replication sets launched from nearby
+    // base seeds (e.g. consecutive sweep rows).
+    cfg.seed = util::derive_seed(base.seed, {static_cast<std::uint64_t>(r)});
     Simulator simulator(topology, params, lambda_g, cfg);
     result.runs[static_cast<std::size_t>(r)] = simulator.run();
   };
@@ -41,6 +48,17 @@ ReplicationResult run_replications(const topo::MultiClusterTopology& topology,
       internal.add(run.internal_latency.mean);
       external.add(run.external_latency.mean);
     }
+  }
+  if (result.completed == 0) {
+    // Every replication saturated: t_interval over zero samples would
+    // report a confident-looking {mean 0.0, half-width 0.0}. Make the
+    // degenerate state explicit instead — NaN intervals plus the flag.
+    result.all_saturated = true;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    result.latency = {nan, nan};
+    result.internal_latency = {nan, nan};
+    result.external_latency = {nan, nan};
+    return result;
   }
   result.latency = util::t_interval(latency);
   result.internal_latency = util::t_interval(internal);

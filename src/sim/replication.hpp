@@ -14,23 +14,31 @@ namespace mcs::sim {
 
 struct ReplicationResult {
   /// 95% CI of the mean latency across replication means (Student-t with
-  /// R-1 degrees of freedom). Computed over non-saturated runs only.
+  /// R-1 degrees of freedom). Computed over non-saturated runs only; all
+  /// three intervals are NaN when every replication saturated (check
+  /// all_saturated before averaging or rendering).
   util::ConfidenceInterval latency;
   util::ConfidenceInterval internal_latency;
   util::ConfidenceInterval external_latency;
   int completed = 0;  ///< replications that reached steady completion
   int saturated = 0;  ///< replications that hit a saturation cap
+  /// True when no replication completed (completed == 0): the operating
+  /// point is past saturation and the intervals above are NaN, never a
+  /// confident-looking 0.0.
+  bool all_saturated = false;
   std::vector<SimResult> runs;  ///< per-replication detail
 };
 
-/// Run `replications` independent simulations; replication r uses seed
-/// base.seed + r (each expands to a fully decorrelated stream set via
-/// splitmix64). When `pool` is given, replications run concurrently on
-/// it; the result is bit-identical either way (per-replication seeds and
-/// ordered aggregation do not depend on scheduling). Must not be called
-/// with a pool from inside one of that pool's own tasks (it waits for
-/// the pool to drain — see ThreadPool::parallel_for). Throws
-/// mcs::ConfigError for replications < 1.
+/// Run `replications` independent simulations; replication r's seed is
+/// derived from base.seed through a splitmix64 stream
+/// (util::derive_seed), so replication sets launched from nearby base
+/// seeds share no runs. When `pool` is given, replications run
+/// concurrently on it; the result is bit-identical either way
+/// (per-replication seeds and ordered aggregation do not depend on
+/// scheduling). Must not be called with a pool from inside one of that
+/// pool's own tasks (it waits for the pool to drain — see
+/// ThreadPool::parallel_for). Throws mcs::ConfigError for
+/// replications < 1.
 [[nodiscard]] ReplicationResult run_replications(
     const topo::MultiClusterTopology& topology,
     const model::NetworkParams& params, double lambda_g,

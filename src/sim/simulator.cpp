@@ -78,14 +78,24 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
         channel_net_.assign(static_cast<std::size_t>(base), 0);
         for (std::size_t n = 0; n < nets_.size(); ++n) {
           const Net& net = nets_[n];
+          // The owning network's technology decides the channel timing:
+          // cluster networks use the cluster's params, the ICN2 its own.
+          // On homogeneous configs every resolution returns params_'s
+          // exact bits, keeping the golden fingerprints unchanged.
+          const model::NetworkParams np =
+              net.kind == NetKind::kIcn2
+                  ? cfg.icn2_params(params_)
+                  : cfg.cluster_params(net.cluster, params_);
+          const double tcn = np.t_cn();
+          const double tcs = np.t_cs();
           for (std::size_t c = 0; c < net.net->channel_count(); ++c) {
             const auto g = static_cast<std::size_t>(net.base) + c;
             channel_net_[g] = static_cast<std::int32_t>(n);
             service[g] =
                 topo::is_node_link(
                     net.net->channel(static_cast<topo::ChannelId>(c)).kind)
-                    ? params_.t_cn()
-                    : params_.t_cs();
+                    ? tcn
+                    : tcs;
           }
         }
         return service;
@@ -116,6 +126,12 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
 
   per_cluster_.resize(
       static_cast<std::size_t>(topology_.config().cluster_count()));
+
+  cluster_lambda_.reserve(
+      static_cast<std::size_t>(topology_.config().cluster_count()));
+  for (int i = 0; i < topology_.config().cluster_count(); ++i)
+    cluster_lambda_.push_back(topology_.config().cluster_load_scale(i) *
+                              lambda_);
 
   // Shape the route memo to its use-sites (see simulator.hpp).
   const int clusters = topology_.config().cluster_count();
@@ -179,7 +195,8 @@ SimResult Simulator::run() {
   const std::int64_t n = topology_.total_nodes();
   for (std::int64_t g = 0; g < n; ++g) {
     const auto node = static_cast<std::int32_t>(g);
-    queue_.push(node_rng_[static_cast<std::size_t>(g)].exponential(lambda_),
+    queue_.push(node_rng_[static_cast<std::size_t>(g)].exponential(
+                    node_lambda(node)),
                 EventKind::kGenerate, node);
   }
 
@@ -232,7 +249,8 @@ SimResult Simulator::run() {
 
 void Simulator::handle_generate(std::int32_t node, double now) {
   auto& rng = node_rng_[static_cast<std::size_t>(node)];
-  queue_.push(now + rng.exponential(lambda_), EventKind::kGenerate, node);
+  queue_.push(now + rng.exponential(node_lambda(node)), EventKind::kGenerate,
+              node);
 
   const std::int64_t idx = generated_++;
   if (idx == config_.warmup_messages) {

@@ -63,6 +63,11 @@ class Simulator : private WormholeEngine::Listener {
   /// The topology must outlive the simulator. Throws mcs::ConfigError when
   /// a worm could not span the longest path (message_flits too small for
   /// the engine's wormhole semantics; the paper's configs satisfy it).
+  /// `lambda_g` is the global per-node Poisson rate; the topology config's
+  /// heterogeneity knobs refine it per cluster — cluster i's nodes
+  /// generate at load_scale[i] * lambda_g, and channel service times come
+  /// from the owning network's technology (cluster_net / icn2_net
+  /// overrides on the shared `params`).
   Simulator(const topo::MultiClusterTopology& topology,
             const model::NetworkParams& params, double lambda_g,
             SimConfig config);
@@ -141,6 +146,14 @@ class Simulator : private WormholeEngine::Listener {
   std::vector<topo::EndpointId> local_of_;
   std::vector<util::Rng> node_rng_;
   DestinationSampler sampler_;
+  /// Per-cluster Poisson rate: load_scale[i] * lambda_g (== lambda_ for
+  /// every cluster on homogeneous-load configs).
+  std::vector<double> cluster_lambda_;
+
+  [[nodiscard]] double node_lambda(std::int32_t node) const {
+    return cluster_lambda_[static_cast<std::size_t>(
+        cluster_of_[static_cast<std::size_t>(node)])];
+  }
 
   // Message pool.
   std::vector<MsgRec> msgs_;

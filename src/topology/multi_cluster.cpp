@@ -1,6 +1,7 @@
 #include "topology/multi_cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "topology/dragonfly.hpp"
@@ -173,6 +174,53 @@ void SystemConfig::validate() const {
     static_cast<void>(plan_icn2(*this));
   if (total_nodes() < 2)
     throw ConfigError("SystemConfig: need at least 2 nodes");
+  if (!cluster_net.empty() && cluster_net.size() != cluster_heights.size())
+    throw ConfigError(
+        "SystemConfig: cluster_net wants one override per cluster (" +
+        std::to_string(cluster_heights.size()) + "), got " +
+        std::to_string(cluster_net.size()));
+  for (const model::NetworkParamsOverride& net : cluster_net) net.validate();
+  icn2_net.validate();
+  if (!load_scale.empty() && load_scale.size() != cluster_heights.size())
+    throw ConfigError(
+        "SystemConfig: load_scale wants one multiplier per cluster (" +
+        std::to_string(cluster_heights.size()) + "), got " +
+        std::to_string(load_scale.size()));
+  for (const double s : load_scale)
+    if (!(s > 0.0) || !std::isfinite(s))
+      throw ConfigError(
+          "SystemConfig: load_scale entries must be finite and > 0");
+}
+
+bool SystemConfig::heterogeneous_params() const {
+  if (icn2_net.any()) return true;
+  for (const model::NetworkParamsOverride& net : cluster_net)
+    if (net.any()) return true;
+  return false;
+}
+
+bool SystemConfig::heterogeneous_load() const {
+  for (const double s : load_scale)
+    if (s != 1.0) return true;
+  return false;
+}
+
+model::NetworkParams SystemConfig::cluster_params(
+    int cluster, const model::NetworkParams& shared) const {
+  MCS_EXPECTS(cluster >= 0 && cluster < cluster_count());
+  if (cluster_net.empty()) return shared;
+  return cluster_net[static_cast<std::size_t>(cluster)].apply(shared);
+}
+
+model::NetworkParams SystemConfig::icn2_params(
+    const model::NetworkParams& shared) const {
+  return icn2_net.apply(shared);
+}
+
+double SystemConfig::cluster_load_scale(int cluster) const {
+  MCS_EXPECTS(cluster >= 0 && cluster < cluster_count());
+  if (load_scale.empty()) return 1.0;
+  return load_scale[static_cast<std::size_t>(cluster)];
 }
 
 std::int64_t SystemConfig::cluster_size(int cluster) const {

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "model/params.hpp"
 #include "topology/fat_tree.hpp"
 #include "topology/graph.hpp"
 #include "topology/tree_math.hpp"
@@ -67,6 +68,21 @@ struct SystemConfig {
   std::vector<int> cluster_heights;  ///< n_i, one entry per cluster
   Icn2Config icn2;                   ///< global network shape (default tree)
 
+  // --- heterogeneous technology and load (defaults = homogeneous) --------
+  /// Per-cluster channel-timing overrides for the cluster's ICN1 and ECN1
+  /// (one entry per cluster, or empty for the shared technology). A
+  /// cluster's two trees are cabled with one technology — the paper's
+  /// reading of "each cluster brings its own network".
+  std::vector<model::NetworkParamsOverride> cluster_net;
+  /// Channel-timing override for the global ICN2 (a distinct wide-area /
+  /// backbone technology).
+  model::NetworkParamsOverride icn2_net;
+  /// Per-cluster offered-load multipliers: nodes of cluster i generate at
+  /// load_scale[i] * lambda_g (one entry per cluster, or empty for the
+  /// paper's uniform load). Destination choice is unaffected — scaling
+  /// changes how often a node talks, not to whom.
+  std::vector<double> load_scale;
+
   /// Table 1, row 1: N=1120, C=32, m=8 — 12 clusters of height 1,
   /// 16 of height 2, 4 of height 3.
   [[nodiscard]] static SystemConfig table1_org_a();
@@ -96,6 +112,21 @@ struct SystemConfig {
   /// Eq. (13): probability a message born in cluster i leaves the cluster,
   /// P_o = (N - N_i) / (N - 1), from uniform destination choice.
   [[nodiscard]] double p_outgoing(int cluster) const;
+
+  // --- heterogeneity accessors -------------------------------------------
+  /// True when any per-cluster or ICN2 technology override is set.
+  [[nodiscard]] bool heterogeneous_params() const;
+  /// True when load_scale makes some cluster's offered load differ.
+  [[nodiscard]] bool heterogeneous_load() const;
+  /// Cluster i's effective channel timing: `shared` with the cluster's
+  /// override applied (bit-identical pass-through when none is set).
+  [[nodiscard]] model::NetworkParams cluster_params(
+      int cluster, const model::NetworkParams& shared) const;
+  /// The ICN2's effective channel timing.
+  [[nodiscard]] model::NetworkParams icn2_params(
+      const model::NetworkParams& shared) const;
+  /// load_scale[cluster], or 1.0 when load_scale is empty.
+  [[nodiscard]] double cluster_load_scale(int cluster) const;
 
   friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
 };

@@ -6,6 +6,18 @@
 
 namespace mcs::util {
 
+std::uint64_t derive_seed(std::uint64_t base,
+                          std::initializer_list<std::uint64_t> coords) {
+  std::uint64_t state = base;
+  for (const std::uint64_t c : coords) {
+    // Mix the coordinate into the state, then advance through splitmix64.
+    // The +1 keeps coordinate 0 from being a no-op on a zero state.
+    SplitMix64 sm(state ^ (0x9e3779b97f4a7c15ULL * (c + 1)));
+    state = sm.next();
+  }
+  return state;
+}
+
 AliasTable::AliasTable(const std::vector<double>& weights) {
   const std::size_t n = weights.size();
   if (n == 0) throw ConfigError("AliasTable: empty weight vector");

@@ -9,6 +9,7 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "util/contracts.hpp"
@@ -31,6 +32,16 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+/// Chain `coords` through splitmix64 starting from `base`: every
+/// coordinate permutes the state, so derived seeds that differ in any
+/// single coordinate (replication index, grid coordinate, ...) are fully
+/// decorrelated — unlike `base + i`, where nearby bases share streams
+/// (seed S coordinate r equals seed S+1 coordinate r-1). Used by the
+/// sweep runner's per-task seeds and run_replications' per-replication
+/// seeds.
+[[nodiscard]] std::uint64_t derive_seed(
+    std::uint64_t base, std::initializer_list<std::uint64_t> coords);
 
 /// xoshiro256** PRNG with convenience draws used across the simulator.
 class Rng {

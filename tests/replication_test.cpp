@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace mcs::sim {
@@ -67,7 +70,58 @@ TEST_F(ReplicationTest, SaturatedRunsAreCountedNotAveraged) {
   const auto result = run_replications(topo_, params_, 0.05, cfg, 2);
   EXPECT_EQ(result.saturated, 2);
   EXPECT_EQ(result.completed, 0);
-  EXPECT_DOUBLE_EQ(result.latency.mean, 0.0);
+  // Regression (all-saturated aggregation): a fully saturated point must
+  // not read as a confidently converged latency of 0.0 +- 0.0.
+  EXPECT_TRUE(result.all_saturated);
+  EXPECT_TRUE(std::isnan(result.latency.mean));
+  EXPECT_TRUE(std::isnan(result.latency.half_width));
+  EXPECT_TRUE(std::isnan(result.internal_latency.mean));
+  EXPECT_TRUE(std::isnan(result.external_latency.mean));
+}
+
+TEST_F(ReplicationTest, PartiallySaturatedSetsAreNotFlagged) {
+  // Build a genuinely mixed set: measure the per-replication end times at
+  // a stable load, then re-run with a simulated-time cap between the
+  // fastest and slowest — runs past the cap are flagged saturated, the
+  // rest complete (seeds are deterministic, so the split is too).
+  const auto base = run_replications(topo_, params_, 1e-4, small(), 4);
+  ASSERT_EQ(base.completed, 4);
+  double lo = base.runs[0].end_time, hi = base.runs[0].end_time;
+  for (const SimResult& run : base.runs) {
+    lo = std::min(lo, run.end_time);
+    hi = std::max(hi, run.end_time);
+  }
+  ASSERT_LT(lo, hi);
+
+  SimConfig capped = small();
+  capped.max_time = 0.5 * (lo + hi);
+  const auto mixed = run_replications(topo_, params_, 1e-4, capped, 4);
+  EXPECT_GT(mixed.completed, 0);
+  EXPECT_GT(mixed.saturated, 0);
+  EXPECT_EQ(mixed.completed + mixed.saturated, 4);
+  // Partially saturated: aggregates come from the completed runs only,
+  // and the degenerate-state flag stays off.
+  EXPECT_FALSE(mixed.all_saturated);
+  EXPECT_FALSE(std::isnan(mixed.latency.mean));
+  EXPECT_GT(mixed.latency.mean, 0.0);
+}
+
+TEST_F(ReplicationTest, NearbyBaseSeedsShareNoRuns) {
+  // Regression (replication seeding): with `seed + r` derivation,
+  // replication r of base seed S is bit-identical to replication r-1 of
+  // base seed S+1, so replication sets launched from consecutive seeds
+  // overlap almost entirely. The splitmix64 stream must decorrelate them.
+  SimConfig lo = small();
+  lo.seed = 42;
+  SimConfig hi = small();
+  hi.seed = 43;
+  const auto a = run_replications(topo_, params_, 1e-4, lo, 4);
+  const auto b = run_replications(topo_, params_, 1e-4, hi, 4);
+  for (const SimResult& ra : a.runs)
+    for (const SimResult& rb : b.runs) {
+      EXPECT_NE(ra.latency.mean, rb.latency.mean);
+      EXPECT_NE(ra.end_time, rb.end_time);
+    }
 }
 
 TEST_F(ReplicationTest, PoolDispatchMatchesSerialBitForBit) {

@@ -85,6 +85,58 @@ TEST(ScenarioNegative, UnknownSectionAndPatternKindGetSuggestions) {
   EXPECT_NE(preset.find("'homogeneous'"), std::string::npos) << preset;
 }
 
+TEST(ScenarioNegative, HeteroSubsectionMisuseIsAConfigError) {
+  const std::vector<std::string> bad = {
+      // sub-sections must follow a [system]
+      "[sweep]\nloads = 0.001\n[cluster.0]\nbeta_net = 0.001\n" +
+          std::string(kMinimalSystem),
+      "[sweep]\nloads = 0.001\n[icn2_params]\nbeta_net = 0.001\n" +
+          std::string(kMinimalSystem),
+      valid_spec() + "[pattern p]\nkind = uniform\n[cluster.0]\n"
+                     "beta_net = 0.001\n",
+      // index out of range / malformed / duplicate
+      valid_spec() + "[cluster.32]\nbeta_net = 0.001\n",
+      valid_spec() + "[cluster.-1]\nbeta_net = 0.001\n",
+      valid_spec() + "[cluster.x]\nbeta_net = 0.001\n",
+      valid_spec() + "[cluster.0]\nbeta_net = 0.001\n[cluster.0]\n"
+                     "alpha_net = 0.01\n",
+      // empty overrides are silent no-ops: rejected
+      valid_spec() + "[cluster.0]\n",
+      valid_spec() + "[icn2_params]\n",
+      // duplicate [icn2_params] per system
+      valid_spec() + "[icn2_params]\nbeta_net = 0.001\n[icn2_params]\n"
+                     "alpha_net = 0.01\n",
+      // out-of-range values (negative would silently read as "inherit")
+      valid_spec() + "[cluster.0]\nbeta_net = 0\n",
+      valid_spec() + "[cluster.0]\nbeta_net = -0.001\n",
+      valid_spec() + "[cluster.0]\nalpha_net = -0.01\n",
+      valid_spec() + "[cluster.0]\nload_scale = 0\n",
+      valid_spec() + "[cluster.0]\nload_scale = -2\n",
+      valid_spec() + "[icn2_params]\nflit_bytes = -128\n",
+      // load_scale is a cluster property, not an ICN2 one
+      valid_spec() + "[icn2_params]\nload_scale = 2\n",
+  };
+  for (const std::string& text : bad)
+    EXPECT_THROW((void)parse_scenario_string(text), ConfigError)
+        << "accepted:\n"
+        << text;
+}
+
+TEST(ScenarioNegative, HeteroKeyTyposGetSuggestions) {
+  const std::string msg =
+      error_of(valid_spec() + "[cluster.0]\nbeta_nett = 0.001\n");
+  EXPECT_NE(msg.find("unknown [cluster.<i>] key 'beta_nett'"),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("'beta_net'"), std::string::npos) << msg;
+
+  const std::string icn2 =
+      error_of(valid_spec() + "[icn2_params]\nalpha_nett = 0.01\n");
+  EXPECT_NE(icn2.find("unknown [icn2_params] key 'alpha_nett'"),
+            std::string::npos)
+      << icn2;
+}
+
 TEST(ScenarioNegative, OutOfRangeValuesAreConfigErrors) {
   const std::vector<std::string> bad = {
       // [sweep] ranges
