@@ -18,6 +18,12 @@
 //   --paper-scale     Sec. 4 phases: 10k warm-up / 100k measured
 //   --no-sim          models only (fast, deterministic)
 //   --knee            add the model saturation-knee column
+//   --find-saturation bisect each (system, params, pattern, relay, flow)
+//                     group against the SIMULATOR for its measured
+//                     saturation knee (exp::SaturationSearch; adds the
+//                     sim lambda* and sim/model ratio columns; the
+//                     scenario's [search] block tunes precision targets,
+//                     replication bounds and warmup deletion)
 //   --quiet           suppress the table (summary only)
 //   --icn2=KIND       force every system's ICN2 topology
 //                     (fat_tree | torus | mesh | dragonfly | random)
@@ -224,6 +230,7 @@ int main(int argc, char** argv) {
     spec.measured = args.get_int("measured", spec.measured);
     if (args.get_flag("no-sim")) spec.run_sim = false;
     if (args.get_flag("knee")) spec.find_knee = true;
+    if (args.get_flag("find-saturation")) spec.find_sim_saturation = true;
     apply_icn2_overrides(args, spec);
     apply_hetero_overrides(args, spec);
 

@@ -16,6 +16,7 @@
 //   auto measured = sim.run();
 #pragma once
 
+#include "exp/saturation_search.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
 #include "exp/sweep_io.hpp"

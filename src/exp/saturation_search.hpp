@@ -1,0 +1,98 @@
+// Simulation-side saturation search: bisect the offered load lambda_g
+// against the *simulator* to locate the saturation knee of one operating
+// point — the measured counterpart of model::find_saturation's analytical
+// knee (DESIGN.md §11).
+//
+// The paper's headline artifacts (Figs. 3-4, Table 1) are latency-vs-load
+// curves whose scientifically interesting feature is that knee, yet a
+// fixed lambda grid only brackets it as tightly as the grid spacing.
+// SaturationSearch closes the loop: each probe runs adaptive sequential
+// replications (sim::run_replications_sequential), classifies the load as
+// saturated or stable, and the bisection converges to a relative bracket
+// width rel_tol. Everything is seeded through splitmix64, so a search is
+// bit-identical across runs and thread counts.
+#pragma once
+
+#include <vector>
+
+#include "model/latency.hpp"
+#include "sim/replication.hpp"
+
+namespace mcs::exp {
+
+struct SaturationSearchConfig {
+  /// Replication control per probe. Loose defaults: a probe only needs to
+  /// classify saturated/stable, not estimate latency precisely.
+  sim::SequentialSpec seq{/*r_min=*/2, /*r_max=*/6, /*rel_precision=*/0.15};
+  /// Final relative bracket width: (hi - lo) <= rel_tol * hi.
+  double rel_tol = 0.05;
+  /// Latency-blowup predicate: a probe whose mean latency exceeds
+  /// latency_blowup times the low-load reference latency is classified
+  /// saturated even when every replication nominally completed (queues
+  /// grew for the whole window without tripping a resource cap).
+  double latency_blowup = 8.0;
+  /// Guard on total probes (anchor + bracket growth + bisection).
+  int max_probes = 48;
+
+  /// Throws mcs::ConfigError on a non-positive rel_tol, a blowup factor
+  /// <= 1, max_probes < 4, or an invalid seq block.
+  void validate() const;
+};
+
+/// One probe of the search trace (diagnostics and tests).
+struct SaturationProbe {
+  double lambda = 0.0;
+  bool saturated = false;
+  double latency = -1.0;  ///< mean over completed replications; -1 if none
+  int replications = 0;   ///< sequential replications spent
+};
+
+struct SaturationSearchResult {
+  /// Largest offered load the simulator classified as stable (the lower
+  /// edge of the final bracket). 0 when even the smallest probed load
+  /// saturated.
+  double lambda_sat = 0.0;
+  /// The analytical seed the bracket started from (the caller's
+  /// model::find_saturation knee, or the closed-form concentrator
+  /// estimate when no model applies).
+  double model_lambda_sat = 0.0;
+  /// lambda_sat / model_lambda_sat: the sim/model agreement this PR's
+  /// property suite locks into a tolerance band.
+  double ratio = -1.0;
+  /// Simulator mean latency at lambda_sat (last stable probe).
+  double latency_at = -1.0;
+  /// Low-load anchor latency feeding the blowup predicate.
+  double reference_latency = -1.0;
+  int probes = 0;
+  std::vector<SaturationProbe> trace;  ///< probe order
+};
+
+class SaturationSearch {
+ public:
+  /// `base` carries the phases, relay/flow modes, traffic pattern, warmup
+  /// deletion and the seed stream of every probe (probe seeds derive from
+  /// base.seed and the probe index). The topology must outlive the
+  /// search. Throws mcs::ConfigError on an invalid config.
+  SaturationSearch(const topo::MultiClusterTopology& topology,
+                   const model::NetworkParams& params, sim::SimConfig base,
+                   SaturationSearchConfig config = {});
+
+  /// Run the search. `model_lambda_sat` > 0 seeds the bracket (typically
+  /// model::find_saturation(...).lambda_sat); <= 0 falls back to the
+  /// closed-form concentrator estimate. Probes run serially — callers
+  /// parallelize across operating points, not within a search.
+  [[nodiscard]] SaturationSearchResult run(double model_lambda_sat) const;
+
+ private:
+  [[nodiscard]] sim::ReplicationResult probe(double lambda,
+                                             int probe_index) const;
+  [[nodiscard]] bool is_saturated(const sim::ReplicationResult& result,
+                                  double reference_latency) const;
+
+  const topo::MultiClusterTopology& topology_;
+  model::NetworkParams params_;
+  sim::SimConfig base_;
+  SaturationSearchConfig config_;
+};
+
+}  // namespace mcs::exp

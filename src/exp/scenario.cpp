@@ -61,9 +61,24 @@ const std::vector<std::string>& sweep_keys() {
       "name",      "seed",       "replications", "warmup",
       "measured",  "message_flits", "flit_bytes", "loads",
       "load_grid", "models",     "sim",          "knee",
-      "relay",     "flow",       "alpha_net",    "alpha_sw",
-      "beta_net"};
+      "find_saturation",         "relay",        "flow",
+      "alpha_net", "alpha_sw",   "beta_net"};
   return keys;
+}
+
+const std::vector<std::string>& search_keys() {
+  static const std::vector<std::string> keys = {
+      "rel_precision", "r_min", "r_max", "warmup", "rel_tol", "blowup"};
+  return keys;
+}
+
+sim::WarmupDeletion parse_warmup_deletion(const std::string& source, int line,
+                                          const std::string& value) {
+  if (value == "off") return sim::WarmupDeletion::kOff;
+  if (value == "mser5") return sim::WarmupDeletion::kMser5;
+  if (value == "fraction") return sim::WarmupDeletion::kFraction;
+  fail_unknown(source, line, "unknown warmup deletion mode", value,
+               {"off", "mser5", "fraction"});
 }
 
 const std::vector<std::string>& system_keys() {
@@ -300,9 +315,11 @@ void ScenarioSpec::validate() const {
     throw ConfigError("ScenarioSpec: replications must be >= 1");
   if (warmup < 0) throw ConfigError("ScenarioSpec: warmup must be >= 0");
   if (measured < 1) throw ConfigError("ScenarioSpec: measured must be >= 1");
-  if (!run_sim && !run_paper_model && !run_refined_model)
+  if (!run_sim && !run_paper_model && !run_refined_model &&
+      !find_sim_saturation)
     throw ConfigError("ScenarioSpec: nothing to evaluate "
-                      "(sim and both models disabled)");
+                      "(sim, both models and find_saturation disabled)");
+  search.validate();  // the [search] block, in SaturationSearch's terms
   base_params.validate();
   // Patterns are validated against each concrete topology by the runner
   // (validity depends on cluster sizes); here we only check ranges that
@@ -330,7 +347,8 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
   // kCluster / kIcn2Params are sub-sections of the still-open [system]
   // draft: they extend it rather than closing it.
   enum class Section { kNone, kSweep, kSystem, kCluster, kIcn2Params,
-                       kPattern };
+                       kPattern, kSearch };
+  bool search_seen = false;
   Section section = Section::kNone;
   SystemDraft system;
   PatternDraft pattern;
@@ -371,6 +389,12 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
       if (header == "sweep") {
         flush_section();
         section = Section::kSweep;
+      } else if (header == "search") {
+        flush_section();
+        if (search_seen)
+          fail(source, line_no, "duplicate [search] section");
+        search_seen = true;
+        section = Section::kSearch;
       } else if (header.rfind("cluster.", 0) == 0) {
         // Sub-section of the open [system]: do NOT flush it.
         if (!in_system())
@@ -424,7 +448,7 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
         fail(source, line_no,
              "unknown section [" + header + "]" +
                  suggest(header, {"sweep", "system", "pattern", "cluster.0",
-                                  "icn2_params"}));
+                                  "icn2_params", "search"}));
       }
       continue;
     }
@@ -503,6 +527,8 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
           spec.run_sim = parse_bool(source, line_no, value);
         } else if (key == "knee") {
           spec.find_knee = parse_bool(source, line_no, value);
+        } else if (key == "find_saturation") {
+          spec.find_sim_saturation = parse_bool(source, line_no, value);
         } else if (key == "relay") {
           for (const std::string& v : split_list(value))
             spec.relay_modes.push_back(parse_relay(source, line_no, v));
@@ -602,6 +628,29 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
                        key,
                        section == Section::kCluster ? cluster_keys()
                                                     : icn2_params_keys());
+        }
+        break;
+      }
+
+      case Section::kSearch: {
+        if (key == "rel_precision") {
+          spec.search.seq.rel_precision =
+              parse_double(source, line_no, value);
+        } else if (key == "r_min") {
+          spec.search.seq.r_min =
+              static_cast<int>(parse_int(source, line_no, value));
+        } else if (key == "r_max") {
+          spec.search.seq.r_max =
+              static_cast<int>(parse_int(source, line_no, value));
+        } else if (key == "warmup") {
+          spec.search_warmup = parse_warmup_deletion(source, line_no, value);
+        } else if (key == "rel_tol") {
+          spec.search.rel_tol = parse_double(source, line_no, value);
+        } else if (key == "blowup") {
+          spec.search.latency_blowup = parse_double(source, line_no, value);
+        } else {
+          fail_unknown(source, line_no, "unknown [search] key", key,
+                       search_keys());
         }
         break;
       }

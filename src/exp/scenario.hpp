@@ -60,6 +60,20 @@
 //   [icn2_params]                    # long-haul backbone
 //   alpha_net = 0.04
 //   beta_net = 0.001
+//
+// Adaptive experiments (DESIGN.md §11): a `[search]` block tunes the
+// simulation-side saturation search (`find_saturation = true` in [sweep],
+// or mcs_sweep --find-saturation, turns it on; the block alone only
+// configures). Keys: `rel_precision`, `r_min`, `r_max` (the sequential
+// replication rule per probe), `warmup = off | mser5 | fraction`
+// (initial-transient deletion of the probe runs), `rel_tol` (bracket
+// width) and `blowup` (latency-blowup saturation predicate):
+//
+//   [search]
+//   rel_precision = 0.15
+//   r_min         = 2
+//   r_max         = 6
+//   warmup        = mser5
 #pragma once
 
 #include <cstdint>
@@ -67,6 +81,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/saturation_search.hpp"
 #include "model/params.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
@@ -109,6 +124,20 @@ struct ScenarioSpec {
   /// Also bisect each (system, params, pattern) group for its saturation
   /// knee (model-side; uses the refined model when enabled, else paper).
   bool find_knee = false;
+  /// Also bisect each (system, params, pattern, relay, flow) group for
+  /// its SIMULATION-side saturation knee (exp::SaturationSearch seeded
+  /// from the model knee; `search` below tunes it). Implies find_knee so
+  /// the sim/model ratio column has its denominator.
+  bool find_sim_saturation = false;
+
+  /// The `[search]` block: adaptive-control knobs of the simulation-side
+  /// saturation search, stored as the search's own config so scenario
+  /// defaults can never drift from SaturationSearchConfig's.
+  SaturationSearchConfig search;
+  /// Initial-transient deletion mode of the search's probe runs. MSER-5
+  /// by default: probes near the knee are exactly where transient bias
+  /// is worst.
+  sim::WarmupDeletion search_warmup = sim::WarmupDeletion::kMser5;
 
   /// Channel timing defaults shared by every grid point; message_flits and
   /// flit_bytes above override the corresponding fields per point.

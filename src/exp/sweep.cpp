@@ -5,6 +5,7 @@
 #include <memory>
 #include <tuple>
 
+#include "exp/saturation_search.hpp"
 #include "model/paper_model.hpp"
 #include "model/refined_model.hpp"
 #include "model/saturation.hpp"
@@ -32,6 +33,23 @@ struct ModelGroup {
   std::vector<std::size_t> row_indices;
 };
 
+// One (system, message_flits, flit_bytes, pattern, relay, flow)
+// combination: the simulation-side saturation knee depends on the relay
+// mode too (unlike the analytical models), so search groups refine the
+// model groups by the relay dimension. Borrows the model group's support
+// flags for the analytical seed knee.
+struct SearchGroup {
+  std::size_t model_group = 0;  ///< index into the ModelGroup vector
+  int pattern_idx = 0;
+  sim::RelayMode relay = sim::RelayMode::kStoreForward;
+  std::uint64_t seed_coords[6] = {};  ///< grid coords of the group
+  std::vector<std::size_t> row_indices;
+};
+
+/// Seed-stream tag separating per-group search seeds from the row tasks'
+/// 8-coordinate replication chains.
+constexpr std::uint64_t kSearchSeedTag = 0x5ea4'c11f'0b15'ec75ULL;
+
 // The analytical models assume cluster-symmetric destination choice; the
 // hotspot pattern breaks that symmetry, so model columns stay empty.
 bool pattern_model_supported(const sim::TrafficPattern& pattern) {
@@ -51,6 +69,9 @@ const char* hetero_label(const topo::SystemConfig& config) {
 
 SweepRunner::SweepRunner(ScenarioSpec spec) : spec_(std::move(spec)) {
   spec_.validate();
+  // The sim/model saturation ratio needs its analytical denominator in
+  // the output rows.
+  if (spec_.find_sim_saturation) spec_.find_knee = true;
   // Patterns can only be validated against concrete topologies (their
   // constraints depend on cluster sizes); fail fast here rather than in a
   // worker thread.
@@ -81,6 +102,9 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
 
   std::map<std::tuple<int, int, int, int, int>, std::size_t> group_of;
   std::vector<ModelGroup> groups;
+  std::map<std::tuple<int, int, int, int, int, int>, std::size_t>
+      search_group_of;
+  std::vector<SearchGroup> search_groups;
 
   for (int sys = 0; sys < static_cast<int>(spec_.systems.size()); ++sys) {
     for (int fi = 0; fi < static_cast<int>(spec_.message_flits.size()); ++fi) {
@@ -148,6 +172,27 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
                   groups.push_back(std::move(group));
                 }
                 groups[it->second].row_indices.push_back(result.rows.size());
+                if (spec_.find_sim_saturation) {
+                  const auto skey =
+                      std::make_tuple(sys, fi, bi, pi, ri, wi);
+                  auto [sit, s_inserted] = search_group_of.try_emplace(
+                      skey, search_groups.size());
+                  if (s_inserted) {
+                    SearchGroup sg;
+                    sg.model_group = it->second;
+                    sg.pattern_idx = pi;
+                    sg.relay = row.relay;
+                    sg.seed_coords[0] = static_cast<std::uint64_t>(sys);
+                    sg.seed_coords[1] = static_cast<std::uint64_t>(fi);
+                    sg.seed_coords[2] = static_cast<std::uint64_t>(bi);
+                    sg.seed_coords[3] = static_cast<std::uint64_t>(pi);
+                    sg.seed_coords[4] = static_cast<std::uint64_t>(ri);
+                    sg.seed_coords[5] = static_cast<std::uint64_t>(wi);
+                    search_groups.push_back(std::move(sg));
+                  }
+                  search_groups[sit->second].row_indices.push_back(
+                      result.rows.size());
+                }
                 result.rows.push_back(std::move(row));
               }
             }
@@ -253,6 +298,64 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
         ++result.sim_tasks;
       }
     }
+  }
+
+  // Saturation-search tasks: one closed-loop bisection per search group.
+  // Probes run serially inside the task (run_replications_sequential with
+  // no pool: nested pool waits would deadlock inside a pool task); the
+  // groups themselves fan out across the pool. Each group's rows get the
+  // same sim_lambda_sat / sat_ratio, written by exactly one task.
+  for (SearchGroup& sg : search_groups) {
+    const ModelGroup& mg = groups[sg.model_group];
+    const topo::MultiClusterTopology& topology =
+        *topologies[static_cast<std::size_t>(mg.system_idx)];
+    pool->submit([this, &sg, &mg, &topology, &patterns, &rows] {
+      const topo::SystemConfig& config =
+          spec_.systems[static_cast<std::size_t>(mg.system_idx)].config;
+      // Analytical seed knee, same preference order as the model tasks
+      // (refined when enabled and supported, else paper), so the ratio
+      // column shares its denominator with the knee column. <= 0 makes
+      // SaturationSearch fall back to the closed-form estimate.
+      double model_sat = -1.0;
+      if (spec_.run_refined_model && mg.refined_supported) {
+        const model::RefinedModel refined(config, mg.params,
+                                          mg.p_out_override, mg.flow);
+        model_sat = model::find_saturation(refined).lambda_sat;
+      } else if (spec_.run_paper_model && mg.paper_supported) {
+        const model::PaperModel paper(config, mg.params, mg.p_out_override);
+        model_sat = model::find_saturation(paper).lambda_sat;
+      }
+
+      sim::SimConfig cfg;
+      cfg.seed = derive_seed(
+          spec_.seed,
+          {sg.seed_coords[0], sg.seed_coords[1], sg.seed_coords[2],
+           sg.seed_coords[3], sg.seed_coords[4], sg.seed_coords[5],
+           kSearchSeedTag});
+      cfg.relay_mode = sg.relay;
+      cfg.flow_control = mg.flow;
+      cfg.warmup_messages = spec_.warmup;
+      cfg.measured_messages = spec_.measured;
+      cfg.pattern =
+          patterns[static_cast<std::size_t>(sg.pattern_idx)].pattern;
+      cfg.warmup_deletion = spec_.search_warmup;
+
+      const SaturationSearch search(topology, mg.params, cfg,
+                                    spec_.search);
+      const SaturationSearchResult found = search.run(model_sat);
+      for (const std::size_t r : sg.row_indices) {
+        // Negative = missing, like every other output column: a search
+        // that found no stable load reports no knee (never a
+        // confident-looking 0.0), and the ratio is only published
+        // against a real model knee — the estimate fallback seeds the
+        // bracket but is not the knee column's denominator.
+        rows[r].sim_lambda_sat =
+            found.lambda_sat > 0.0 ? found.lambda_sat : -1.0;
+        rows[r].sat_ratio = model_sat > 0.0 && found.lambda_sat > 0.0
+                                ? found.ratio
+                                : -1.0;
+      }
+    });
   }
 
   pool->wait_idle();

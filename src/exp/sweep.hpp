@@ -63,6 +63,14 @@ struct SweepRow {
   /// Saturation knee of this row's (system, params, pattern) group;
   /// negative unless ScenarioSpec::find_knee was set.
   double knee_lambda = -1.0;
+  /// SIMULATION-side saturation knee of this row's (system, params,
+  /// pattern, relay, flow) group (exp::SaturationSearch); negative unless
+  /// ScenarioSpec::find_sim_saturation was set and the search found a
+  /// stable load at all.
+  double sim_lambda_sat = -1.0;
+  /// sim_lambda_sat / the analytical seed knee — the sim/model agreement
+  /// ratio; negative when either side is missing.
+  double sat_ratio = -1.0;
 
   // Simulation outputs, aggregated across replications.
   bool sim_run = false;

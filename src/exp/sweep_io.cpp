@@ -50,6 +50,7 @@ void write_csv(const SweepResult& result, const std::string& path) {
              "pattern", "relay", "flow", "lambda", "paper_latency",
              "paper_stable",
              "refined_latency", "refined_stable", "knee_lambda",
+             "sim_lambda_sat", "sat_ratio",
              "replications", "completed", "saturated", "sim_latency",
              "sim_ci95", "sim_p50", "sim_p95", "sim_p99", "sim_internal",
              "sim_external", "external_share", "sim_state"});
@@ -65,6 +66,8 @@ void write_csv(const SweepResult& result, const std::string& path) {
                  opt_num(row.refined_run, row.refined_latency, 6),
                  row.refined_run ? (row.refined_stable ? "1" : "0") : "",
                  opt_num(row.knee_lambda >= 0.0, row.knee_lambda, 8),
+                 opt_num(row.sim_lambda_sat >= 0.0, row.sim_lambda_sat, 8),
+                 opt_num(row.sat_ratio >= 0.0, row.sat_ratio, 4),
                  std::to_string(row.replications),
                  std::to_string(row.completed), std::to_string(row.saturated),
                  opt_num(sim_ok, row.sim_latency, 6),
@@ -170,6 +173,10 @@ void write_json(const SweepResult& result, std::ostream& out) {
     }
     if (row.knee_lambda >= 0.0)
       json_field(out, "knee_lambda", row.knee_lambda, first);
+    if (row.sim_lambda_sat >= 0.0)
+      json_field(out, "sim_lambda_sat", row.sim_lambda_sat, first);
+    if (row.sat_ratio >= 0.0)
+      json_field(out, "sat_ratio", row.sat_ratio, first);
     if (row.sim_run) {
       json_field(out, "replications",
                  static_cast<std::int64_t>(row.replications), first);
@@ -211,7 +218,7 @@ util::TextTable to_table(const SweepResult& result) {
   std::set<double> bytes;
   std::set<int> relays, flows;
   bool any_knee = false, any_paper = false, any_refined = false,
-       any_sim = false;
+       any_sim = false, any_search = false;
   for (const SweepRow& row : result.rows) {
     systems.insert(row.system_id);
     patterns.insert(row.pattern_id);
@@ -222,6 +229,7 @@ util::TextTable to_table(const SweepResult& result) {
     relays.insert(static_cast<int>(row.relay));
     flows.insert(static_cast<int>(row.flow));
     any_knee |= row.knee_lambda >= 0.0;
+    any_search |= row.sim_lambda_sat >= 0.0;
     any_paper |= row.paper_run;
     any_refined |= row.refined_run;
     any_sim |= row.sim_run;
@@ -240,6 +248,10 @@ util::TextTable to_table(const SweepResult& result) {
   if (any_paper) headers.push_back("analysis (paper)");
   if (any_refined) headers.push_back("analysis (refined)");
   if (any_knee) headers.push_back("knee lambda*");
+  if (any_search) {
+    headers.push_back("sim lambda*");
+    headers.push_back("sim/model");
+  }
   if (any_sim) {
     headers.push_back("simulation");
     headers.push_back("sim 95% ci");
@@ -274,6 +286,14 @@ util::TextTable to_table(const SweepResult& result) {
       cells.push_back(row.knee_lambda >= 0.0
                           ? util::TextTable::sci(row.knee_lambda, 2)
                           : std::string("-"));
+    if (any_search) {
+      cells.push_back(row.sim_lambda_sat >= 0.0
+                          ? util::TextTable::sci(row.sim_lambda_sat, 2)
+                          : std::string("-"));
+      cells.push_back(row.sat_ratio >= 0.0
+                          ? util::TextTable::num(row.sat_ratio, 2)
+                          : std::string("-"));
+    }
     if (any_sim) {
       if (!row.sim_run) {
         cells.push_back("-");

@@ -58,6 +58,16 @@ struct SimResult {
   std::uint64_t events_processed = 0;
   std::uint64_t worms_spawned = 0;
 
+  /// Initial-transient deletion (SimConfig::warmup_deletion): measured
+  /// messages excluded from the latency statistics beyond the fixed
+  /// warmup phase. 0 when deletion is off (the default) or the stream
+  /// looked stationary from the start.
+  std::int64_t warmup_deleted = 0;
+  /// True when MSER-5 could not determine a cutoff (stream too short or
+  /// minimum on the search bound) and the fixed-fraction fallback was
+  /// applied instead.
+  bool warmup_fallback = false;
+
   /// Mean latency by source cluster (Eq. 35's per-cluster view).
   std::vector<double> per_cluster_latency;
   std::vector<std::int64_t> per_cluster_count;

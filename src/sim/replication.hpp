@@ -5,6 +5,7 @@
 // independent; batches are only approximately so).
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "exp/thread_pool.hpp"
@@ -26,7 +27,31 @@ struct ReplicationResult {
   /// point is past saturation and the intervals above are NaN, never a
   /// confident-looking 0.0.
   bool all_saturated = false;
+
+  /// Replications actually spent (== runs.size()). Equals the request in
+  /// fixed mode; in sequential mode, the stopping point.
+  int replications = 0;
+  /// Precision achieved: latency CI half-width / |mean| over the
+  /// completed runs (+infinity with fewer than two completed).
+  double rel_half_width = std::numeric_limits<double>::infinity();
+  /// Sequential mode only: the rel_precision target was reached at or
+  /// before r_max. Always false in fixed mode.
+  bool precision_met = false;
+
   std::vector<SimResult> runs;  ///< per-replication detail
+};
+
+/// Control block of the sequential (CI-driven) replication mode.
+struct SequentialSpec {
+  int r_min = 4;   ///< replications always run before the rule is consulted
+  int r_max = 32;  ///< hard cap on replications spent
+  /// Stop once the 95% CI relative half-width of the mean latency (across
+  /// completed replication means) drops to this value or below.
+  double rel_precision = 0.05;
+
+  /// Throws mcs::ConfigError on 1 > r_min, r_min > r_max or a
+  /// non-positive rel_precision.
+  void validate() const;
 };
 
 /// Run `replications` independent simulations; replication r's seed is
@@ -43,6 +68,29 @@ struct ReplicationResult {
     const topo::MultiClusterTopology& topology,
     const model::NetworkParams& params, double lambda_g,
     const SimConfig& base, int replications,
+    exp::ThreadPool* pool = nullptr);
+
+/// Sequential (CI-driven) replication mode: run spec.r_min replications,
+/// then keep adding replications until the 95% CI relative half-width of
+/// the mean latency drops to spec.rel_precision, or spec.r_max is hit.
+///
+/// Determinism contract: replication r's seed depends only on (base.seed,
+/// r) — the same splitmix64 stream as the fixed mode — and the stopping
+/// point is the SMALLEST prefix length R in [r_min, r_max] whose first R
+/// runs satisfy the rule, evaluated in replication order. Execution
+/// happens in pool-sized waves, so a wide pool may simulate replications
+/// beyond the stopping point; those are discarded before aggregation.
+/// The result is therefore bit-identical for any thread count (and to a
+/// fixed-mode run of `result.replications` replications).
+///
+/// Saturation: a prefix whose first R >= r_min runs include r_min or more
+/// saturated replications stops immediately (the operating point is past
+/// the knee; more replications cannot make the CI converge) — this is the
+/// probe-termination path exp::SaturationSearch relies on.
+[[nodiscard]] ReplicationResult run_replications_sequential(
+    const topo::MultiClusterTopology& topology,
+    const model::NetworkParams& params, double lambda_g,
+    const SimConfig& base, const SequentialSpec& spec,
     exp::ThreadPool* pool = nullptr);
 
 }  // namespace mcs::sim

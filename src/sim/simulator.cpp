@@ -30,6 +30,8 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
           throw ConfigError("Simulator: lambda_g must be > 0");
         if (config_.measured_messages < 1 || config_.warmup_messages < 0)
           throw ConfigError("Simulator: bad phase configuration");
+        if (config_.warmup_fraction < 0.0 || config_.warmup_fraction >= 1.0)
+          throw ConfigError("Simulator: warmup_fraction must be in [0, 1)");
 
         // Canonical network order: (ICN1_0, ECN1_0, ICN1_1, ECN1_1, ...,
         // ICN2). Build the registry and the global service-time table.
@@ -167,6 +169,12 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
           : 4 * (config_.warmup_messages + config_.measured_messages);
   measured_latencies_.reserve(
       static_cast<std::size_t>(config_.measured_messages));
+  if (config_.warmup_deletion != WarmupDeletion::kOff) {
+    measured_cluster_.reserve(
+        static_cast<std::size_t>(config_.measured_messages));
+    measured_is_internal_.reserve(
+        static_cast<std::size_t>(config_.measured_messages));
+  }
 }
 
 bool Simulator::should_stop(double now, std::string& reason) const {
@@ -217,6 +225,28 @@ SimResult Simulator::run() {
     } else {
       engine_.handle(ev);
     }
+  }
+
+  // Initial-transient deletion (DESIGN.md §11): decide the cutoff over the
+  // latency stream in delivery order, then rebuild the latency statistics
+  // from the suffix. Runs before the percentile pass below, which permutes
+  // measured_latencies_ in place.
+  if (config_.warmup_deletion != WarmupDeletion::kOff &&
+      !measured_latencies_.empty()) {
+    const std::size_t n = measured_latencies_.size();
+    std::size_t cut = static_cast<std::size_t>(
+        config_.warmup_fraction * static_cast<double>(n));
+    if (config_.warmup_deletion == WarmupDeletion::kMser5) {
+      const util::Mser5Result mser = util::mser5_cutoff(measured_latencies_);
+      if (mser.undetermined) {
+        result.warmup_fallback = true;  // keep the fixed-fraction cut
+      } else {
+        cut = mser.cutoff;
+      }
+    }
+    if (cut >= n) cut = n - 1;  // always keep at least one message
+    if (cut > 0) apply_warmup_deletion(cut);
+    result.warmup_deleted = static_cast<std::int64_t>(cut);
   }
 
   result.latency = latency_.interval();
@@ -411,9 +441,35 @@ void Simulator::finalize(std::int32_t msg_id, double now) {
     measured_latencies_.push_back(latency);
     (m.internal ? internal_latency_ : external_latency_).add(latency);
     per_cluster_[static_cast<std::size_t>(m.src_cluster)].add(latency);
+    if (config_.warmup_deletion != WarmupDeletion::kOff) {
+      measured_cluster_.push_back(m.src_cluster);
+      measured_is_internal_.push_back(m.internal ? 1 : 0);
+    }
     ++delivered_measured_;
   }
   free_msgs_.push_back(msg_id);
+}
+
+void Simulator::apply_warmup_deletion(std::size_t cut) {
+  MCS_EXPECTS(cut < measured_latencies_.size());
+  MCS_EXPECTS(measured_cluster_.size() == measured_latencies_.size());
+  util::BatchMeans latency(config_.batch_size);
+  util::BatchMeans internal(config_.batch_size);
+  util::BatchMeans external(config_.batch_size);
+  std::vector<util::OnlineMoments> per_cluster(per_cluster_.size());
+  for (std::size_t i = cut; i < measured_latencies_.size(); ++i) {
+    const double l = measured_latencies_[i];
+    latency.add(l);
+    (measured_is_internal_[i] != 0 ? internal : external).add(l);
+    per_cluster[static_cast<std::size_t>(measured_cluster_[i])].add(l);
+  }
+  latency_ = latency;
+  internal_latency_ = internal;
+  external_latency_ = external;
+  per_cluster_ = std::move(per_cluster);
+  measured_latencies_.erase(
+      measured_latencies_.begin(),
+      measured_latencies_.begin() + static_cast<std::ptrdiff_t>(cut));
 }
 
 void Simulator::collect_channel_classes(SimResult& result) const {

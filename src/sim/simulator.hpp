@@ -33,6 +33,19 @@ enum class RelayMode : std::uint8_t {
   kCutThrough,
 };
 
+/// Initial-transient ("warmup") deletion applied to the measured latency
+/// stream after the run (DESIGN.md §11). The fixed warmup_messages phase
+/// always runs; deletion additionally truncates the front of the
+/// *measured* stream so steady-state means are not biased by the
+/// empty-network start. Off by default: the PR 3 golden fingerprints and
+/// every fixed-phase experiment are bit-identical with deletion off.
+enum class WarmupDeletion : std::uint8_t {
+  kOff,       ///< keep every measured message (legacy behavior)
+  kMser5,     ///< MSER-5 cutoff over per-message latencies, with the
+              ///< fixed-fraction fallback when the rule is undetermined
+  kFraction,  ///< always delete the first warmup_fraction of the stream
+};
+
 struct SimConfig {
   std::uint64_t seed = 20060814;  ///< any value; runs are reproducible
 
@@ -44,6 +57,15 @@ struct SimConfig {
   std::int64_t warmup_messages = 10'000;
   std::int64_t measured_messages = 100'000;
   std::size_t batch_size = 1'000;  ///< batch-means CI granularity
+
+  /// Post-run initial-transient deletion over the measured latencies.
+  /// Affects only the reported latency statistics (means/CI/percentiles,
+  /// internal/external split, per-cluster means) — the event flow, RNG
+  /// consumption, end_time and event counts are identical either way.
+  WarmupDeletion warmup_deletion = WarmupDeletion::kOff;
+  /// Fraction of the measured stream deleted by kFraction, and by kMser5
+  /// when the MSER scan is undetermined. Must be in [0, 1).
+  double warmup_fraction = 0.1;
 
   // Saturation guards: the run stops and is flagged `saturated` when any
   // cap is hit before all measured messages are delivered.
@@ -115,6 +137,10 @@ class Simulator : private WormholeEngine::Listener {
   void finalize(std::int32_t msg_id, double now);
   [[nodiscard]] bool should_stop(double now, std::string& reason) const;
   void collect_channel_classes(SimResult& result) const;
+  /// Drop the first `cut` measured messages from every latency statistic
+  /// (rebuilds the batch-means accumulators, the internal/external split
+  /// and the per-cluster means from the recorded per-message detail).
+  void apply_warmup_deletion(std::size_t cut);
 
   /// Fill `slot` on first use with net's src->dst route shifted by `base`;
   /// return the cached global-channel path.
@@ -167,6 +193,10 @@ class Simulator : private WormholeEngine::Listener {
   util::BatchMeans internal_latency_;
   util::BatchMeans external_latency_;
   std::vector<double> measured_latencies_;  ///< for p50/p95/p99
+  // Per-message detail recorded only when warmup_deletion is on, so the
+  // post-run truncation can rebuild the split/per-cluster statistics.
+  std::vector<std::int32_t> measured_cluster_;
+  std::vector<std::uint8_t> measured_is_internal_;
   util::OnlineMoments source_wait_;
   util::OnlineMoments conc_wait_;
   util::OnlineMoments disp_wait_;

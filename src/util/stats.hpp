@@ -1,10 +1,13 @@
 // Online statistics for simulation output analysis: Welford moments,
-// batch-means confidence intervals, and fixed-bin histograms.
+// batch-means confidence intervals, fixed-bin histograms, MSER-5
+// initial-transient detection, and the sequential-stopping precision
+// measure.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace mcs::util {
@@ -51,6 +54,14 @@ struct ConfidenceInterval {
 /// with fewer than two). Used across independent replication means.
 [[nodiscard]] ConfidenceInterval t_interval(const OnlineMoments& moments);
 
+/// Relative 95% half-width of the t-interval over `moments`: half_width /
+/// |mean|. This is the precision measure of the sequential stopping rule
+/// (sim::run_replications_sequential): "stop once the CI half-width is
+/// below `rel_precision` of the mean". Returns +infinity with fewer than
+/// two samples or a zero mean, so an undecided state never reads as
+/// converged.
+[[nodiscard]] double relative_half_width(const OnlineMoments& moments);
+
 /// Batch-means estimator: feeds observations into fixed-size batches and
 /// derives a CI from the batch averages, absorbing serial correlation of
 /// successive message latencies.
@@ -64,7 +75,14 @@ class BatchMeans {
   [[nodiscard]] std::size_t completed_batches() const {
     return batch_count_;
   }
-  /// 95% CI from completed batches (half-width 0 with < 2 batches).
+  /// Batches entering interval(): the completed ones plus the trailing
+  /// partial batch when it is at least half full (a near-complete batch
+  /// carries real information; a sliver would only add noise).
+  [[nodiscard]] std::size_t interval_batches() const;
+  /// 95% CI from the interval_batches() batch means (half-width 0 with
+  /// < 2 of them). The trailing partial batch participates per
+  /// interval_batches() — previously it was silently dropped, so e.g.
+  /// 1999 observations in 1000-wide batches yielded no interval at all.
   [[nodiscard]] ConfidenceInterval interval() const;
 
  private:
@@ -75,6 +93,32 @@ class BatchMeans {
   OnlineMoments batches_;
   OnlineMoments total_;
 };
+
+/// Outcome of the MSER-5 initial-transient scan (see mser5_cutoff).
+struct Mser5Result {
+  /// Observations to delete from the front (a multiple of the batch
+  /// width); 0 when the stream looks stationary from the start.
+  std::size_t cutoff = 0;
+  /// True when the scan could not determine a trustworthy cutoff: the
+  /// minimum landed on the half-data search bound (the transient may
+  /// extend past the data collected — the run is too short), or the
+  /// stream is shorter than the minimum the statistic needs. Callers
+  /// should fall back to a fixed-fraction deletion.
+  bool undetermined = false;
+};
+
+/// MSER-5 truncation rule (White's Marginal Standard Error Rule, the
+/// standard warmup-deletion heuristic for steady-state simulation):
+/// average the stream into batches of `batch` observations and pick the
+/// truncation point d (in batches) minimizing
+///     z(d) = sum_{i >= d} (Y_i - mean_d)^2 / (n_b - d)^2,
+/// the variance of the remaining batch means penalized by the remaining
+/// count — deleting transient-inflated batches shrinks the numerator
+/// faster than the denominator until only steady-state noise is left.
+/// The search stops at n_b/2 (a minimum beyond half the data means the
+/// statistic is extrapolating, not measuring: `undetermined`).
+[[nodiscard]] Mser5Result mser5_cutoff(std::span<const double> xs,
+                                       std::size_t batch = 5);
 
 /// Exact sample quantile with linear interpolation between order
 /// statistics (type-7, the R/numpy default): q in [0, 1]. Partially sorts

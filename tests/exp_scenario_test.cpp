@@ -143,6 +143,87 @@ heights = 1, 1
   EXPECT_DOUBLE_EQ(spec.loads[4], 3e-4);
 }
 
+TEST(Scenario, ParsesSearchBlockAndFindSaturation) {
+  const ScenarioSpec spec = parse_scenario_string(R"(
+[sweep]
+loads = 1e-4
+find_saturation = true
+
+[search]
+rel_precision = 0.08
+r_min = 3
+r_max = 9
+warmup = fraction
+rel_tol = 0.03
+blowup = 4.5
+
+[system s]
+m = 4
+heights = 1, 1
+)");
+  EXPECT_TRUE(spec.find_sim_saturation);
+  EXPECT_DOUBLE_EQ(spec.search.seq.rel_precision, 0.08);
+  EXPECT_EQ(spec.search.seq.r_min, 3);
+  EXPECT_EQ(spec.search.seq.r_max, 9);
+  EXPECT_EQ(spec.search_warmup, sim::WarmupDeletion::kFraction);
+  EXPECT_DOUBLE_EQ(spec.search.rel_tol, 0.03);
+  EXPECT_DOUBLE_EQ(spec.search.latency_blowup, 4.5);
+}
+
+TEST(Scenario, SearchBlockAloneDoesNotEnableTheSearch) {
+  // [search] configures; enabling is an explicit [sweep] key or the CLI
+  // flag (so a tuned block in a checked-in scenario costs nothing until
+  // asked for).
+  const ScenarioSpec spec = parse_scenario_string(R"(
+[sweep]
+loads = 1e-4
+
+[search]
+r_max = 9
+
+[system s]
+m = 4
+heights = 1, 1
+)");
+  EXPECT_FALSE(spec.find_sim_saturation);
+  EXPECT_EQ(spec.search.seq.r_max, 9);
+  // Defaults for untouched [search] keys are SaturationSearchConfig's
+  // own (the spec stores that struct directly, so they cannot drift).
+  EXPECT_EQ(spec.search_warmup, sim::WarmupDeletion::kMser5);
+  EXPECT_DOUBLE_EQ(spec.search.latency_blowup,
+                   SaturationSearchConfig{}.latency_blowup);
+}
+
+TEST(Scenario, RejectsMalformedSearchBlocks) {
+  const std::string tail = "\n[system s]\nm = 4\nheights = 1, 1\n";
+  const std::string head = "[sweep]\nloads = 1e-4\n";
+  // Unknown [search] key (with suggestions machinery downstream).
+  EXPECT_THROW(
+      parse_scenario_string(head + "[search]\nrel_prec = 0.1\n" + tail),
+      ConfigError);
+  // Unknown warmup mode.
+  EXPECT_THROW(
+      parse_scenario_string(head + "[search]\nwarmup = mser\n" + tail),
+      ConfigError);
+  // Duplicate [search] section.
+  EXPECT_THROW(parse_scenario_string(
+                   head + "[search]\nr_min = 2\n[search]\nr_min = 3\n" + tail),
+               ConfigError);
+  // Out-of-range control values.
+  EXPECT_THROW(
+      parse_scenario_string(head + "[search]\nr_min = 0\n" + tail),
+      ConfigError);
+  EXPECT_THROW(parse_scenario_string(
+                   head + "[search]\nr_min = 5\nr_max = 4\n" + tail),
+               ConfigError);
+  EXPECT_THROW(
+      parse_scenario_string(head + "[search]\nrel_precision = 0\n" + tail),
+      ConfigError);
+  EXPECT_THROW(
+      parse_scenario_string(head + "[search]\nblowup = 1\n" + tail),
+      ConfigError);
+}
+
 TEST(Scenario, RejectsMalformedSpecs) {
   const std::string valid_tail = R"(
 [system s]

@@ -50,6 +50,8 @@ void expect_rows_identical(const SweepResult& a, const SweepResult& b) {
     EXPECT_EQ(x.refined_latency, y.refined_latency) << "row " << i;
     EXPECT_EQ(x.refined_stable, y.refined_stable) << "row " << i;
     EXPECT_EQ(x.knee_lambda, y.knee_lambda) << "row " << i;
+    EXPECT_EQ(x.sim_lambda_sat, y.sim_lambda_sat) << "row " << i;
+    EXPECT_EQ(x.sat_ratio, y.sat_ratio) << "row " << i;
     EXPECT_EQ(x.sim_run, y.sim_run) << "row " << i;
     EXPECT_EQ(x.replications, y.replications) << "row " << i;
     EXPECT_EQ(x.completed, y.completed) << "row " << i;
@@ -147,6 +149,49 @@ TEST(SweepRunner, RejectsInvalidSpecs) {
   bad_pattern.patterns[0].pattern.kind = sim::PatternKind::kHotspot;
   bad_pattern.patterns[0].pattern.hotspot_node = 10'000;  // out of range
   EXPECT_THROW(SweepRunner{bad_pattern}, ConfigError);
+}
+
+TEST(SweepRunner, FindSaturationFillsEveryRowThreadInvariantly) {
+  ScenarioSpec spec = tiny_spec();
+  spec.run_sim = false;  // the search runs its own probes regardless
+  spec.find_knee = false;
+  spec.find_sim_saturation = true;
+  spec.search.seq.r_min = 2;
+  spec.search.seq.r_max = 4;
+  spec.search.seq.rel_precision = 0.25;
+  spec.search.rel_tol = 0.1;
+  const SweepRunner runner(spec);
+  // find_sim_saturation implies find_knee (the ratio's denominator).
+  EXPECT_TRUE(runner.spec().find_knee);
+
+  SweepRunOptions one;
+  one.threads = 1;
+  SweepRunOptions many;
+  many.threads = 6;
+  const SweepResult a = runner.run(one);
+  const SweepResult b = runner.run(many);
+  expect_rows_identical(a, b);
+
+  for (const SweepRow& row : a.rows) {
+    EXPECT_GT(row.sim_lambda_sat, 0.0);
+    EXPECT_GT(row.knee_lambda, 0.0);
+    EXPECT_GT(row.sat_ratio, 0.0);
+    EXPECT_FALSE(row.sim_run);
+  }
+  // Rows of the same (system, params, pattern, relay, flow) group share
+  // one search; the two loads per group must agree exactly.
+  EXPECT_EQ(a.rows[0].sim_lambda_sat, a.rows[1].sim_lambda_sat);
+  // Different patterns are different searches (different destinations).
+  EXPECT_NE(a.rows[0].sim_lambda_sat, a.rows[2].sim_lambda_sat);
+
+  // The emitted table/CSV/JSON carry the new columns.
+  std::ostringstream json;
+  write_json(a, json);
+  EXPECT_NE(json.str().find("\"sim_lambda_sat\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"sat_ratio\""), std::string::npos);
+  const std::string table = to_table(a).render();
+  EXPECT_NE(table.find("sim lambda*"), std::string::npos);
+  EXPECT_NE(table.find("sim/model"), std::string::npos);
 }
 
 TEST(SweepRunner, JsonStaysParseableWhenModelsSaturate) {

@@ -145,6 +145,137 @@ TEST_F(ReplicationTest, RejectsZeroReplications) {
                ConfigError);
 }
 
+TEST_F(ReplicationTest, FixedModeReportsPrecisionFields) {
+  const auto result = run_replications(topo_, params_, 1e-4, small(), 5);
+  EXPECT_EQ(result.replications, 5);
+  EXPECT_TRUE(std::isfinite(result.rel_half_width));
+  EXPECT_GT(result.rel_half_width, 0.0);
+  EXPECT_FALSE(result.precision_met);  // sequential-only flag
+}
+
+// --- sequential (CI-driven) mode -----------------------------------------
+
+TEST_F(ReplicationTest, SequentialAchievesRequestedPrecision) {
+  SequentialSpec spec;
+  spec.r_min = 3;
+  spec.r_max = 24;
+  spec.rel_precision = 0.10;
+  const auto result =
+      run_replications_sequential(topo_, params_, 1e-4, small(), spec);
+  EXPECT_TRUE(result.precision_met);
+  EXPECT_LE(result.rel_half_width, 0.10);
+  EXPECT_GE(result.replications, spec.r_min);
+  EXPECT_LE(result.replications, spec.r_max);
+  EXPECT_EQ(result.runs.size(),
+            static_cast<std::size_t>(result.replications));
+}
+
+TEST_F(ReplicationTest, SequentialSpendsMoreForTighterTargets) {
+  SequentialSpec loose;
+  loose.r_min = 3;
+  loose.r_max = 32;
+  loose.rel_precision = 0.25;
+  SequentialSpec tight = loose;
+  tight.rel_precision = 0.04;
+  const auto a =
+      run_replications_sequential(topo_, params_, 1e-4, small(), loose);
+  const auto b =
+      run_replications_sequential(topo_, params_, 1e-4, small(), tight);
+  EXPECT_LE(a.replications, b.replications);
+  EXPECT_LE(a.rel_half_width, 0.25);
+}
+
+TEST_F(ReplicationTest, SequentialIsBitIdenticalAcrossThreadCounts) {
+  // Acceptance: sequential mode is bit-identical for any thread count at
+  // a fixed (seed, rel_precision) — a wide pool may simulate past the
+  // stopping point, but never report different results.
+  SequentialSpec spec;
+  spec.r_min = 3;
+  spec.r_max = 16;
+  spec.rel_precision = 0.08;
+  const auto serial =
+      run_replications_sequential(topo_, params_, 1e-4, small(), spec);
+  for (int threads : {2, 5}) {
+    exp::ThreadPool pool(threads);
+    const auto pooled = run_replications_sequential(topo_, params_, 1e-4,
+                                                    small(), spec, &pool);
+    EXPECT_EQ(pooled.replications, serial.replications);
+    EXPECT_EQ(pooled.completed, serial.completed);
+    EXPECT_EQ(pooled.latency.mean, serial.latency.mean);
+    EXPECT_EQ(pooled.latency.half_width, serial.latency.half_width);
+    EXPECT_EQ(pooled.rel_half_width, serial.rel_half_width);
+    ASSERT_EQ(pooled.runs.size(), serial.runs.size());
+    for (std::size_t r = 0; r < pooled.runs.size(); ++r)
+      EXPECT_EQ(pooled.runs[r].latency.mean, serial.runs[r].latency.mean);
+  }
+}
+
+TEST_F(ReplicationTest, SequentialPrefixMatchesFixedModeBitForBit) {
+  // Replication r's seed depends only on (base.seed, r): the sequential
+  // stopping point R reproduces a fixed-mode run of R replications
+  // exactly.
+  SequentialSpec spec;
+  spec.r_min = 3;
+  spec.r_max = 16;
+  spec.rel_precision = 0.10;
+  const auto seq =
+      run_replications_sequential(topo_, params_, 1e-4, small(), spec);
+  const auto fixed =
+      run_replications(topo_, params_, 1e-4, small(), seq.replications);
+  EXPECT_EQ(seq.latency.mean, fixed.latency.mean);
+  EXPECT_EQ(seq.latency.half_width, fixed.latency.half_width);
+  EXPECT_EQ(seq.rel_half_width, fixed.rel_half_width);
+  ASSERT_EQ(seq.runs.size(), fixed.runs.size());
+  for (std::size_t r = 0; r < seq.runs.size(); ++r)
+    EXPECT_EQ(seq.runs[r].latency.mean, fixed.runs[r].latency.mean);
+}
+
+TEST_F(ReplicationTest, SequentialStopsEarlyWhenEveryRunSaturates) {
+  SimConfig cfg = small();
+  cfg.max_generated = 20'000;
+  SequentialSpec spec;
+  spec.r_min = 2;
+  spec.r_max = 12;
+  spec.rel_precision = 0.05;
+  const auto result =
+      run_replications_sequential(topo_, params_, 0.05, cfg, spec);
+  // r_min saturated runs are decisive: the budget is not burned to r_max.
+  EXPECT_EQ(result.replications, spec.r_min);
+  EXPECT_TRUE(result.all_saturated);
+  EXPECT_FALSE(result.precision_met);
+  EXPECT_TRUE(std::isnan(result.latency.mean));
+}
+
+TEST_F(ReplicationTest, SequentialCapsAtRMax) {
+  SequentialSpec spec;
+  spec.r_min = 2;
+  spec.r_max = 3;
+  spec.rel_precision = 1e-9;  // unreachable target
+  const auto result =
+      run_replications_sequential(topo_, params_, 1e-4, small(), spec);
+  EXPECT_EQ(result.replications, 3);
+  EXPECT_FALSE(result.precision_met);
+  EXPECT_GT(result.rel_half_width, 1e-9);
+}
+
+TEST_F(ReplicationTest, SequentialRejectsBadSpecs) {
+  SequentialSpec bad;
+  bad.r_min = 0;
+  EXPECT_THROW(
+      run_replications_sequential(topo_, params_, 1e-4, small(), bad),
+      ConfigError);
+  bad = SequentialSpec{};
+  bad.r_max = bad.r_min - 1;
+  EXPECT_THROW(
+      run_replications_sequential(topo_, params_, 1e-4, small(), bad),
+      ConfigError);
+  bad = SequentialSpec{};
+  bad.rel_precision = 0.0;
+  EXPECT_THROW(
+      run_replications_sequential(topo_, params_, 1e-4, small(), bad),
+      ConfigError);
+}
+
 TEST_F(ReplicationTest, SingleRunBatchMeansCiIsConsistent) {
   // The single-run batch-means CI should be of the same order as the
   // cross-replication CI (both estimate the same sampling variance).

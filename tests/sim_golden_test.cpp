@@ -114,6 +114,39 @@ TEST(SimGolden, StoreAndForwardMesh) {
             "events=29233 gen=2201 nint=319 next=1681");
 }
 
+TEST(SimGolden, WormholeHeteroTechnology) {
+  // PR 4 heterogeneous path: per-cluster channel timing (one fast, one
+  // slow cluster) plus a distinct long-haul ICN2 technology. Pins the
+  // per-net service-table resolution bit-exactly.
+  topo::SystemConfig cfg = tree_system();
+  cfg.cluster_net.assign(3, {});
+  cfg.cluster_net[0].beta_net = 0.001;
+  cfg.cluster_net[2].beta_net = 0.004;
+  cfg.cluster_net[2].alpha_sw = 0.02;
+  cfg.icn2_net.alpha_net = 0.04;
+  cfg.icn2_net.beta_net = 0.001;
+  EXPECT_EQ(run(cfg, golden_config()),
+            "mean=0x1.4d2b828713f3cp+5 p50=0x1.2cd4fdf3b84p+5 "
+            "p95=0x1.e76872b01ep+5 p99=0x1.31ae3e1f8b6b8p+6 "
+            "int=0x1.cb15ee2d01fd2p+4 ext=0x1.8556834ce0efep+5 "
+            "srcw=0x1.8cbfeca8424e5p-5 end=0x1.41d605eb311f9p+18 "
+            "events=44474 gen=2200 nint=703 next=1297");
+}
+
+TEST(SimGolden, WormholeHeteroLoadScale) {
+  // PR 4 hot-spot path: per-cluster offered-load multipliers with a
+  // node-weighted mean of 1.0 (matched total load; clusters are 8/8/16
+  // nodes). Pins the per-cluster arrival-rate path bit-exactly.
+  topo::SystemConfig cfg = tree_system();
+  cfg.load_scale = {2.5, 0.5, 0.5};
+  EXPECT_EQ(run(cfg, golden_config()),
+            "mean=0x1.18a679b8906e9p+5 p50=0x1.284dd2f1c4p+5 "
+            "p95=0x1.6da9fbe776p+5 p99=0x1.ac2bc518f3599p+5 "
+            "int=0x1.14900995c48f7p+4 ext=0x1.4f9adbb91f0c3p+5 "
+            "srcw=0x1.17f283224148p-6 end=0x1.464d187fb1ef5p+18 "
+            "events=45468 gen=2200 nint=557 next=1443");
+}
+
 TEST(SimGolden, WormholeCutThroughRelay) {
   SimConfig cfg = golden_config();
   cfg.relay_mode = RelayMode::kCutThrough;
