@@ -8,6 +8,16 @@
 //   mcs_perf --out=<path>      report path ("" or "-" prints to stdout only)
 //   mcs_perf --baseline=<path> fail (exit 1) on events/sec regression
 //   mcs_perf --tolerance=0.2   allowed fractional drop vs the baseline
+//   mcs_perf --probe-out=<p>   flight recorder: one extra UNTIMED pass per
+//   mcs_perf --trace-out=<p>   scenario with probes/tracing attached
+//                              (.json probes / Chrome trace_event JSON);
+//                              the timed repeats stay uninstrumented, and
+//                              the extra pass must replay their event
+//                              count exactly (determinism cross-check)
+//
+// Reports carry a RunManifest (git describe, compiler, flags, host,
+// wall/CPU time, peak RSS), so a committed BENCH_PR3.json says exactly
+// what produced it.
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -46,10 +56,14 @@ int run(const mcs::util::Args& args) {
     }
   }
 
+  const std::string probe_out = args.get("probe-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+
   mcs::bench::PerfReport report;
   report.label = smoke ? "smoke" : "full";
   report.threads_available =
       static_cast<int>(std::thread::hardware_concurrency());
+  report.manifest = mcs::obs::RunManifest::begin();
 
   std::printf("%-22s %10s %10s %12s %12s %9s\n", "scenario", "events",
               "worms", "events/s", "worms/s", "best(s)");
@@ -63,6 +77,60 @@ int run(const mcs::util::Args& args) {
                 m.saturated ? "  [SATURATED]" : "");
     report.measurements.push_back(m);
   }
+
+  // Flight-recorder pass: one extra, untimed, instrumented run per
+  // scenario. Kept out of the measure() loop so the timed repeats stay
+  // uninstrumented; the observability contract (bit-identical results)
+  // is enforced by replaying the timed runs' exact event count.
+  if (!probe_out.empty() || !trace_out.empty()) {
+    std::vector<mcs::obs::ProbeSeries> probe_series;
+    std::vector<mcs::obs::TraceBuffer> trace_buffers;
+    probe_series.reserve(scenarios.size());
+    trace_buffers.reserve(scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const mcs::bench::PerfScenario& scenario = scenarios[i];
+      const mcs::topo::MultiClusterTopology topology(scenario.system);
+      const mcs::model::NetworkParams params;
+      mcs::sim::SimConfig cfg = scenario.sim;
+      if (!probe_out.empty()) {
+        probe_series.emplace_back();
+        cfg.probes = &probe_series.back();
+      }
+      if (!trace_out.empty()) {
+        trace_buffers.emplace_back(mcs::obs::TraceConfig{},
+                                   static_cast<int>(i));
+        trace_buffers.back().set_label(scenario.id);
+        cfg.trace = &trace_buffers.back();
+      }
+      mcs::sim::Simulator simulator(topology, params, scenario.lambda, cfg);
+      const mcs::sim::SimResult result = simulator.run();
+      if (result.events_processed != report.measurements[i].events)
+        throw mcs::ConfigError(
+            "instrumented pass of '" + scenario.id +
+            "' diverged from the timed runs (" +
+            std::to_string(result.events_processed) + " vs " +
+            std::to_string(report.measurements[i].events) +
+            " events) — observability must not perturb the simulation");
+    }
+    if (!probe_out.empty()) {
+      std::vector<mcs::obs::LabeledProbeSeries> series;
+      series.reserve(scenarios.size());
+      for (std::size_t i = 0; i < scenarios.size(); ++i)
+        series.push_back({scenarios[i].id, &probe_series[i]});
+      mcs::obs::write_probe_file(probe_out, series);
+      std::printf("wrote %s\n", probe_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      std::vector<const mcs::obs::TraceBuffer*> buffers;
+      buffers.reserve(trace_buffers.size());
+      for (const mcs::obs::TraceBuffer& buffer : trace_buffers)
+        buffers.push_back(&buffer);
+      mcs::obs::write_trace_file(trace_out, buffers);
+      std::printf("wrote %s\n", trace_out.c_str());
+    }
+  }
+
+  report.manifest.complete();
 
   // Compare BEFORE writing: with --out and --baseline naming the same
   // file (e.g. both defaulting to a committed BENCH_PR3.json), writing

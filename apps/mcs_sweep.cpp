@@ -25,6 +25,15 @@
 //                     scenario's [search] block tunes precision targets,
 //                     replication bounds and warmup deletion)
 //   --quiet           suppress the table (summary only)
+//   --progress        log a progress/ETA heartbeat while the grid runs
+//                     (implies log level info)
+//   --probe-out=PATH  flight recorder: attach time-series probes to
+//                     replication 0 of every row and write them all to
+//                     PATH (.json selects JSON, anything else CSV); the
+//                     scenario's [observe] block tunes cadence/buffering
+//   --trace-out=PATH  flight recorder: worm-lifecycle spans of
+//                     replication 0 of every row as Chrome trace_event
+//                     JSON (open in Perfetto / chrome://tracing)
 //   --icn2=KIND       force every system's ICN2 topology
 //                     (fat_tree | torus | mesh | dragonfly | random)
 //   --icn2-degree=D --icn2-switches=S --icn2-seed=X  its parameters
@@ -237,8 +246,35 @@ int main(int argc, char** argv) {
     mcs::exp::SweepRunner runner(std::move(spec));
     mcs::exp::SweepRunOptions options;
     options.threads = static_cast<int>(args.get_int("threads", 0));
+    options.progress = args.get_flag("progress");
+    const std::string probe_out = args.get("probe-out", "");
+    const std::string trace_out = args.get("trace-out", "");
+    options.collect_probes = !probe_out.empty();
+    options.collect_traces = !trace_out.empty();
+    // The heartbeat logs at info; the default level (warn) would swallow
+    // it, so --progress raises the level itself.
+    if (options.progress)
+      mcs::util::set_log_level(mcs::util::LogLevel::kInfo);
 
     const mcs::exp::SweepResult result = runner.run(options);
+
+    if (!probe_out.empty()) {
+      std::vector<mcs::obs::LabeledProbeSeries> series;
+      series.reserve(result.row_probes.size());
+      for (std::size_t r = 0; r < result.row_probes.size(); ++r)
+        series.push_back(
+            {mcs::exp::row_label(result.rows[r]), &result.row_probes[r]});
+      mcs::obs::write_probe_file(probe_out, series);
+      std::printf("wrote %s\n", probe_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      std::vector<const mcs::obs::TraceBuffer*> buffers;
+      buffers.reserve(result.row_traces.size());
+      for (const mcs::obs::TraceBuffer& buffer : result.row_traces)
+        buffers.push_back(&buffer);
+      mcs::obs::write_trace_file(trace_out, buffers);
+      std::printf("wrote %s\n", trace_out.c_str());
+    }
 
     if (!args.get_flag("quiet")) mcs::exp::to_table(result).print();
 

@@ -164,6 +164,9 @@ void write_report_json(const PerfReport& report, std::ostream& out) {
   out << "  \"bench\": \"mcs_perf\",\n";
   out << "  \"label\": \"" << report.label << "\",\n";
   out << "  \"threads_available\": " << report.threads_available << ",\n";
+  out << "  \"manifest\": ";
+  report.manifest.write_json(out, 4);
+  out << ",\n";
   out << "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < report.measurements.size(); ++i) {
     const PerfMeasurement& m = report.measurements[i];

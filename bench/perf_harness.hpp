@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.hpp"
 #include "sim/simulator.hpp"
 #include "topology/multi_cluster.hpp"
 
@@ -62,6 +63,11 @@ struct PerfMeasurement {
 struct PerfReport {
   std::string label;       ///< e.g. "smoke" or "full"
   int threads_available = 0;
+  /// Build/host/resource provenance (git describe, compiler, flags,
+  /// wall/CPU time, peak RSS): a committed report says what produced it.
+  /// Its field names never collide with read_baseline_events_per_sec's
+  /// line greps, so old and new reports stay interchangeable as baselines.
+  obs::RunManifest manifest;
   std::vector<PerfMeasurement> measurements;
 };
 

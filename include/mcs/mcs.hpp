@@ -31,6 +31,9 @@
 #include "model/refined_model.hpp"
 #include "model/saturation.hpp"
 #include "model/service_recursion.hpp"
+#include "obs/manifest.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
@@ -49,6 +52,7 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

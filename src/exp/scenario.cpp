@@ -72,6 +72,13 @@ const std::vector<std::string>& search_keys() {
   return keys;
 }
 
+const std::vector<std::string>& observe_keys() {
+  static const std::vector<std::string> keys = {
+      "probe_interval", "probe_max_samples", "trace_sample",
+      "trace_max_events"};
+  return keys;
+}
+
 sim::WarmupDeletion parse_warmup_deletion(const std::string& source, int line,
                                           const std::string& value) {
   if (value == "off") return sim::WarmupDeletion::kOff;
@@ -320,6 +327,8 @@ void ScenarioSpec::validate() const {
     throw ConfigError("ScenarioSpec: nothing to evaluate "
                       "(sim, both models and find_saturation disabled)");
   search.validate();  // the [search] block, in SaturationSearch's terms
+  probe.validate();   // the [observe] block, in the obs layer's terms
+  trace.validate();
   base_params.validate();
   // Patterns are validated against each concrete topology by the runner
   // (validity depends on cluster sizes); here we only check ranges that
@@ -347,8 +356,9 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
   // kCluster / kIcn2Params are sub-sections of the still-open [system]
   // draft: they extend it rather than closing it.
   enum class Section { kNone, kSweep, kSystem, kCluster, kIcn2Params,
-                       kPattern, kSearch };
+                       kPattern, kSearch, kObserve };
   bool search_seen = false;
+  bool observe_seen = false;
   Section section = Section::kNone;
   SystemDraft system;
   PatternDraft pattern;
@@ -395,6 +405,12 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
           fail(source, line_no, "duplicate [search] section");
         search_seen = true;
         section = Section::kSearch;
+      } else if (header == "observe") {
+        flush_section();
+        if (observe_seen)
+          fail(source, line_no, "duplicate [observe] section");
+        observe_seen = true;
+        section = Section::kObserve;
       } else if (header.rfind("cluster.", 0) == 0) {
         // Sub-section of the open [system]: do NOT flush it.
         if (!in_system())
@@ -448,7 +464,7 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
         fail(source, line_no,
              "unknown section [" + header + "]" +
                  suggest(header, {"sweep", "system", "pattern", "cluster.0",
-                                  "icn2_params", "search"}));
+                                  "icn2_params", "search", "observe"}));
       }
       continue;
     }
@@ -651,6 +667,24 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
         } else {
           fail_unknown(source, line_no, "unknown [search] key", key,
                        search_keys());
+        }
+        break;
+      }
+
+      case Section::kObserve: {
+        if (key == "probe_interval") {
+          spec.probe.interval = parse_double(source, line_no, value);
+        } else if (key == "probe_max_samples") {
+          spec.probe.max_samples = static_cast<std::size_t>(
+              parse_int(source, line_no, value));
+        } else if (key == "trace_sample") {
+          spec.trace.sample_every = parse_int(source, line_no, value);
+        } else if (key == "trace_max_events") {
+          spec.trace.max_events = static_cast<std::size_t>(
+              parse_int(source, line_no, value));
+        } else {
+          fail_unknown(source, line_no, "unknown [observe] key", key,
+                       observe_keys());
         }
         break;
       }

@@ -74,6 +74,19 @@
 //   r_min         = 2
 //   r_max         = 6
 //   warmup        = mser5
+//
+// Observability (DESIGN.md §12): a `[observe]` block tunes the flight
+// recorder — probe cadence/buffering and trace sampling. Like [search],
+// the block only configures; probes and traces are actually emitted when
+// mcs_sweep's --probe-out / --trace-out flags (or SweepRunOptions) turn
+// collection on. Keys: `probe_interval` (virtual time; 0 = auto),
+// `probe_max_samples`, `trace_sample` (trace every K-th message) and
+// `trace_max_events`:
+//
+//   [observe]
+//   probe_interval    = 0.5
+//   probe_max_samples = 2048
+//   trace_sample      = 8
 #pragma once
 
 #include <cstdint>
@@ -83,6 +96,8 @@
 
 #include "exp/saturation_search.hpp"
 #include "model/params.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traffic.hpp"
 #include "topology/multi_cluster.hpp"
@@ -138,6 +153,13 @@ struct ScenarioSpec {
   /// by default: probes near the knee are exactly where transient bias
   /// is worst.
   sim::WarmupDeletion search_warmup = sim::WarmupDeletion::kMser5;
+
+  /// The `[observe]` block: flight-recorder knobs, stored as the obs
+  /// layer's own configs so scenario defaults can never drift from
+  /// theirs. Configuration only — SweepRunOptions (driven by mcs_sweep's
+  /// --probe-out / --trace-out) decides whether anything is collected.
+  obs::ProbeConfig probe;
+  obs::TraceConfig trace;
 
   /// Channel timing defaults shared by every grid point; message_flits and
   /// flit_bytes above override the corresponding fields per point.

@@ -1,6 +1,9 @@
 #include "exp/sweep.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <tuple>
@@ -11,6 +14,7 @@
 #include "model/saturation.hpp"
 #include "sim/replication.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -67,6 +71,15 @@ const char* hetero_label(const topo::SystemConfig& config) {
 
 }  // namespace
 
+std::string row_label(const SweepRow& row) {
+  char lambda[32];
+  std::snprintf(lambda, sizeof(lambda), "%g", row.lambda);
+  return row.system_id + "/" + row.pattern_id + "/" +
+         (row.relay == sim::RelayMode::kCutThrough ? "cut" : "sf") + "/" +
+         (row.flow == sim::FlowControl::kStoreAndForward ? "saf" : "wh") +
+         " f" + std::to_string(row.message_flits) + " lambda=" + lambda;
+}
+
 SweepRunner::SweepRunner(ScenarioSpec spec) : spec_(std::move(spec)) {
   spec_.validate();
   // The sim/model saturation ratio needs its analytical denominator in
@@ -84,6 +97,8 @@ SweepRunner::SweepRunner(ScenarioSpec spec) : spec_(std::move(spec)) {
 
 SweepResult SweepRunner::run(const SweepRunOptions& options) const {
   const auto t0 = std::chrono::steady_clock::now();
+  SweepResult result;
+  result.manifest = obs::RunManifest::begin();
 
   // Patterns dimension: an empty list means one implicit uniform pattern.
   std::vector<PatternEntry> patterns = spec_.patterns;
@@ -96,7 +111,6 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
     topologies.push_back(
         std::make_unique<topo::MultiClusterTopology>(system.config));
 
-  SweepResult result;
   result.name = spec_.name;
   result.rows.reserve(static_cast<std::size_t>(spec_.grid_size()));
 
@@ -211,14 +225,98 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
   }
   result.threads = pool->thread_count();
 
+  std::vector<SweepRow>& rows = result.rows;
+  const int reps = spec_.replications;
+  const bool run_models = spec_.run_paper_model || spec_.run_refined_model;
+
+  // --- task telemetry ----------------------------------------------------
+  // One preallocated TaskStat slot per task (model groups + row
+  // replications + search groups, all known before anything is
+  // submitted); each task writes only its own slot, so no
+  // synchronization. The heartbeat ticks through two atomics.
+  const std::size_t model_task_count = run_models ? groups.size() : 0;
+  const std::size_t sim_task_count =
+      spec_.run_sim ? rows.size() * static_cast<std::size_t>(reps) : 0;
+  result.task_stats.resize(model_task_count + sim_task_count +
+                           search_groups.size());
+  std::vector<TaskStat>& stats = result.task_stats;
+  const std::int64_t total_tasks =
+      static_cast<std::int64_t>(stats.size());
+  std::atomic<std::int64_t> tasks_done{0};
+  std::atomic<std::int64_t> last_beat_ms{0};
+  std::size_t next_slot = 0;
+
+  // Wrap a task body with its telemetry slot: queue wait (submit ->
+  // scheduled), exec time, worker index — then the rate-limited
+  // progress/ETA heartbeat (options.progress; ~one line per 2 s, always
+  // on the final task).
+  const auto instrument = [&](char kind, auto body) {
+    const std::size_t slot = next_slot++;
+    const auto submit_time = std::chrono::steady_clock::now();
+    return [&stats, &tasks_done, &last_beat_ms, total_tasks, t0, pool,
+            progress = options.progress, name = spec_.name, kind, slot,
+            submit_time, body = std::move(body)] {
+      const auto start = std::chrono::steady_clock::now();
+      body();
+      const auto end = std::chrono::steady_clock::now();
+      TaskStat& st = stats[slot];
+      st.kind = kind;
+      st.queue_wait =
+          std::chrono::duration<double>(start - submit_time).count();
+      st.exec = std::chrono::duration<double>(end - start).count();
+      st.thread = pool->worker_index();
+
+      const std::int64_t done =
+          tasks_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (!progress) return;
+      const std::int64_t ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(end - t0)
+              .count();
+      std::int64_t last = last_beat_ms.load(std::memory_order_relaxed);
+      const bool final_task = done == total_tasks;
+      if (!final_task &&
+          (ms - last < 2000 ||
+           !last_beat_ms.compare_exchange_strong(last, ms)))
+        return;
+      const double elapsed = static_cast<double>(ms) / 1000.0;
+      const double eta =
+          elapsed * static_cast<double>(total_tasks - done) /
+          static_cast<double>(done);
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "sweep %s: %lld/%lld tasks (%.0f%%), elapsed %.1fs, "
+                    "eta %.1fs",
+                    name.c_str(), static_cast<long long>(done),
+                    static_cast<long long>(total_tasks),
+                    100.0 * static_cast<double>(done) /
+                        static_cast<double>(total_tasks),
+                    elapsed, eta);
+      util::log_info(line);
+    };
+  };
+
+  // Flight-recorder captures: replication 0 of each row gets a probe
+  // series / trace buffer (configs from the spec's [observe] block).
+  // Preallocated here so the pointers handed to tasks stay stable.
+  std::vector<obs::ProbeSeries>& row_probes = result.row_probes;
+  std::vector<obs::TraceBuffer>& row_traces = result.row_traces;
+  if (spec_.run_sim && options.collect_probes)
+    row_probes.assign(rows.size(), obs::ProbeSeries(spec_.probe));
+  if (spec_.run_sim && options.collect_traces) {
+    row_traces.reserve(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      obs::TraceBuffer buffer(spec_.trace, static_cast<int>(r));
+      buffer.set_label(row_label(rows[r]));
+      row_traces.push_back(std::move(buffer));
+    }
+  }
+
   // Model tasks: one per group (construction dominates; predictions for
   // the group's loads ride along). Each row's model fields are written by
   // exactly one task, so no synchronization is needed.
-  std::vector<SweepRow>& rows = result.rows;
-  const bool run_models = spec_.run_paper_model || spec_.run_refined_model;
   if (run_models) {
     for (ModelGroup& group : groups) {
-      pool->submit([this, &group, &rows] {
+      pool->submit(instrument('m', [this, &group, &rows] {
         if (!group.refined_supported) return;
         const topo::SystemConfig& config =
             spec_.systems[static_cast<std::size_t>(group.system_idx)].config;
@@ -253,13 +351,12 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
             row.refined_stable = p.stable;
           }
         }
-      });
+      }));
     }
   }
 
   // Simulation tasks: one per (row, replication). Seeds depend only on
   // grid coordinates, never on scheduling.
-  const int reps = spec_.replications;
   std::vector<std::vector<sim::SimResult>> sim_runs;
   if (spec_.run_sim) {
     sim_runs.resize(rows.size());
@@ -269,7 +366,9 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
       const topo::MultiClusterTopology& topology =
           *topologies[static_cast<std::size_t>(row.system_idx)];
       for (int rep = 0; rep < reps; ++rep) {
-        pool->submit([this, &row, &topology, &patterns, &sim_runs, r, rep] {
+        pool->submit(instrument('s', [this, &row, &topology, &patterns,
+                                      &sim_runs, &row_probes, &row_traces, r,
+                                      rep] {
           model::NetworkParams params = spec_.base_params;
           params.message_flits = row.message_flits;
           params.flit_bytes = row.flit_bytes;
@@ -291,10 +390,17 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
           cfg.measured_messages = spec_.measured;
           cfg.pattern =
               patterns[static_cast<std::size_t>(row.pattern_idx)].pattern;
+          // Replication 0 carries the row's flight recorder; observation
+          // is bit-invisible to results, so rep 0 stays comparable to the
+          // uninstrumented replications.
+          if (rep == 0) {
+            if (!row_probes.empty()) cfg.probes = &row_probes[r];
+            if (!row_traces.empty()) cfg.trace = &row_traces[r];
+          }
 
           sim::Simulator simulator(topology, params, row.lambda, cfg);
           sim_runs[r][static_cast<std::size_t>(rep)] = simulator.run();
-        });
+        }));
         ++result.sim_tasks;
       }
     }
@@ -309,7 +415,8 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
     const ModelGroup& mg = groups[sg.model_group];
     const topo::MultiClusterTopology& topology =
         *topologies[static_cast<std::size_t>(mg.system_idx)];
-    pool->submit([this, &sg, &mg, &topology, &patterns, &rows] {
+    pool->submit(instrument('k', [this, &sg, &mg, &topology, &patterns,
+                                  &rows] {
       const topo::SystemConfig& config =
           spec_.systems[static_cast<std::size_t>(mg.system_idx)].config;
       // Analytical seed knee, same preference order as the model tasks
@@ -355,7 +462,7 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
                                 ? found.ratio
                                 : -1.0;
       }
-    });
+    }));
   }
 
   pool->wait_idle();
@@ -371,9 +478,16 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
     util::OnlineMoments p50, p95, p99;
     std::int64_t n_internal = 0, n_external = 0;
     const sim::SimResult* sole_completed = nullptr;
+    std::vector<std::string> causes;
     for (const sim::SimResult& run : sim_runs[r]) {
       if (run.saturated) {
         ++row.saturated;
+        // Keep the cap tokens: "saturated" alone cannot distinguish a
+        // blocked-worm blowup from an exhausted event budget.
+        if (!run.saturation_cause.empty() &&
+            std::find(causes.begin(), causes.end(), run.saturation_cause) ==
+                causes.end())
+          causes.push_back(run.saturation_cause);
         continue;
       }
       ++row.completed;
@@ -388,6 +502,10 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
       }
       n_internal += run.measured_internal;
       n_external += run.measured_external;
+    }
+    for (const std::string& cause : causes) {
+      if (!row.saturation_causes.empty()) row.saturation_causes += '+';
+      row.saturation_causes += cause;
     }
 
     if (row.completed == 0) {
@@ -423,6 +541,7 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  result.manifest.complete();
   return result;
 }
 

@@ -15,6 +15,9 @@
 
 #include "exp/scenario.hpp"
 #include "exp/thread_pool.hpp"
+#include "obs/manifest.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -77,6 +80,10 @@ struct SweepRow {
   int replications = 0;
   int completed = 0;  ///< replications that reached steady completion
   int saturated = 0;  ///< replications that hit a saturation cap
+  /// Distinct saturation-cause tokens ("events"/"time"/"worms"/
+  /// "generated") over the saturated replications, joined with '+' in
+  /// first-occurrence replication order; empty when none saturated.
+  std::string saturation_causes;
   double sim_latency = -1.0;
   double sim_ci = 0.0;  ///< 95% half-width (across reps, or batch means)
   double sim_internal = -1.0;
@@ -92,6 +99,16 @@ struct SweepRow {
   int sim_state = 0;
 };
 
+/// Execution telemetry of one pool task, written by the task itself into
+/// a preallocated slot (no synchronization). Kind: 'm' model group,
+/// 's' simulation replication, 'k' saturation search.
+struct TaskStat {
+  char kind = '?';
+  double queue_wait = 0.0;  ///< submit -> first scheduled, wall seconds
+  double exec = 0.0;        ///< scheduled -> finished, wall seconds
+  int thread = -1;          ///< pool worker that ran the task
+};
+
 struct SweepResult {
   std::string name;
   std::vector<SweepRow> rows;  ///< grid order (the spec's nesting order)
@@ -100,6 +117,19 @@ struct SweepResult {
   double wall_seconds = 0.0;
   /// Simulated rows whose sim_state != 0.
   int saturated_points = 0;
+
+  /// Build/host/resource provenance of this run (attached to the JSON
+  /// report so a result file is self-describing).
+  obs::RunManifest manifest;
+  /// One slot per executed task, in submission order.
+  std::vector<TaskStat> task_stats;
+  /// Flight-recorder captures of replication 0 of every row, parallel to
+  /// `rows`; filled only when SweepRunOptions::collect_probes /
+  /// collect_traces were set (configs come from the spec's [observe]
+  /// block). Replication 0 only: observation is bit-invisible to results,
+  /// so one instrumented replication per row costs nothing but memory.
+  std::vector<obs::ProbeSeries> row_probes;
+  std::vector<obs::TraceBuffer> row_traces;
 };
 
 struct SweepRunOptions {
@@ -108,7 +138,20 @@ struct SweepRunOptions {
   int threads = 0;
   /// Run on an existing pool instead of creating one.
   ThreadPool* pool = nullptr;
+  /// Log a progress/ETA heartbeat through util::log_info (rate-limited
+  /// to roughly one line per 2 s of wall time).
+  bool progress = false;
+  /// Attach a ProbeSeries (time-series probes) to replication 0 of every
+  /// simulated row; the series land in SweepResult::row_probes.
+  bool collect_probes = false;
+  /// Attach a TraceBuffer (worm-lifecycle spans) to replication 0 of
+  /// every simulated row; the buffers land in SweepResult::row_traces.
+  bool collect_traces = false;
 };
+
+/// Compact row tag labeling probe/trace output:
+/// "<system>/<pattern>/<relay>/<flow> f<flits> lambda=<value>".
+[[nodiscard]] std::string row_label(const SweepRow& row);
 
 class SweepRunner {
  public:

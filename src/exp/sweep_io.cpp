@@ -51,7 +51,8 @@ void write_csv(const SweepResult& result, const std::string& path) {
              "paper_stable",
              "refined_latency", "refined_stable", "knee_lambda",
              "sim_lambda_sat", "sat_ratio",
-             "replications", "completed", "saturated", "sim_latency",
+             "replications", "completed", "saturated", "saturation_causes",
+             "sim_latency",
              "sim_ci95", "sim_p50", "sim_p95", "sim_p99", "sim_internal",
              "sim_external", "external_share", "sim_state"});
   for (const SweepRow& row : result.rows) {
@@ -70,6 +71,7 @@ void write_csv(const SweepResult& result, const std::string& path) {
                  opt_num(row.sat_ratio >= 0.0, row.sat_ratio, 4),
                  std::to_string(row.replications),
                  std::to_string(row.completed), std::to_string(row.saturated),
+                 row.saturation_causes,
                  opt_num(sim_ok, row.sim_latency, 6),
                  opt_num(sim_ok, row.sim_ci, 6),
                  opt_num(sim_ok && row.sim_p50 >= 0.0, row.sim_p50, 6),
@@ -146,7 +148,20 @@ void write_json(const SweepResult& result, std::ostream& out) {
       << "\",\"threads\":" << result.threads
       << ",\"sim_tasks\":" << result.sim_tasks
       << ",\"wall_seconds\":" << result.wall_seconds
-      << ",\"saturated_points\":" << result.saturated_points << ",\"rows\":[";
+      << ",\"saturated_points\":" << result.saturated_points
+      << ",\"manifest\":";
+  result.manifest.write_json(out);
+  out.precision(12);  // the manifest writer drops precision to 6
+  out << ",\"task_stats\":[";
+  bool first_stat = true;
+  for (const TaskStat& stat : result.task_stats) {
+    if (!first_stat) out << ",";
+    first_stat = false;
+    out << "{\"kind\":\"" << stat.kind
+        << "\",\"queue_wait\":" << stat.queue_wait
+        << ",\"exec\":" << stat.exec << ",\"thread\":" << stat.thread << "}";
+  }
+  out << "],\"rows\":[";
   bool first_row = true;
   for (const SweepRow& row : result.rows) {
     if (!first_row) out << ",";
@@ -184,6 +199,8 @@ void write_json(const SweepResult& result, std::ostream& out) {
                  first);
       json_field(out, "saturated", static_cast<std::int64_t>(row.saturated),
                  first);
+      if (!row.saturation_causes.empty())
+        json_field(out, "saturation_causes", row.saturation_causes, first);
       if (row.completed > 0) {
         json_field(out, "sim_latency", row.sim_latency, first);
         json_field(out, "sim_ci95", row.sim_ci, first);
@@ -299,7 +316,11 @@ util::TextTable to_table(const SweepResult& result) {
         cells.push_back("-");
         cells.push_back("-");
       } else if (row.sim_state == 1) {
-        cells.push_back("saturated");
+        // Name the cap(s) that ended the replications: "saturated[worms]"
+        // reads very differently from "saturated[events]".
+        cells.push_back(row.saturation_causes.empty()
+                            ? std::string("saturated")
+                            : "saturated[" + row.saturation_causes + "]");
         cells.push_back("-");
       } else {
         cells.push_back(util::TextTable::num(row.sim_latency, 2) +

@@ -18,6 +18,10 @@ int ThreadPool::default_thread_count() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+int ThreadPool::worker_index() const {
+  return tls_pool == this ? static_cast<int>(tls_index) : -1;
+}
+
 ThreadPool::ThreadPool(int threads) {
   const int n = threads < 1 ? default_thread_count() : threads;
   queues_.reserve(static_cast<std::size_t>(n));

@@ -41,6 +41,11 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1.
   [[nodiscard]] static int default_thread_count();
 
+  /// Index of the calling thread among this pool's workers, or -1 when
+  /// called from a thread the pool does not own (telemetry: lets a task
+  /// stamp which worker ran it without any synchronization).
+  [[nodiscard]] int worker_index() const;
+
   /// Enqueue one task. Thread-safe; may be called from worker threads
   /// (the task then lands on the calling worker's own deque).
   void submit(std::function<void()> task);

@@ -80,6 +80,10 @@ void WormholeEngine::enable_channel_stats() {
   window_start_ = std::numeric_limits<double>::infinity();
 }
 
+std::int64_t WormholeEngine::pool_rows() const {
+  return static_cast<std::int64_t>(worms_.size());
+}
+
 void WormholeEngine::reserve_worms(int expected_worms, int max_path_len) {
   MCS_EXPECTS(expected_worms >= 0 && max_path_len >= 0);
   if (static_cast<std::size_t>(max_path_len) > stride_)

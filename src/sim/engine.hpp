@@ -97,6 +97,9 @@ class WormholeEngine {
     return {acquire_pool_.data() + row(id), static_cast<std::size_t>(w.len)};
   }
   [[nodiscard]] std::int64_t live_worms() const { return live_worms_; }
+  /// Worm-pool rows ever allocated — the high-water mark of concurrently
+  /// live worms (obs probe signal; rows are never returned to the OS).
+  [[nodiscard]] std::int64_t pool_rows() const;
   /// Total worms ever spawned (perf-harness worms/sec numerator).
   [[nodiscard]] std::uint64_t total_spawned() const { return spawned_; }
   /// Worms currently blocked in some channel FIFO (saturation signal).

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "topology/fat_tree.hpp"
 #include "util/stats.hpp"
 
@@ -53,6 +54,10 @@ struct SimResult {
   /// message — the offered load is beyond the saturation point.
   bool saturated = false;
   std::string saturation_reason;
+  /// Machine-readable token naming the cap behind saturation_reason:
+  /// "events", "time", "worms" or "generated"; empty when !saturated.
+  /// Survives replication/sweep aggregation (unlike the long reason).
+  std::string saturation_cause;
 
   double end_time = 0.0;
   std::uint64_t events_processed = 0;
@@ -74,6 +79,12 @@ struct SimResult {
 
   /// Filled when SimConfig::collect_channel_stats is set.
   std::vector<ChannelClassStat> channel_classes;
+
+  /// The run's final probe snapshot (set when SimConfig::probes was
+  /// given): the cheapest view of how a run ended — queue depth, blocked
+  /// worms, per-net utilization — without carrying the whole series.
+  bool has_last_probe = false;
+  obs::ProbeSample last_probe;
 };
 
 }  // namespace mcs::sim

@@ -31,6 +31,11 @@ void aggregate(ReplicationResult& result) {
   for (const SimResult& run : result.runs) {
     if (run.saturated) {
       ++result.saturated;
+      if (!run.saturation_cause.empty() &&
+          std::find(result.saturation_causes.begin(),
+                    result.saturation_causes.end(),
+                    run.saturation_cause) == result.saturation_causes.end())
+        result.saturation_causes.push_back(run.saturation_cause);
     } else {
       ++result.completed;
       latency.add(run.latency.mean);

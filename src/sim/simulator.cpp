@@ -175,30 +175,61 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
     measured_is_internal_.reserve(
         static_cast<std::size_t>(config_.measured_messages));
   }
+
+  // Observability hookup (off = all pointers null, zero further cost).
+  probes_ = config_.probes;
+  trace_ = config_.trace;
+  if (probes_ != nullptr)
+    for (std::size_t c = 0; c < channel_net_.size(); ++c)
+      ++class_channels_[static_cast<int>(
+          nets_[static_cast<std::size_t>(channel_net_[c])].kind)];
 }
 
-bool Simulator::should_stop(double now, std::string& reason) const {
-  if (events_processed_ > config_.max_events) {
-    reason = "event budget exhausted";
-    return true;
-  }
-  if (now > config_.max_time) {
-    reason = "simulated-time budget exhausted";
-    return true;
-  }
-  if (engine_.waiting_worms() > waiting_cap_) {
-    reason = "blocked-worm cap exceeded (queues growing without bound)";
-    return true;
-  }
-  if (generated_ > generated_cap_) {
-    reason = "generation cap exceeded before measured messages drained";
-    return true;
-  }
-  return false;
+Simulator::StopCause Simulator::should_stop(double now) const {
+  if (events_processed_ > config_.max_events) return StopCause::kEvents;
+  if (now > config_.max_time) return StopCause::kTime;
+  if (engine_.waiting_worms() > waiting_cap_) return StopCause::kWorms;
+  if (generated_ > generated_cap_) return StopCause::kGenerated;
+  return StopCause::kNone;
 }
+
+namespace {
+
+/// (short token, human-readable reason) for each saturation cap. The
+/// long strings predate the token and are part of the reporting surface;
+/// the token is what replication/sweep aggregation carries forward.
+struct StopCauseText {
+  const char* cause;
+  const char* reason;
+};
+
+StopCauseText stop_cause_text(int cause_index) {
+  switch (cause_index) {
+    case 1: return {"events", "event budget exhausted"};
+    case 2: return {"time", "simulated-time budget exhausted"};
+    case 3:
+      return {"worms",
+              "blocked-worm cap exceeded (queues growing without bound)"};
+    case 4:
+      return {"generated",
+              "generation cap exceeded before measured messages drained"};
+    default: return {"", ""};
+  }
+}
+
+}  // namespace
 
 SimResult Simulator::run() {
   if (config_.collect_channel_stats) engine_.enable_channel_stats();
+  if (probes_ != nullptr && !config_.collect_channel_stats) {
+    // Probes need busy-time accounting too, but over the WHOLE run (the
+    // warmup transient is exactly what they exist to show), so the window
+    // opens at t = 0 instead of the measured phase's start. When channel
+    // stats are also on, the measured-window semantics win and probe
+    // utilization reads 0 until the warmup ends.
+    engine_.enable_channel_stats();
+    engine_.set_stats_window_start(0.0);
+  }
 
   const std::int64_t n = topology_.total_nodes();
   for (std::int64_t g = 0; g < n; ++g) {
@@ -212,10 +243,15 @@ SimResult Simulator::run() {
   double now = 0.0;
   while (delivered_measured_ < config_.measured_messages) {
     MCS_ASSERT(!queue_.empty());
-    if ((events_processed_ & 0xFFF) == 0 &&
-        should_stop(now, result.saturation_reason)) {
-      result.saturated = true;
-      break;
+    if ((events_processed_ & 0xFFF) == 0) {
+      const StopCause cause = should_stop(now);
+      if (cause != StopCause::kNone) {
+        const StopCauseText text = stop_cause_text(static_cast<int>(cause));
+        result.saturated = true;
+        result.saturation_reason = text.reason;
+        result.saturation_cause = text.cause;
+        break;
+      }
     }
     const Event ev = queue_.pop();
     ++events_processed_;
@@ -225,6 +261,17 @@ SimResult Simulator::run() {
     } else {
       engine_.handle(ev);
     }
+    // Observability hook: one pointer test per event when disabled. due()
+    // never consumes RNG and record_probe() only reads state, so the
+    // event flow is bit-identical with probes on or off.
+    if (probes_ != nullptr && probes_->due(now)) record_probe(now);
+  }
+  if (probes_ != nullptr &&
+      (probes_->samples().empty() || now > probes_->samples().back().time)) {
+    // Always close the series with the final state: short runs whose
+    // interval never fired, and saturated runs mid-interval, still get a
+    // diagnosable last snapshot.
+    record_probe(now);
   }
 
   // Initial-transient deletion (DESIGN.md §11): decide the cutoff over the
@@ -274,7 +321,48 @@ SimResult Simulator::run() {
     result.per_cluster_count.push_back(static_cast<std::int64_t>(m.count()));
   }
   if (config_.collect_channel_stats) collect_channel_classes(result);
+  if (probes_ != nullptr && !probes_->samples().empty()) {
+    result.has_last_probe = true;
+    result.last_probe = probes_->samples().back();
+  }
   return result;
+}
+
+void Simulator::record_probe(double now) {
+  obs::ProbeSample s;
+  s.time = now;
+  s.events = events_processed_;
+  s.queue_depth = static_cast<std::int64_t>(queue_.size());
+  s.live_worms = engine_.live_worms();
+  s.waiting_worms = engine_.waiting_worms();
+  s.pool_rows = engine_.pool_rows();
+  s.generated = generated_;
+  s.delivered_measured = delivered_measured_;
+
+  // Per-class utilization over the window since the previous sample:
+  // delta of the engine's cumulative busy time, normalized by channel
+  // count and window length. O(channels) per sample — off the per-event
+  // hot path by construction.
+  double busy[obs::kNetClasses] = {0.0, 0.0, 0.0};
+  for (std::size_t c = 0; c < channel_net_.size(); ++c)
+    busy[static_cast<int>(
+        nets_[static_cast<std::size_t>(channel_net_[c])].kind)] +=
+        engine_.busy_time(static_cast<GlobalChannelId>(c));
+  const double dt = now - probe_prev_time_;
+  for (int k = 0; k < obs::kNetClasses; ++k) {
+    if (dt > 0.0 && class_channels_[k] > 0) {
+      const double u = (busy[k] - probe_prev_busy_[k]) /
+                       (dt * static_cast<double>(class_channels_[k]));
+      s.utilization[k] = std::clamp(u, 0.0, 1.0);
+    }
+    probe_prev_busy_[k] = busy[k];
+  }
+  probe_prev_time_ = now;
+
+  s.per_cluster_delivered.reserve(per_cluster_.size());
+  for (const util::OnlineMoments& m : per_cluster_)
+    s.per_cluster_delivered.push_back(static_cast<std::int64_t>(m.count()));
+  probes_->record(std::move(s));
 }
 
 void Simulator::handle_generate(std::int32_t node, double now) {
@@ -285,7 +373,9 @@ void Simulator::handle_generate(std::int32_t node, double now) {
   const std::int64_t idx = generated_++;
   if (idx == config_.warmup_messages) {
     measure_start_time_ = now;
-    engine_.set_stats_window_start(now);
+    // Probes-only runs keep the stats window open from t = 0 (see run());
+    // the measured-window reset belongs to collect_channel_stats alone.
+    if (config_.collect_channel_stats) engine_.set_stats_window_start(now);
   }
 
   std::int32_t msg_id;
@@ -317,6 +407,12 @@ void Simulator::handle_generate(std::int32_t node, double now) {
   }
   m.measured = idx >= config_.warmup_messages &&
                idx < config_.warmup_messages + config_.measured_messages;
+  // Deterministic 1-in-K trace sampling by generation index: RNG state
+  // and event flow are untouched whether or not the message is traced.
+  m.trace_tid =
+      trace_ != nullptr && idx % trace_->sample_every() == 0
+          ? next_trace_tid_++
+          : -1;
 
   spawn_segment(msg_id, now);
 }
@@ -425,6 +521,8 @@ void Simulator::on_worm_done(WormId worm, double time) {
     }
   }
 
+  if (m.trace_tid >= 0) trace_worm(w, m, worm, time);
+
   if (m.segment == 0 || m.segment == 3 || m.segment == 4) {
     finalize(w.msg, time);
   } else {
@@ -433,8 +531,47 @@ void Simulator::on_worm_done(WormId worm, double time) {
   }
 }
 
+void Simulator::trace_worm(const Worm& w, const MsgRec& m, WormId worm,
+                           double time) {
+  static constexpr const char* kLegName[] = {"icn1", "ecn1_out", "icn2",
+                                             "ecn1_in", "cut_through"};
+  const std::span<const double> acq = engine_.acquire_times(worm);
+  const std::span<const GlobalChannelId> path = engine_.path_of(worm);
+  const std::int32_t tid = m.trace_tid;
+
+  // Leg span: enqueue -> tail drained, with the injection wait and hop
+  // count as args.
+  trace_->complete(
+      kLegName[m.segment], tid, w.enqueue_time, time - w.enqueue_time,
+      "\"hops\":" + std::to_string(w.len) +
+          ",\"wait\":" + std::to_string(acq.front() - w.enqueue_time));
+  // Source-queue wait: enqueue -> first channel grant.
+  trace_->complete("queue_wait", tid, w.enqueue_time,
+                   acq.front() - w.enqueue_time);
+  // Per-hop channel occupancy of the header: grant of hop h -> grant of
+  // hop h+1 (the last hop runs to the drain instant). Spans tile the leg
+  // exactly, so Perfetto renders the header's walk down the path.
+  for (std::int32_t h = 0; h < w.len; ++h) {
+    const double end =
+        h + 1 < w.len ? acq[static_cast<std::size_t>(h) + 1] : time;
+    trace_->complete(
+        "hop", tid, acq[static_cast<std::size_t>(h)],
+        end - acq[static_cast<std::size_t>(h)],
+        "\"ch\":" + std::to_string(path[static_cast<std::size_t>(h)]));
+  }
+}
+
 void Simulator::finalize(std::int32_t msg_id, double now) {
   MsgRec& m = msgs_[static_cast<std::size_t>(msg_id)];
+  if (m.trace_tid >= 0) {
+    // Whole-message span: generation -> delivery, wrapping the leg spans.
+    trace_->complete("msg", m.trace_tid, m.gen_time, now - m.gen_time,
+                     "\"src_cluster\":" + std::to_string(m.src_cluster) +
+                         ",\"dst_cluster\":" + std::to_string(m.dst_cluster) +
+                         ",\"internal\":" +
+                         (m.internal ? "true" : "false") +
+                         ",\"measured\":" + (m.measured ? "true" : "false"));
+  }
   if (m.measured) {
     const double latency = now - m.gen_time;
     latency_.add(latency);

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "model/params.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
@@ -78,6 +80,17 @@ struct SimConfig {
 
   bool collect_channel_stats = false;
   TrafficPattern pattern;
+
+  // --- observability (DESIGN.md §12) -------------------------------------
+  // Caller-owned observers; both default off. The contract is hard:
+  // attaching them never consumes RNG, never pushes or reorders events,
+  // and the SimResult is bit-identical with or without them (the golden
+  // tests pin this). Disabled cost is one pointer test per event.
+  /// Periodic virtual-time snapshots of the live simulation state.
+  obs::ProbeSeries* probes = nullptr;
+  /// Sampled worm-lifecycle spans (deterministic 1-in-K by generation
+  /// index) in Chrome trace_event form.
+  obs::TraceBuffer* trace = nullptr;
 };
 
 class Simulator : private WormholeEngine::Listener {
@@ -118,6 +131,9 @@ class Simulator : private WormholeEngine::Listener {
     std::int8_t segment = 0;
     bool measured = false;
     bool internal = false;
+    /// Trace lane (tid) of a traced message; -1 when untraced. Assigned
+    /// deterministically from the generation index, never from RNG.
+    std::int32_t trace_tid = -1;
   };
 
   /// One memoized route, global-channel-translated: off/len into
@@ -135,7 +151,19 @@ class Simulator : private WormholeEngine::Listener {
   void handle_generate(std::int32_t node, double now);
   void spawn_segment(std::int32_t msg_id, double now);
   void finalize(std::int32_t msg_id, double now);
-  [[nodiscard]] bool should_stop(double now, std::string& reason) const;
+  /// Which saturation cap (if any) the run has hit at `now`.
+  enum class StopCause : std::uint8_t {
+    kNone,
+    kEvents,
+    kTime,
+    kWorms,
+    kGenerated,
+  };
+  [[nodiscard]] StopCause should_stop(double now) const;
+  /// Take one probe snapshot at `now` (config_.probes must be set).
+  void record_probe(double now);
+  /// Emit the completed leg's trace spans (worm wait/leg/hop spans).
+  void trace_worm(const Worm& w, const MsgRec& m, WormId worm, double time);
   void collect_channel_classes(SimResult& result) const;
   /// Drop the first `cut` measured messages from every latency statistic
   /// (rebuilds the batch-means accumulators, the internal/external split
@@ -204,6 +232,16 @@ class Simulator : private WormholeEngine::Listener {
   std::int64_t waiting_cap_ = 0;
   std::int64_t generated_cap_ = 0;
   std::uint64_t events_processed_ = 0;
+
+  // Observability state (null/zero when observers are off). The
+  // per-class busy accumulators turn the engine's cumulative busy-time
+  // counters into per-window utilization deltas between samples.
+  obs::ProbeSeries* probes_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
+  std::int32_t next_trace_tid_ = 0;
+  double probe_prev_time_ = 0.0;
+  double probe_prev_busy_[obs::kNetClasses] = {0.0, 0.0, 0.0};
+  std::int64_t class_channels_[obs::kNetClasses] = {0, 0, 0};
 
   // Route memo (see RouteSlot): only the pairs a workload actually routes
   // get pool entries, and the slot tables are shaped per use-site — ICN1

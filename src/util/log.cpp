@@ -1,11 +1,22 @@
 #include "util/log.hpp"
 
-#include <cstdio>
+#include <atomic>
+#include <chrono>
+#include <ctime>
+#include <mutex>
 
 namespace mcs::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::FILE*> g_sink{nullptr};
+// One writer mutex: a log line is formatted into the stream in a single
+// critical section, so concurrent threads can never interleave mid-line.
+std::mutex g_write_mutex;
+
+std::atomic<int> g_next_thread_id{0};
+thread_local int tls_thread_id = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -16,15 +27,53 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_sink(std::FILE* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+int log_thread_id() {
+  if (tls_thread_id < 0)
+    tls_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return tls_thread_id;
+}
 
 void log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[mcs %s] %s\n", level_name(level), message.c_str());
+  if (static_cast<int>(level) >
+      static_cast<int>(g_level.load(std::memory_order_relaxed)))
+    return;
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+#if defined(_WIN32)
+  localtime_s(&tm, &secs);
+#else
+  localtime_r(&secs, &tm);
+#endif
+
+  const int tid = log_thread_id();
+  std::FILE* out = g_sink.load(std::memory_order_acquire);
+  if (out == nullptr) out = stderr;
+
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(out, "%02d:%02d:%02d.%03d [t%d] %s %s\n", tm.tm_hour,
+               tm.tm_min, tm.tm_sec, millis, tid, level_name(level),
+               message.c_str());
+  std::fflush(out);
 }
 
 }  // namespace mcs::util

@@ -1,7 +1,14 @@
-// Leveled stderr logging. Quiet by default; the simulator raises verbosity
-// via --verbose in the harness binaries.
+// Thread-safe leveled logging. Quiet by default; the harness binaries
+// raise verbosity via --verbose (and mcs_sweep's progress heartbeat logs
+// at Info). Lines are written atomically under one mutex in the form
+//
+//   HH:MM:SS.mmm [t<id>] LEVEL message
+//
+// where <id> is a compact per-thread counter (0, 1, 2, ... in first-log
+// order), so interleaved worker output stays attributable.
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 namespace mcs::util {
@@ -10,6 +17,15 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Redirect log output; nullptr restores the default (stderr). The caller
+/// keeps ownership of the stream and must outlive any logging through it.
+/// (Tests point this at a tmpfile to assert on the emitted lines.)
+void set_log_sink(std::FILE* sink);
+
+/// Compact id of the calling thread: threads are numbered 0, 1, 2, ... in
+/// the order they first log (or call this), and keep their id for life.
+[[nodiscard]] int log_thread_id();
 
 void log(LogLevel level, const std::string& message);
 
