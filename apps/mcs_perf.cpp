@@ -14,6 +14,13 @@
 //                              the timed repeats stay uninstrumented, and
 //                              the extra pass must replay their event
 //                              count exactly (determinism cross-check)
+//   mcs_perf --explain         mcs_explain drill-down (DESIGN.md §13):
+//                              attach a LatencyAnatomy to the untimed
+//                              pass (same event-count identity check) and
+//                              print each scenario's measured-vs-model
+//                              per-station attribution report
+//   mcs_perf --log-level=L     logger verbosity: debug|info|warn|error
+//                              (falls back to env MCS_LOG_LEVEL)
 //
 // Reports carry a RunManifest (git describe, compiler, flags, host,
 // wall/CPU time, peak RSS), so a committed BENCH_PR3.json says exactly
@@ -58,6 +65,15 @@ int run(const mcs::util::Args& args) {
 
   const std::string probe_out = args.get("probe-out", "");
   const std::string trace_out = args.get("trace-out", "");
+  const bool explain = args.get_flag("explain");
+
+  mcs::util::apply_log_level_env();
+  if (args.has("log-level")) {
+    const auto level = mcs::util::parse_log_level(args.get("log-level", ""));
+    if (!level)
+      throw mcs::ConfigError("--log-level: expected debug|info|warn|error");
+    mcs::util::set_log_level(*level);
+  }
 
   mcs::bench::PerfReport report;
   report.label = smoke ? "smoke" : "full";
@@ -82,11 +98,13 @@ int run(const mcs::util::Args& args) {
   // scenario. Kept out of the measure() loop so the timed repeats stay
   // uninstrumented; the observability contract (bit-identical results)
   // is enforced by replaying the timed runs' exact event count.
-  if (!probe_out.empty() || !trace_out.empty()) {
+  if (!probe_out.empty() || !trace_out.empty() || explain) {
     std::vector<mcs::obs::ProbeSeries> probe_series;
     std::vector<mcs::obs::TraceBuffer> trace_buffers;
+    std::vector<mcs::obs::LatencyAnatomy> anatomies;
     probe_series.reserve(scenarios.size());
     trace_buffers.reserve(scenarios.size());
+    if (explain) anatomies.resize(scenarios.size());
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
       const mcs::bench::PerfScenario& scenario = scenarios[i];
       const mcs::topo::MultiClusterTopology topology(scenario.system);
@@ -102,6 +120,7 @@ int run(const mcs::util::Args& args) {
         trace_buffers.back().set_label(scenario.id);
         cfg.trace = &trace_buffers.back();
       }
+      if (explain) cfg.anatomy = &anatomies[i];
       mcs::sim::Simulator simulator(topology, params, scenario.lambda, cfg);
       const mcs::sim::SimResult result = simulator.run();
       if (result.events_processed != report.measurements[i].events)
@@ -111,6 +130,42 @@ int run(const mcs::util::Args& args) {
             std::to_string(result.events_processed) + " vs " +
             std::to_string(report.measurements[i].events) +
             " events) — observability must not perturb the simulation");
+      if (!probe_out.empty()) {
+        report.measurements[i].probe_decimations =
+            probe_series.back().decimations();
+        if (probe_series.back().decimations() > 0)
+          std::fprintf(stderr,
+                       "mcs_perf: warning: '%s' probe buffer decimated "
+                       "%lld time(s)\n",
+                       scenario.id.c_str(),
+                       static_cast<long long>(
+                           probe_series.back().decimations()));
+      }
+      if (!trace_out.empty()) {
+        report.measurements[i].trace_dropped = trace_buffers.back().dropped();
+        if (trace_buffers.back().dropped() > 0)
+          std::fprintf(
+              stderr,
+              "mcs_perf: warning: '%s' dropped %lld trace event(s)\n",
+              scenario.id.c_str(),
+              static_cast<long long>(trace_buffers.back().dropped()));
+      }
+    }
+    // mcs_explain: join each scenario's measured anatomy with the refined
+    // model's per-station breakdown at the same operating point.
+    if (explain) {
+      for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const mcs::bench::PerfScenario& scenario = scenarios[i];
+        const mcs::model::RefinedModel refined(
+            scenario.system, mcs::model::NetworkParams{}, {},
+            scenario.sim.flow_control);
+        const mcs::model::ModelBreakdown breakdown =
+            refined.breakdown(scenario.lambda);
+        const mcs::exp::ExplainReport drill = mcs::exp::build_explain(
+            "mcs_explain " + scenario.id, scenario.lambda, &anatomies[i],
+            &breakdown);
+        std::printf("\n%s", mcs::exp::render_explain(drill).c_str());
+      }
     }
     if (!probe_out.empty()) {
       std::vector<mcs::obs::LabeledProbeSeries> series;

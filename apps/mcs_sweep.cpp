@@ -34,6 +34,19 @@
 //   --trace-out=PATH  flight recorder: worm-lifecycle spans of
 //                     replication 0 of every row as Chrome trace_event
 //                     JSON (open in Perfetto / chrome://tracing)
+//   --explain         latency attribution (DESIGN.md §13): attach an
+//                     exhaustive LatencyAnatomy to replication 0 of every
+//                     simulated row, compute the refined model's
+//                     per-station breakdown, join them stage by stage,
+//                     print one report per grid group (at its highest
+//                     load) and embed an "explain" object per row in
+//                     --json output. Works on model-only scenarios too
+//                     (sim = false: the report names the model's
+//                     bottleneck station). [observe] explain=true in the
+//                     scenario is equivalent.
+//   --log-level=L     logger verbosity: debug | info | warn | error
+//                     (default warn; the MCS_LOG_LEVEL environment
+//                     variable is the fallback when the flag is absent)
 //   --icn2=KIND       force every system's ICN2 topology
 //                     (fat_tree | torus | mesh | dragonfly | random)
 //   --icn2-degree=D --icn2-switches=S --icn2-seed=X  its parameters
@@ -242,19 +255,29 @@ int main(int argc, char** argv) {
     if (args.get_flag("find-saturation")) spec.find_sim_saturation = true;
     apply_icn2_overrides(args, spec);
     apply_hetero_overrides(args, spec);
+    const bool explain = args.get_flag("explain") || spec.explain;
 
     mcs::exp::SweepRunner runner(std::move(spec));
     mcs::exp::SweepRunOptions options;
     options.threads = static_cast<int>(args.get_int("threads", 0));
     options.progress = args.get_flag("progress");
+    options.explain = explain;
     const std::string probe_out = args.get("probe-out", "");
     const std::string trace_out = args.get("trace-out", "");
     options.collect_probes = !probe_out.empty();
     options.collect_traces = !trace_out.empty();
-    // The heartbeat logs at info; the default level (warn) would swallow
-    // it, so --progress raises the level itself.
+    // Logger verbosity: MCS_LOG_LEVEL is the fallback, the explicit
+    // --log-level flag wins, and --progress raises to info (its
+    // heartbeat logs there) unless a flag said otherwise.
+    mcs::util::apply_log_level_env();
     if (options.progress)
       mcs::util::set_log_level(mcs::util::LogLevel::kInfo);
+    if (args.has("log-level")) {
+      const auto level = mcs::util::parse_log_level(args.get("log-level", ""));
+      if (!level)
+        throw mcs::ConfigError("--log-level: expected debug|info|warn|error");
+      mcs::util::set_log_level(*level);
+    }
 
     const mcs::exp::SweepResult result = runner.run(options);
 
@@ -276,7 +299,53 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", trace_out.c_str());
     }
 
+    // Satellite observability surfacing: losing flight-recorder data is
+    // silent at collection time by design (bounded buffers), so the run
+    // summary owns the warning.
+    std::int64_t probe_decimations = 0;
+    for (const mcs::obs::ProbeSeries& probes : result.row_probes)
+      probe_decimations += probes.decimations();
+    if (probe_decimations > 0)
+      std::fprintf(stderr,
+                   "mcs_sweep: warning: probe buffers decimated %lld "
+                   "time(s); raise [observe] probe_max_samples to keep "
+                   "full cadence\n",
+                   static_cast<long long>(probe_decimations));
+    std::int64_t trace_dropped = 0;
+    for (const mcs::obs::TraceBuffer& buffer : result.row_traces)
+      trace_dropped += buffer.dropped();
+    if (trace_dropped > 0)
+      std::fprintf(stderr,
+                   "mcs_sweep: warning: %lld trace event(s) dropped; "
+                   "raise [observe] trace_max_events or trace_sample\n",
+                   static_cast<long long>(trace_dropped));
+
     if (!args.get_flag("quiet")) mcs::exp::to_table(result).print();
+
+    if (explain && !args.get_flag("quiet")) {
+      // One attribution report per grid group, taken at the group's
+      // highest load (loads are the innermost grid dimension, so a group
+      // ends where load_idx stops increasing) — the row where contention
+      // anatomy is most informative.
+      for (std::size_t r = 0; r < result.rows.size(); ++r) {
+        const bool group_end =
+            r + 1 == result.rows.size() ||
+            result.rows[r + 1].load_idx <= result.rows[r].load_idx;
+        if (!group_end) continue;
+        const mcs::obs::LatencyAnatomy* anatomy =
+            r < result.row_anatomy.size() ? &result.row_anatomy[r] : nullptr;
+        const mcs::model::ModelBreakdown* breakdown =
+            r < result.row_breakdown.size() &&
+                    !result.row_breakdown[r].clusters.empty()
+                ? &result.row_breakdown[r]
+                : nullptr;
+        const mcs::exp::ExplainReport report = mcs::exp::build_explain(
+            mcs::exp::row_label(result.rows[r]), result.rows[r].lambda,
+            anatomy, breakdown);
+        if (!report.has_measured && !report.has_model) continue;
+        std::printf("\n%s", mcs::exp::render_explain(report).c_str());
+      }
+    }
 
     const std::string csv_path = args.get("csv", "");
     if (!csv_path.empty()) {

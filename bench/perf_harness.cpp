@@ -181,7 +181,9 @@ void write_report_json(const PerfReport& report, std::ostream& out) {
     out << "      \"worms_per_sec\": " << m.worms_per_sec << ",\n";
     out << "      \"latency_mean\": " << m.latency_mean << ",\n";
     out << "      \"saturated\": " << (m.saturated ? "true" : "false")
-        << "\n";
+        << ",\n";
+    out << "      \"probe_decimations\": " << m.probe_decimations << ",\n";
+    out << "      \"trace_dropped\": " << m.trace_dropped << "\n";
     out << "    }" << (i + 1 < report.measurements.size() ? "," : "")
         << "\n";
   }

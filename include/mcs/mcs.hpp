@@ -16,12 +16,14 @@
 //   auto measured = sim.run();
 #pragma once
 
+#include "exp/explain.hpp"
 #include "exp/saturation_search.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
 #include "exp/sweep_io.hpp"
 #include "exp/thread_pool.hpp"
 #include "model/bottleneck.hpp"
+#include "model/breakdown.hpp"
 #include "model/graph_load.hpp"
 #include "model/icn2_funnel.hpp"
 #include "model/latency.hpp"
@@ -31,6 +33,7 @@
 #include "model/refined_model.hpp"
 #include "model/saturation.hpp"
 #include "model/service_recursion.hpp"
+#include "obs/anatomy.hpp"
 #include "obs/manifest.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
@@ -52,6 +55,7 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/histogram.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"

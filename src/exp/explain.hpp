@@ -1,0 +1,94 @@
+// Latency attribution: join the measured anatomy of a run
+// (obs/anatomy.hpp) against the refined model's per-station terms
+// (model/breakdown.hpp), stage by stage (DESIGN.md §13). The report
+// degrades gracefully to one-sided views: model-only scenarios (sim =
+// false, e.g. table1) still name the model's bottleneck station, and
+// sim-only runs (no refined model) still rank measured stations and hot
+// channels — `has_measured` / `has_model` say which columns are real.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/breakdown.hpp"
+#include "obs/anatomy.hpp"
+
+namespace mcs::exp {
+
+/// One M/G/1 station, measured and predicted side by side (obs station
+/// index convention: 0 icn1_nic, 1 ecn1_nic, 2 concentrator,
+/// 3 dispatcher).
+struct ExplainStation {
+  int station = 0;
+
+  bool has_measured = false;
+  std::uint64_t legs = 0;          ///< measured legs served
+  double measured_wait = 0.0;      ///< W-hat: mean queue wait
+  double measured_service = 0.0;   ///< mean service (header + drain)
+  double measured_rho = 0.0;       ///< rho-hat: injection-channel busy
+  std::size_t measured_channels = 0;
+
+  bool has_model = false;
+  bool model_stable = true;
+  double model_lambda = 0.0;   ///< station arrival rate
+  double model_wait = 0.0;     ///< W: M/G/1 wait (Eq. 16)
+  double model_service = 0.0;  ///< S_0 + R: service plus pipeline rest
+  double model_rho = 0.0;      ///< lambda * S_0
+
+  /// Both sides present, model residence > 0: the divergence columns are
+  /// meaningful.
+  bool joined = false;
+  /// |measured residence - model residence| / model residence, where
+  /// residence = wait + service. The per-stage analogue of the end-to-end
+  /// validation bands.
+  double residence_divergence = 0.0;
+  /// |W-hat - W| / model residence: the wait gap, normalized by the
+  /// station's whole model residence so near-zero waits at low load do
+  /// not explode the ratio.
+  double wait_divergence = 0.0;
+};
+
+struct ExplainReport {
+  std::string label;    ///< row tag (exp::row_label form) or scenario id
+  double lambda = 0.0;  ///< offered global load of the joined point
+  bool has_measured = false;
+  bool has_model = false;
+
+  ExplainStation stations[obs::kStations];
+  /// Largest residence_divergence among joined stations; -1 when no
+  /// station joined.
+  int worst_station = -1;
+  /// Station that saturates first: argmax measured rho-hat when measured
+  /// data exists, else the model's bottleneck_station(); -1 when neither
+  /// side has data.
+  int bottleneck_station = -1;
+
+  // Measured-only extras (empty / zero without an anatomy).
+  std::vector<obs::ChannelAnatomy> hot_channels;  ///< top ICN2 channels
+  std::uint64_t messages = 0;
+  double latency_mean = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double max_residual = 0.0;           ///< conservation: |latency - sum|
+  double max_relative_residual = 0.0;
+};
+
+/// Build the joined report. `anatomy` may be null or un-finalized (-> no
+/// measured columns); `breakdown` may be null or empty (-> no model
+/// columns).
+[[nodiscard]] ExplainReport build_explain(
+    std::string label, double lambda, const obs::LatencyAnatomy* anatomy,
+    const model::ModelBreakdown* breakdown);
+
+/// Append the report as one JSON object (no surrounding whitespace or
+/// newline) — the "explain" member of a sweep row / perf measurement.
+void write_explain_json(const ExplainReport& report, std::ostream& out);
+
+/// Render the report for terminal reading: a station table plus
+/// bottleneck / worst-divergence / hot-channel / conservation lines.
+[[nodiscard]] std::string render_explain(const ExplainReport& report);
+
+}  // namespace mcs::exp

@@ -75,7 +75,7 @@ const std::vector<std::string>& search_keys() {
 const std::vector<std::string>& observe_keys() {
   static const std::vector<std::string> keys = {
       "probe_interval", "probe_max_samples", "trace_sample",
-      "trace_max_events"};
+      "trace_max_events", "explain"};
   return keys;
 }
 
@@ -682,6 +682,8 @@ ScenarioSpec parse_scenario(std::istream& in, const std::string& source) {
         } else if (key == "trace_max_events") {
           spec.trace.max_events = static_cast<std::size_t>(
               parse_int(source, line_no, value));
+        } else if (key == "explain") {
+          spec.explain = parse_bool(source, line_no, value);
         } else {
           fail_unknown(source, line_no, "unknown [observe] key", key,
                        observe_keys());

@@ -80,8 +80,10 @@
 // the block only configures; probes and traces are actually emitted when
 // mcs_sweep's --probe-out / --trace-out flags (or SweepRunOptions) turn
 // collection on. Keys: `probe_interval` (virtual time; 0 = auto),
-// `probe_max_samples`, `trace_sample` (trace every K-th message) and
-// `trace_max_events`:
+// `probe_max_samples`, `trace_sample` (trace every K-th message),
+// `trace_max_events`, and `explain` (attribution mode by default — the
+// one [observe] key that enables collection on its own, equivalent to
+// mcs_sweep --explain):
 //
 //   [observe]
 //   probe_interval    = 0.5
@@ -160,6 +162,11 @@ struct ScenarioSpec {
   /// --probe-out / --trace-out) decides whether anything is collected.
   obs::ProbeConfig probe;
   obs::TraceConfig trace;
+  /// `[observe] explain = true`: the scenario asks for attribution mode
+  /// by default (equivalent to mcs_sweep --explain) — a LatencyAnatomy on
+  /// replication 0 of every simulated row plus the refined model's
+  /// per-station breakdown, joined in the output (exp/explain.hpp).
+  bool explain = false;
 
   /// Channel timing defaults shared by every grid point; message_flits and
   /// flit_bytes above override the corresponding fields per point.

@@ -310,13 +310,23 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
       row_traces.push_back(std::move(buffer));
     }
   }
+  // Attribution mode: a LatencyAnatomy per simulated row (replication 0,
+  // like the flight recorder) and a model breakdown slot per row (written
+  // by the row's model-group task; empty clusters = not computed).
+  std::vector<obs::LatencyAnatomy>& row_anatomy = result.row_anatomy;
+  if (spec_.run_sim && options.explain)
+    row_anatomy.assign(rows.size(), obs::LatencyAnatomy{});
+  std::vector<model::ModelBreakdown>& row_breakdown = result.row_breakdown;
+  const bool explain_model = options.explain && spec_.run_refined_model;
+  if (explain_model) row_breakdown.resize(rows.size());
 
   // Model tasks: one per group (construction dominates; predictions for
   // the group's loads ride along). Each row's model fields are written by
   // exactly one task, so no synchronization is needed.
   if (run_models) {
     for (ModelGroup& group : groups) {
-      pool->submit(instrument('m', [this, &group, &rows] {
+      pool->submit(instrument('m', [this, &group, &rows, &row_breakdown,
+                                    explain_model] {
         if (!group.refined_supported) return;
         const topo::SystemConfig& config =
             spec_.systems[static_cast<std::size_t>(group.system_idx)].config;
@@ -349,6 +359,7 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
             row.refined_run = true;
             row.refined_latency = p.mean_latency;
             row.refined_stable = p.stable;
+            if (explain_model) row_breakdown[r] = refined->breakdown(row.lambda);
           }
         }
       }));
@@ -367,8 +378,8 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
           *topologies[static_cast<std::size_t>(row.system_idx)];
       for (int rep = 0; rep < reps; ++rep) {
         pool->submit(instrument('s', [this, &row, &topology, &patterns,
-                                      &sim_runs, &row_probes, &row_traces, r,
-                                      rep] {
+                                      &sim_runs, &row_probes, &row_traces,
+                                      &row_anatomy, r, rep] {
           model::NetworkParams params = spec_.base_params;
           params.message_flits = row.message_flits;
           params.flit_bytes = row.flit_bytes;
@@ -396,6 +407,7 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
           if (rep == 0) {
             if (!row_probes.empty()) cfg.probes = &row_probes[r];
             if (!row_traces.empty()) cfg.trace = &row_traces[r];
+            if (!row_anatomy.empty()) cfg.anatomy = &row_anatomy[r];
           }
 
           sim::Simulator simulator(topology, params, row.lambda, cfg);

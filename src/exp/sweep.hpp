@@ -15,6 +15,8 @@
 
 #include "exp/scenario.hpp"
 #include "exp/thread_pool.hpp"
+#include "model/breakdown.hpp"
+#include "obs/anatomy.hpp"
 #include "obs/manifest.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
@@ -130,6 +132,15 @@ struct SweepResult {
   /// so one instrumented replication per row costs nothing but memory.
   std::vector<obs::ProbeSeries> row_probes;
   std::vector<obs::TraceBuffer> row_traces;
+  /// Latency anatomies of replication 0 of every simulated row, parallel
+  /// to `rows`; filled only with SweepRunOptions::explain (exhaustive
+  /// accounting — same bit-identity contract as probes/traces).
+  std::vector<obs::LatencyAnatomy> row_anatomy;
+  /// Refined-model per-station breakdowns per row, parallel to `rows`;
+  /// filled only with SweepRunOptions::explain when the refined model
+  /// runs. An entry with empty `clusters` means "not computed" (model
+  /// unsupported for the row's pattern, or models disabled).
+  std::vector<model::ModelBreakdown> row_breakdown;
 };
 
 struct SweepRunOptions {
@@ -147,6 +158,12 @@ struct SweepRunOptions {
   /// Attach a TraceBuffer (worm-lifecycle spans) to replication 0 of
   /// every simulated row; the buffers land in SweepResult::row_traces.
   bool collect_traces = false;
+  /// Attribution mode (mcs_sweep --explain / [observe] explain=true):
+  /// attach a LatencyAnatomy to replication 0 of every simulated row AND
+  /// compute the refined model's per-station breakdown per row, so the
+  /// output can join measured vs predicted stage by stage
+  /// (exp/explain.hpp).
+  bool explain = false;
 };
 
 /// Compact row tag labeling probe/trace output:

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <set>
 
+#include "exp/explain.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 
@@ -163,7 +164,8 @@ void write_json(const SweepResult& result, std::ostream& out) {
   }
   out << "],\"rows\":[";
   bool first_row = true;
-  for (const SweepRow& row : result.rows) {
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    const SweepRow& row = result.rows[r];
     if (!first_row) out << ",";
     first_row = false;
     out << "{";
@@ -216,6 +218,34 @@ void write_json(const SweepResult& result, std::ostream& out) {
       }
       json_field(out, "sim_state", static_cast<std::int64_t>(row.sim_state),
                  first);
+    }
+    // Flight-recorder health: lossy captures must say so in the output
+    // (a decimated probe series / truncated trace reads very differently
+    // from a complete one).
+    if (r < result.row_probes.size())
+      json_field(out, "probe_decimations",
+                 static_cast<std::int64_t>(result.row_probes[r].decimations()),
+                 first);
+    if (r < result.row_traces.size())
+      json_field(out, "trace_dropped",
+                 static_cast<std::int64_t>(result.row_traces[r].dropped()),
+                 first);
+    // Attribution (--explain): measured anatomy joined against the
+    // refined model's station terms; either side may be absent.
+    const obs::LatencyAnatomy* anatomy =
+        r < result.row_anatomy.size() ? &result.row_anatomy[r] : nullptr;
+    const model::ModelBreakdown* breakdown =
+        r < result.row_breakdown.size() &&
+                !result.row_breakdown[r].clusters.empty()
+            ? &result.row_breakdown[r]
+            : nullptr;
+    if (anatomy != nullptr || breakdown != nullptr) {
+      const ExplainReport report =
+          build_explain(row_label(row), row.lambda, anatomy, breakdown);
+      if (!first) out << ",";
+      first = false;
+      out << "\"explain\":";
+      write_explain_json(report, out);
     }
     out << "}";
   }

@@ -1,0 +1,84 @@
+// Structured per-station view of the refined model's prediction
+// (DESIGN.md §13). predict() folds the M/G/1 stage terms into one scalar
+// latency; breakdown() re-exposes the SAME terms — arrival rate, service
+// moments, queue wait, utilization per station — so measured anatomy
+// (obs/anatomy.hpp) and model can be joined stage by stage
+// (exp/explain.hpp). Station indices follow the obs convention:
+// 0 = source ICN1 NIC, 1 = source ECN1 NIC, 2 = concentrator,
+// 3 = dispatcher.
+#pragma once
+
+#include <vector>
+
+namespace mcs::model {
+
+inline constexpr int kBreakdownStations = 4;
+
+[[nodiscard]] inline const char* breakdown_station_name(int station) {
+  switch (station) {
+    case 0: return "icn1_nic";
+    case 1: return "ecn1_nic";
+    case 2: return "concentrator";
+    case 3: return "dispatcher";
+    default: return "?";
+  }
+}
+
+/// One M/G/1 station's predicted terms at a given global load. The terms
+/// are exactly the ones predict() feeds into Eq. (16): `wait` is
+/// mg1_wait(lambda, s_mean, draper_ghosh_variance(s_mean, s_zero)) and
+/// rho = lambda * s_mean is the station's offered utilization.
+struct StationTerm {
+  bool present = false;  ///< station carries traffic at this cluster
+  double lambda = 0.0;   ///< arrival rate at the station's queue
+  double s_mean = 0.0;   ///< mean first-channel occupancy S_0
+  double s_zero = 0.0;   ///< contention-free S_0 (zero-load)
+  double r_mean = 0.0;   ///< remaining header pipeline after channel 1
+  double wait = 0.0;     ///< W: M/G/1 queue wait
+  double rho = 0.0;      ///< lambda * s_mean
+  bool stable = true;
+
+  /// Mean time a message spends at the station: wait + service + the
+  /// pipeline remainder (the measured counterpart is a leg's residence).
+  [[nodiscard]] double residence() const { return wait + s_mean + r_mean; }
+};
+
+/// The four stations seen by messages of one cluster: ICN1 NIC / ECN1
+/// NIC / concentrator as SOURCE cluster i, dispatcher as DESTINATION
+/// cluster i (inbound legs are destination properties).
+struct ClusterBreakdown {
+  int cluster = 0;
+  double p_outgoing = 0.0;
+  StationTerm stations[kBreakdownStations];
+  bool stable = true;
+};
+
+/// Whole-system per-station terms: traffic-weighted averages over the
+/// clusters (ICN1 NIC by each cluster's share of internal messages,
+/// ECN1 NIC and concentrator by its share of external messages, the
+/// dispatcher by its share of inbound arrivals) — the same shares that
+/// weight the measured per-leg means, so the two views are comparable.
+struct ModelBreakdown {
+  double lambda_g = 0.0;
+  bool stable = true;
+  std::vector<ClusterBreakdown> clusters;
+  StationTerm system[kBreakdownStations];
+
+  /// System station with the largest offered utilization rho — the
+  /// model's answer to "which queue saturates first". -1 when no station
+  /// carries traffic.
+  [[nodiscard]] int bottleneck_station() const {
+    int best = -1;
+    double best_rho = -1.0;
+    for (int k = 0; k < kBreakdownStations; ++k) {
+      if (!system[k].present) continue;
+      if (system[k].rho > best_rho) {
+        best_rho = system[k].rho;
+        best = k;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace mcs::model

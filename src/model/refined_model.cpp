@@ -309,6 +309,122 @@ RefinedModel::SegmentResult RefinedModel::ecn1_inbound_segment(
   return out;
 }
 
+ModelBreakdown RefinedModel::breakdown(double lambda_g) const {
+  MCS_EXPECTS(lambda_g >= 0.0);
+  ModelBreakdown out;
+  out.lambda_g = lambda_g;
+  const int c_count = config_.cluster_count();
+
+  // One station term from a segment's journey stats: Eq. (16)'s wait with
+  // the Draper-Ghosh variance — the exact expressions predict() uses, so
+  // the consistency test can require bit-equality.
+  const auto station = [](double lambda, const SegmentResult& s) {
+    StationTerm t;
+    t.present = lambda > 0.0;
+    t.lambda = lambda;
+    t.s_mean = s.s_mean;
+    t.s_zero = s.s_zero;
+    t.r_mean = s.r_mean;
+    t.wait =
+        mg1_wait(lambda, s.s_mean, draper_ghosh_variance(s.s_mean, s.s_zero));
+    t.rho = lambda * s.s_mean;
+    t.stable = s.stable && std::isfinite(t.wait);
+    return t;
+  };
+
+  // Inbound legs are destination properties; compute once (as predict()).
+  std::vector<SegmentResult> seg3(static_cast<std::size_t>(c_count));
+  for (int v = 0; v < c_count; ++v)
+    seg3[static_cast<std::size_t>(v)] = ecn1_inbound_segment(v, lambda_g);
+
+  for (int i = 0; i < c_count; ++i) {
+    const ClusterCache& ci = clusters_[static_cast<std::size_t>(i)];
+    const double lam = ci.scale * lambda_g;
+    ClusterBreakdown cb;
+    cb.cluster = i;
+    cb.p_outgoing = ci.p_out;
+
+    // Station 0 — source ICN1 NIC (internal messages).
+    cb.stations[0] =
+        station((1.0 - ci.p_out) * lam, internal_segment(i, lambda_g));
+
+    // Station 1 — source ECN1 NIC (external leg 1).
+    cb.stations[1] =
+        station(ci.p_out * lam, ecn1_outbound_segment(i, lambda_g));
+
+    // Station 2 — concentrator: service is the ICN2 leg averaged over
+    // destination clusters with weights N_v / (N - N_i), arrivals the
+    // cluster's whole outbound flow (as predict()).
+    SegmentResult seg2_avg;
+    for (int v = 0; v < c_count; ++v) {
+      if (v == i) continue;
+      const ClusterCache& cv = clusters_[static_cast<std::size_t>(v)];
+      const double w = cv.nodes / (total_nodes_ - ci.nodes);
+      const SegmentResult seg2 = icn2_segment(i, v, lambda_g);
+      seg2_avg.s_mean += w * seg2.s_mean;
+      seg2_avg.s_zero += w * seg2.s_zero;
+      seg2_avg.r_mean += w * seg2.r_mean;
+      seg2_avg.stable = seg2_avg.stable && seg2.stable;
+    }
+    cb.stations[2] = station(ci.nodes * ci.p_out * lam, seg2_avg);
+    if (c_count == 1) cb.stations[2].present = false;
+
+    // Station 3 — dispatcher of cluster i as DESTINATION (inbound rate
+    // coefficient times the global rate, as predict()'s w_disp[v]).
+    cb.stations[3] =
+        station(ci.in_coeff * lambda_g, seg3[static_cast<std::size_t>(i)]);
+
+    for (const StationTerm& t : cb.stations)
+      if (t.present) cb.stable = cb.stable && t.stable;
+    out.stable = out.stable && cb.stable;
+    out.clusters.push_back(cb);
+  }
+
+  // System aggregates: weight each cluster's station by its share of the
+  // traffic that station serves — internal messages for the ICN1 NIC,
+  // external messages for the ECN1 NIC and the concentrator, inbound
+  // arrivals for the dispatcher. These equal the measured per-leg count
+  // shares, so system terms compare against the anatomy's station means.
+  for (int k = 0; k < kBreakdownStations; ++k) {
+    StationTerm agg;
+    double total_w = 0.0;
+    for (int i = 0; i < c_count; ++i) {
+      const ClusterCache& ci = clusters_[static_cast<std::size_t>(i)];
+      const StationTerm& t =
+          out.clusters[static_cast<std::size_t>(i)].stations[k];
+      if (!t.present) continue;
+      double w = 0.0;
+      switch (k) {
+        case 0: w = ci.nodes * ci.scale * (1.0 - ci.p_out); break;
+        case 1:
+        case 2: w = ci.nodes * ci.scale * ci.p_out; break;
+        case 3: w = ci.in_coeff; break;
+        default: break;
+      }
+      if (!(w > 0.0)) continue;
+      total_w += w;
+      agg.lambda += w * t.lambda;
+      agg.s_mean += w * t.s_mean;
+      agg.s_zero += w * t.s_zero;
+      agg.r_mean += w * t.r_mean;
+      agg.wait += w * t.wait;
+      agg.rho += w * t.rho;
+      agg.stable = agg.stable && t.stable;
+    }
+    if (total_w > 0.0) {
+      agg.present = true;
+      agg.lambda /= total_w;
+      agg.s_mean /= total_w;
+      agg.s_zero /= total_w;
+      agg.r_mean /= total_w;
+      agg.wait /= total_w;
+      agg.rho /= total_w;
+    }
+    out.system[k] = agg;
+  }
+  return out;
+}
+
 LatencyPrediction RefinedModel::predict(double lambda_g) const {
   MCS_EXPECTS(lambda_g >= 0.0);
   LatencyPrediction prediction;

@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "model/breakdown.hpp"
 #include "model/graph_load.hpp"
 #include "model/latency.hpp"
 #include "topology/fat_tree.hpp"
@@ -47,6 +48,12 @@ class RefinedModel final : public LatencyModel {
                FlowControl flow = FlowControl::kWormhole);
 
   [[nodiscard]] LatencyPrediction predict(double lambda_g) const override;
+  /// Per-station decomposition of the same prediction (DESIGN.md §13):
+  /// re-runs predict()'s stage computations and reports each M/G/1
+  /// station's arrival rate, service moments, wait and utilization
+  /// instead of folding them into one scalar. A consistency test pins
+  /// breakdown()'s terms exactly equal to predict()'s.
+  [[nodiscard]] ModelBreakdown breakdown(double lambda_g) const;
   [[nodiscard]] std::string name() const override { return "refined"; }
   [[nodiscard]] const topo::SystemConfig& config() const override {
     return config_;

@@ -1,0 +1,184 @@
+#include "obs/anatomy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace mcs::obs {
+
+const char* segment_name(int segment) {
+  switch (segment) {
+    case 0: return "icn1";
+    case 1: return "ecn1_out";
+    case 2: return "icn2";
+    case 3: return "ecn1_in";
+    case 4: return "cut_through";
+    default: return "?";
+  }
+}
+
+const char* station_name(int station) {
+  switch (station) {
+    case 0: return "icn1_nic";
+    case 1: return "ecn1_nic";
+    case 2: return "concentrator";
+    case 3: return "dispatcher";
+    default: return "?";
+  }
+}
+
+int station_of_segment(int segment) {
+  MCS_EXPECTS(segment >= 0 && segment < kSegments);
+  // Cut-through worms (segment 4) queue at the source's ECN1 NIC.
+  return segment == 4 ? 1 : segment;
+}
+
+void AnatomyConfig::validate() const {
+  if (top_channels < 1)
+    throw ConfigError("AnatomyConfig: top_channels must be >= 1");
+}
+
+LatencyAnatomy::LatencyAnatomy(AnatomyConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+void LatencyAnatomy::prepare(std::vector<std::uint8_t> channel_class) {
+  channel_class_ = std::move(channel_class);
+  const std::size_t n = channel_class_.size();
+  channel_traversals_.assign(n, 0);
+  channel_wait_.assign(n, 0.0);
+  channel_residence_.assign(n, 0.0);
+  channel_utilization_.assign(n, 0.0);
+  channel_station_mask_.assign(n, 0);
+}
+
+void LatencyAnatomy::record_leg(int segment, double wait, double header,
+                                double drain) {
+  MCS_EXPECTS(segment >= 0 && segment < kSegments);
+  SegmentAnatomy& s = segments_[segment];
+  ++s.legs;
+  s.wait.add(wait);
+  s.service.add(header + drain);
+  s.wait_sum += wait;
+  s.header_sum += header;
+  s.drain_sum += drain;
+}
+
+void LatencyAnatomy::record_hop(std::int32_t channel, int net_class,
+                                double wait, double span, bool first_hop,
+                                int segment) {
+  const auto c = static_cast<std::size_t>(channel);
+  MCS_EXPECTS(c < channel_class_.size());
+  MCS_EXPECTS(net_class >= 0 && net_class < 3);
+  ++channel_traversals_[c];
+  channel_wait_[c] += wait;
+  channel_residence_[c] += span;
+  nets_[net_class].hop_wait.add(wait);
+  nets_[net_class].hop_residence.add(span);
+  if (first_hop)
+    channel_station_mask_[c] |= static_cast<std::uint8_t>(
+        1U << station_of_segment(segment));
+}
+
+void LatencyAnatomy::record_message(double latency, double component_sum,
+                                    bool internal) {
+  ++messages_;
+  if (internal) ++internal_messages_;
+  message_latency_.add(latency);
+  const double residual = std::abs(latency - component_sum);
+  max_residual_ = std::max(max_residual_, residual);
+  if (latency > 0.0)
+    max_relative_residual_ =
+        std::max(max_relative_residual_, residual / latency);
+}
+
+void LatencyAnatomy::finalize(double window,
+                              const std::vector<double>& busy) {
+  MCS_EXPECTS(busy.size() == channel_class_.size());
+  window_ = window;
+  double rho_sum[kStations] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t c = 0; c < busy.size(); ++c) {
+    channel_utilization_[c] =
+        window > 0.0 ? std::clamp(busy[c] / window, 0.0, 1.0) : 0.0;
+    const std::uint8_t mask = channel_station_mask_[c];
+    for (int k = 0; k < kStations; ++k) {
+      if ((mask & (1U << k)) == 0) continue;
+      rho_sum[k] += channel_utilization_[c];
+      ++station_channels_[k];
+    }
+  }
+  for (int k = 0; k < kStations; ++k)
+    station_rho_[k] = station_channels_[k] > 0
+                          ? rho_sum[k] /
+                                static_cast<double>(station_channels_[k])
+                          : 0.0;
+
+  // Hot-channel ranking: ICN2 channels by accumulated header residence.
+  std::vector<std::int32_t> icn2;
+  for (std::size_t c = 0; c < channel_class_.size(); ++c)
+    if (channel_class_[c] == 2 && channel_traversals_[c] > 0)
+      icn2.push_back(static_cast<std::int32_t>(c));
+  const auto k = std::min<std::size_t>(
+      icn2.size(), static_cast<std::size_t>(config_.top_channels));
+  std::partial_sort(icn2.begin(),
+                    icn2.begin() + static_cast<std::ptrdiff_t>(k),
+                    icn2.end(), [&](std::int32_t a, std::int32_t b) {
+                      const auto ra =
+                          channel_residence_[static_cast<std::size_t>(a)];
+                      const auto rb =
+                          channel_residence_[static_cast<std::size_t>(b)];
+                      // Residence desc, id asc: a full deterministic order.
+                      return ra != rb ? ra > rb : a < b;
+                    });
+  hot_channels_.clear();
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto c = static_cast<std::size_t>(icn2[i]);
+    ChannelAnatomy row;
+    row.channel = icn2[i];
+    row.net_class = channel_class_[c];
+    row.traversals = channel_traversals_[c];
+    row.wait_sum = channel_wait_[c];
+    row.residence_sum = channel_residence_[c];
+    row.utilization = channel_utilization_[c];
+    hot_channels_.push_back(row);
+  }
+  finalized_ = true;
+}
+
+const SegmentAnatomy& LatencyAnatomy::segment(int s) const {
+  MCS_EXPECTS(s >= 0 && s < kSegments);
+  return segments_[s];
+}
+
+const NetAnatomy& LatencyAnatomy::net(int net_class) const {
+  MCS_EXPECTS(net_class >= 0 && net_class < 3);
+  return nets_[net_class];
+}
+
+StationMeasure LatencyAnatomy::station(int station) const {
+  MCS_EXPECTS(station >= 0 && station < kStations);
+  StationMeasure out;
+  // Station 1 (ECN1 NIC) merges the store-and-forward outbound leg and
+  // the cut-through merged worm; the other stations map 1:1.
+  double wait_sum = 0.0;
+  double service_sum = 0.0;
+  for (int s = 0; s < kSegments; ++s) {
+    if (station_of_segment(s) != station) continue;
+    const SegmentAnatomy& seg = segments_[s];
+    out.legs += seg.legs;
+    wait_sum += seg.wait_sum;
+    service_sum += seg.header_sum + seg.drain_sum;
+  }
+  if (out.legs > 0) {
+    out.mean_wait = wait_sum / static_cast<double>(out.legs);
+    out.mean_service = service_sum / static_cast<double>(out.legs);
+  }
+  out.utilization = station_rho_[station];
+  out.channels = station_channels_[station];
+  return out;
+}
+
+}  // namespace mcs::obs

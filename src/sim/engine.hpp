@@ -106,6 +106,13 @@ class WormholeEngine {
   [[nodiscard]] std::int64_t waiting_worms() const { return waiting_; }
   [[nodiscard]] int message_flits() const { return flits_; }
   [[nodiscard]] FlowControl flow_control() const { return flow_control_; }
+  /// Header-crossing time of channel c: service_[c] under wormhole, a
+  /// full message transmission (flits * service) under store-and-forward
+  /// — the exact per-hop term the acquire/advance events are scheduled
+  /// with, so observers can re-derive hop boundaries bit-exactly.
+  [[nodiscard]] double crossing_time(GlobalChannelId c) const {
+    return crossing_[static_cast<std::size_t>(c)];
+  }
 
   // --- channel statistics (enable before running) -------------------------
 

@@ -179,10 +179,20 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
   // Observability hookup (off = all pointers null, zero further cost).
   probes_ = config_.probes;
   trace_ = config_.trace;
+  anatomy_ = config_.anatomy;
   if (probes_ != nullptr)
     for (std::size_t c = 0; c < channel_net_.size(); ++c)
       ++class_channels_[static_cast<int>(
           nets_[static_cast<std::size_t>(channel_net_[c])].kind)];
+  if (anatomy_ != nullptr) {
+    // Hand the anatomy the channel -> network-class table (NetKind's
+    // 0/1/2 order IS the obs class convention).
+    std::vector<std::uint8_t> channel_class(channel_net_.size());
+    for (std::size_t c = 0; c < channel_net_.size(); ++c)
+      channel_class[c] = static_cast<std::uint8_t>(
+          nets_[static_cast<std::size_t>(channel_net_[c])].kind);
+    anatomy_->prepare(std::move(channel_class));
+  }
 }
 
 Simulator::StopCause Simulator::should_stop(double now) const {
@@ -221,12 +231,19 @@ StopCauseText stop_cause_text(int cause_index) {
 
 SimResult Simulator::run() {
   if (config_.collect_channel_stats) engine_.enable_channel_stats();
-  if (probes_ != nullptr && !config_.collect_channel_stats) {
+  if (anatomy_ != nullptr && !config_.collect_channel_stats) {
+    // The anatomy's per-station rho-hat is a measured-window statistic, so
+    // it adopts collect_channel_stats' semantics: the window opens when
+    // the warmup ends (handle_generate).
+    engine_.enable_channel_stats();
+  }
+  if (probes_ != nullptr && !config_.collect_channel_stats &&
+      anatomy_ == nullptr) {
     // Probes need busy-time accounting too, but over the WHOLE run (the
     // warmup transient is exactly what they exist to show), so the window
     // opens at t = 0 instead of the measured phase's start. When channel
-    // stats are also on, the measured-window semantics win and probe
-    // utilization reads 0 until the warmup ends.
+    // stats or an anatomy are also on, the measured-window semantics win
+    // and probe utilization reads 0 until the warmup ends.
     engine_.enable_channel_stats();
     engine_.set_stats_window_start(0.0);
   }
@@ -321,6 +338,12 @@ SimResult Simulator::run() {
     result.per_cluster_count.push_back(static_cast<std::int64_t>(m.count()));
   }
   if (config_.collect_channel_stats) collect_channel_classes(result);
+  if (anatomy_ != nullptr) {
+    std::vector<double> busy(engine_.channel_count());
+    for (std::size_t c = 0; c < busy.size(); ++c)
+      busy[c] = engine_.busy_time(static_cast<GlobalChannelId>(c));
+    anatomy_->finalize(result.end_time - measure_start_time_, busy);
+  }
   if (probes_ != nullptr && !probes_->samples().empty()) {
     result.has_last_probe = true;
     result.last_probe = probes_->samples().back();
@@ -374,8 +397,9 @@ void Simulator::handle_generate(std::int32_t node, double now) {
   if (idx == config_.warmup_messages) {
     measure_start_time_ = now;
     // Probes-only runs keep the stats window open from t = 0 (see run());
-    // the measured-window reset belongs to collect_channel_stats alone.
-    if (config_.collect_channel_stats) engine_.set_stats_window_start(now);
+    // the measured-window reset belongs to channel stats and the anatomy.
+    if (config_.collect_channel_stats || anatomy_ != nullptr)
+      engine_.set_stats_window_start(now);
   }
 
   std::int32_t msg_id;
@@ -413,6 +437,7 @@ void Simulator::handle_generate(std::int32_t node, double now) {
       trace_ != nullptr && idx % trace_->sample_every() == 0
           ? next_trace_tid_++
           : -1;
+  if (anatomy_ != nullptr) m.anatomy_sum = 0.0;  // MsgRecs are recycled
 
   spawn_segment(msg_id, now);
 }
@@ -519,6 +544,7 @@ void Simulator::on_worm_done(WormId worm, double time) {
       default:
         MCS_ASSERT(false);
     }
+    if (anatomy_ != nullptr) record_anatomy(w, m, worm, time);
   }
 
   if (m.trace_tid >= 0) trace_worm(w, m, worm, time);
@@ -561,6 +587,40 @@ void Simulator::trace_worm(const Worm& w, const MsgRec& m, WormId worm,
   }
 }
 
+void Simulator::record_anatomy(const Worm& w, MsgRec& m, WormId worm,
+                               double time) {
+  const std::span<const double> acq = engine_.acquire_times(worm);
+  const std::span<const GlobalChannelId> path = engine_.path_of(worm);
+  // Leg decomposition: wait (enqueue -> first grant), header walk (first
+  // grant -> header at the endpoint, i.e. the last hop's grant plus its
+  // crossing), tail drain (header at endpoint -> tail drained; exactly 0
+  // under store-and-forward, whose crossing is the whole transmission).
+  const double wait = acq.front() - w.enqueue_time;
+  const double header_end = acq.back() + engine_.crossing_time(path.back());
+  const double header = header_end - acq.front();
+  const double drain = time - header_end;
+  const int seg = m.segment;
+  anatomy_->record_leg(seg, wait, header, drain);
+  // Legs telescope (enqueue of leg i+1 == done of leg i), so summing the
+  // components re-adds to finalize()'s end-to-end latency up to the
+  // rounding this re-association introduces — the conservation check.
+  m.anatomy_sum += wait + header + drain;
+  // Per-hop visits: blocking before the grant of hop h (the header is
+  // ready at acq[h-1] + crossing of hop h-1) and occupancy until the next
+  // grant (the last hop runs to the drain instant, like the trace spans).
+  double ready = w.enqueue_time;
+  const std::size_t hops = path.size();
+  for (std::size_t h = 0; h < hops; ++h) {
+    const auto c = static_cast<std::size_t>(path[h]);
+    const double end = h + 1 < hops ? acq[h + 1] : time;
+    const int net_class = static_cast<int>(
+        nets_[static_cast<std::size_t>(channel_net_[c])].kind);
+    anatomy_->record_hop(path[h], net_class, acq[h] - ready, end - acq[h],
+                         h == 0, seg);
+    ready = acq[h] + engine_.crossing_time(path[h]);
+  }
+}
+
 void Simulator::finalize(std::int32_t msg_id, double now) {
   MsgRec& m = msgs_[static_cast<std::size_t>(msg_id)];
   if (m.trace_tid >= 0) {
@@ -574,6 +634,8 @@ void Simulator::finalize(std::int32_t msg_id, double now) {
   }
   if (m.measured) {
     const double latency = now - m.gen_time;
+    if (anatomy_ != nullptr)
+      anatomy_->record_message(latency, m.anatomy_sum, m.internal);
     latency_.add(latency);
     measured_latencies_.push_back(latency);
     (m.internal ? internal_latency_ : external_latency_).add(latency);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "model/params.hpp"
+#include "obs/anatomy.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
@@ -91,6 +92,11 @@ struct SimConfig {
   /// Sampled worm-lifecycle spans (deterministic 1-in-K by generation
   /// index) in Chrome trace_event form.
   obs::TraceBuffer* trace = nullptr;
+  /// Exhaustive per-segment/per-channel latency decomposition of EVERY
+  /// measured message (DESIGN.md §13). Unlike probes/trace it is never
+  /// sampled; same bit-identity contract. Enables the engine's channel
+  /// stats over the measured window (like collect_channel_stats).
+  obs::LatencyAnatomy* anatomy = nullptr;
 };
 
 class Simulator : private WormholeEngine::Listener {
@@ -134,6 +140,10 @@ class Simulator : private WormholeEngine::Listener {
     /// Trace lane (tid) of a traced message; -1 when untraced. Assigned
     /// deterministically from the generation index, never from RNG.
     std::int32_t trace_tid = -1;
+    /// Running sum of the anatomy components recorded for this message
+    /// (wait + header + drain per leg) — finalize() hands it to the
+    /// anatomy's conservation check against the end-to-end latency.
+    double anatomy_sum = 0.0;
   };
 
   /// One memoized route, global-channel-translated: off/len into
@@ -164,6 +174,9 @@ class Simulator : private WormholeEngine::Listener {
   void record_probe(double now);
   /// Emit the completed leg's trace spans (worm wait/leg/hop spans).
   void trace_worm(const Worm& w, const MsgRec& m, WormId worm, double time);
+  /// Decompose the completed measured leg into wait/header/drain and
+  /// per-hop channel visits for the attached anatomy.
+  void record_anatomy(const Worm& w, MsgRec& m, WormId worm, double time);
   void collect_channel_classes(SimResult& result) const;
   /// Drop the first `cut` measured messages from every latency statistic
   /// (rebuilds the batch-means accumulators, the internal/external split
@@ -238,6 +251,7 @@ class Simulator : private WormholeEngine::Listener {
   // counters into per-window utilization deltas between samples.
   obs::ProbeSeries* probes_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
+  obs::LatencyAnatomy* anatomy_ = nullptr;
   std::int32_t next_trace_tid_ = 0;
   double probe_prev_time_ = 0.0;
   double probe_prev_busy_[obs::kNetClasses] = {0.0, 0.0, 0.0};

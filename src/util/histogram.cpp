@@ -1,0 +1,104 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace mcs::util {
+
+int LogHistogram::bucket_of(double value) {
+  MCS_EXPECTS(value > 0.0);
+  int exp = 0;
+  // frexp: value = m * 2^exp with m in [0.5, 1), so value in
+  // [2^(exp-1), 2^exp) and the bucket whose lower bound is 2^(exp-1)
+  // is index (exp - 1) - kMinExp.
+  std::frexp(value, &exp);
+  return std::clamp(exp - 1 - kMinExp, 0, kBuckets - 1);
+}
+
+double LogHistogram::bucket_lower(int bucket) {
+  MCS_EXPECTS(bucket >= 0 && bucket < kBuckets);
+  return std::ldexp(1.0, kMinExp + bucket);
+}
+
+double LogHistogram::bucket_upper(int bucket) {
+  MCS_EXPECTS(bucket >= 0 && bucket < kBuckets);
+  return std::ldexp(1.0, kMinExp + bucket + 1);
+}
+
+void LogHistogram::add(double value) {
+  if (!(value > 0.0)) {
+    // Exact zeros are expected (e.g. zero waits); negatives/NaN would be
+    // caller bugs but must not corrupt the counts — fold them in as zeros
+    // so count() always equals the number of add() calls.
+    value = 0.0;
+    ++zeros_;
+  } else {
+    ++counts_[bucket_of(value)];
+  }
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  zeros_ += other.zeros_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::quantile(double q) const {
+  MCS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  // Rank in [1, count]: the smallest r with cumulative(r) >= q * count.
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(count_))));
+  if (rank <= zeros_) return 0.0;
+  std::uint64_t cum = zeros_;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    if (cum + counts_[b] >= rank) {
+      // Linear interpolation inside the bucket: rank position within the
+      // bucket's count, mapped onto [lower, upper). Clamp into the
+      // observed [min, max] so a single-bucket histogram never reports a
+      // quantile outside the data.
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(counts_[b]);
+      const double lo = bucket_lower(b);
+      const double hi = bucket_upper(b);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    cum += counts_[b];
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+std::uint64_t LogHistogram::bucket_count(int bucket) const {
+  MCS_EXPECTS(bucket >= 0 && bucket < kBuckets);
+  return counts_[bucket];
+}
+
+std::vector<int> LogHistogram::nonempty_buckets() const {
+  std::vector<int> out;
+  for (int b = 0; b < kBuckets; ++b)
+    if (counts_[b] > 0) out.push_back(b);
+  return out;
+}
+
+}  // namespace mcs::util

@@ -1,0 +1,79 @@
+// Log-bucketed histogram over non-negative doubles: power-of-two buckets
+// (one per binary exponent), an exact dedicated zero count, and exact
+// 64-bit per-bucket counts, so two histograms merge by plain elementwise
+// addition and a merged histogram is bit-identical regardless of merge
+// grouping (counts and quantiles exactly; the running sum is a double and
+// therefore only reproducible for a FIXED merge order — the sweep merges
+// in grid order for that reason).
+//
+// Quantiles walk the cumulative counts and interpolate linearly inside
+// the final bucket, so the error of quantile(q) is bounded by one bucket
+// width (the bucket's upper bound is 2x its lower bound, i.e. the
+// relative error is bounded by a factor of 2 and in practice much less).
+// Designed for latency anatomy (obs/anatomy.hpp): per-segment wait and
+// service distributions accumulated exhaustively at O(1) per sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcs::util {
+
+class LogHistogram {
+ public:
+  /// Buckets cover [2^kMinExp, 2^(kMinExp + kBuckets)); values below the
+  /// range clamp into the first bucket, values above into the last (the
+  /// one-bucket quantile bound then only holds inside the range — latency
+  /// and wait values of the simulated systems sit comfortably within
+  /// [2^-64, 2^64)).
+  static constexpr int kMinExp = -64;
+  static constexpr int kBuckets = 128;
+
+  /// Bucket that a positive value falls into: the value's binary exponent
+  /// e (value in [2^(e-1), 2^e) for frexp's convention), shifted and
+  /// clamped to the range. Exact zeros are counted separately.
+  [[nodiscard]] static int bucket_of(double value);
+
+  /// Lower/upper bound of bucket i: [2^(kMinExp + i), 2^(kMinExp + i + 1)).
+  [[nodiscard]] static double bucket_lower(int bucket);
+  [[nodiscard]] static double bucket_upper(int bucket);
+
+  /// Record one sample. Negative values are a caller bug and are counted
+  /// as zeros (never dropped silently); exact zeros go to the zero count.
+  void add(double value);
+
+  /// Elementwise addition of counts, zero count, sum and min/max. Counts
+  /// and quantiles are exactly merge-order-independent; sum() (a double
+  /// accumulation) is only bit-reproducible for a fixed merge order.
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t zeros() const { return zeros_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// q-quantile (q in [0, 1]) by cumulative-count walk with linear
+  /// interpolation inside the target bucket; error <= one bucket width.
+  /// 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Per-bucket count (0 <= bucket < kBuckets), for serialization.
+  [[nodiscard]] std::uint64_t bucket_count(int bucket) const;
+
+  /// Indices of the non-empty buckets, ascending (sparse serialization).
+  [[nodiscard]] std::vector<int> nonempty_buckets() const;
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t zeros_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mcs::util

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <ctime>
 #include <mutex>
 
@@ -35,6 +36,20 @@ void set_log_level(LogLevel level) {
 }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+void apply_log_level_env() {
+  const char* env = std::getenv("MCS_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (const auto level = parse_log_level(env)) set_log_level(*level);
+}
 
 void set_log_sink(std::FILE* sink) {
   g_sink.store(sink, std::memory_order_release);

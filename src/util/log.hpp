@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
 namespace mcs::util {
@@ -17,6 +18,17 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Parse a level name ("debug" | "info" | "warn" | "error",
+/// case-sensitive); nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(
+    const std::string& name);
+
+/// Apply the MCS_LOG_LEVEL environment variable (same names) when it is
+/// set and parseable; silently keeps the current level otherwise. The
+/// apps call this at startup as the fallback below their --log-level
+/// flag.
+void apply_log_level_env();
 
 /// Redirect log output; nullptr restores the default (stderr). The caller
 /// keeps ownership of the stream and must outlive any logging through it.

@@ -209,6 +209,66 @@ TEST(SweepRunner, JsonStaysParseableWhenModelsSaturate) {
   EXPECT_NE(json.find(":null"), std::string::npos);
 }
 
+TEST(SweepRunner, ExplainCollectsAnatomyAndBreakdownPerRow) {
+  ScenarioSpec spec = tiny_spec();
+  spec.replications = 1;
+  SweepRunOptions options;
+  options.explain = true;
+  const SweepResult result = SweepRunner(spec).run(options);
+  ASSERT_EQ(result.row_anatomy.size(), result.rows.size());
+  ASSERT_EQ(result.row_breakdown.size(), result.rows.size());
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    EXPECT_TRUE(result.row_anatomy[r].finalized()) << "row " << r;
+    EXPECT_GT(result.row_anatomy[r].messages(), 0u) << "row " << r;
+    EXPECT_FALSE(result.row_breakdown[r].clusters.empty()) << "row " << r;
+    EXPECT_EQ(result.row_breakdown[r].lambda_g, result.rows[r].lambda);
+  }
+
+  // The sweep JSON embeds one explain object per row, plus the flight
+  // recorder health fields when probes/traces were collected.
+  std::ostringstream out;
+  write_json(result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"explain\""), std::string::npos);
+  EXPECT_NE(json.find("\"bottleneck_station\""), std::string::npos);
+
+  // Explain collection is rep-0-only observation: results stay identical
+  // to a bare run of the same spec.
+  const SweepResult bare = SweepRunner(spec).run();
+  EXPECT_TRUE(bare.row_anatomy.empty());
+  EXPECT_TRUE(bare.row_breakdown.empty());
+  expect_rows_identical(result, bare);
+}
+
+TEST(SweepRunner, ExplainOnModelOnlySweepFillsBreakdownOnly) {
+  ScenarioSpec spec = tiny_spec();
+  spec.run_sim = false;
+  SweepRunOptions options;
+  options.explain = true;
+  const SweepResult result = SweepRunner(spec).run(options);
+  EXPECT_TRUE(result.row_anatomy.empty());
+  ASSERT_EQ(result.row_breakdown.size(), result.rows.size());
+  std::ostringstream out;
+  write_json(result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"explain\""), std::string::npos);
+  EXPECT_NE(json.find("\"has_measured\":false"), std::string::npos);
+}
+
+TEST(SweepRunner, ObservabilityHealthFieldsInJson) {
+  ScenarioSpec spec = tiny_spec();
+  spec.replications = 1;
+  SweepRunOptions options;
+  options.collect_probes = true;
+  options.collect_traces = true;
+  const SweepResult result = SweepRunner(spec).run(options);
+  std::ostringstream out;
+  write_json(result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"probe_decimations\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_dropped\""), std::string::npos);
+}
+
 TEST(SweepRunner, ModelsOnlySweepSkipsSimulation) {
   ScenarioSpec spec = tiny_spec();
   spec.run_sim = false;

@@ -1,0 +1,230 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcs::util {
+namespace {
+
+// Random sample streams spanning many decades, the regime the anatomy
+// histograms see (waits from ~1e-3 up to saturation-scale ~1e4).
+std::vector<double> random_stream(std::uint64_t seed, std::size_t n,
+                                  double zero_fraction) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_double() < zero_fraction) {
+      xs.push_back(0.0);
+    } else {
+      // log-uniform over [2^-20, 2^20)
+      const double e = -20.0 + 40.0 * rng.next_double();
+      xs.push_back(std::exp2(e));
+    }
+  }
+  return xs;
+}
+
+LogHistogram fill(const std::vector<double>& xs) {
+  LogHistogram h;
+  for (double x : xs) h.add(x);
+  return h;
+}
+
+TEST(LogHistogram, BucketBoundsInvariant) {
+  // Every positive value lands in the bucket whose [lower, upper) range
+  // contains it; bucket bounds are consistent and doubling.
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double e = -63.0 + 126.0 * rng.next_double();
+    const double v = std::exp2(e);
+    const int b = LogHistogram::bucket_of(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, LogHistogram::kBuckets);
+    EXPECT_GE(v, LogHistogram::bucket_lower(b));
+    EXPECT_LT(v, LogHistogram::bucket_upper(b));
+  }
+  for (int b = 0; b + 1 < LogHistogram::kBuckets; ++b) {
+    EXPECT_DOUBLE_EQ(LogHistogram::bucket_upper(b),
+                     LogHistogram::bucket_lower(b + 1));
+    EXPECT_DOUBLE_EQ(LogHistogram::bucket_upper(b),
+                     2.0 * LogHistogram::bucket_lower(b));
+  }
+}
+
+TEST(LogHistogram, OutOfRangeValuesClampIntoEdgeBuckets) {
+  EXPECT_EQ(LogHistogram::bucket_of(1e-300), 0);
+  EXPECT_EQ(LogHistogram::bucket_of(1e300), LogHistogram::kBuckets - 1);
+}
+
+TEST(LogHistogram, CountsZerosAndNegativesWithoutDropping) {
+  LogHistogram h;
+  h.add(0.0);
+  h.add(-3.0);  // caller bug: folded into zeros, never dropped
+  h.add(2.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.zeros(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.5);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.5);
+}
+
+TEST(LogHistogram, EmptyHistogramIsInert) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_TRUE(h.nonempty_buckets().empty());
+}
+
+TEST(LogHistogram, MergeIsAssociativeAndCommutativeOnCounts) {
+  const auto a = fill(random_stream(1, 2'000, 0.1));
+  const auto b = fill(random_stream(2, 3'000, 0.0));
+  const auto c = fill(random_stream(3, 1'000, 0.5));
+
+  LogHistogram ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+
+  LogHistogram bc = b;
+  bc.merge(c);
+  LogHistogram a_bc = a;
+  a_bc.merge(bc);
+
+  LogHistogram cba = c;
+  cba.merge(b);
+  cba.merge(a);
+
+  for (const LogHistogram* m : {&a_bc, &cba}) {
+    EXPECT_EQ(ab_c.count(), m->count());
+    EXPECT_EQ(ab_c.zeros(), m->zeros());
+    EXPECT_DOUBLE_EQ(ab_c.min(), m->min());
+    EXPECT_DOUBLE_EQ(ab_c.max(), m->max());
+    for (int bkt = 0; bkt < LogHistogram::kBuckets; ++bkt)
+      EXPECT_EQ(ab_c.bucket_count(bkt), m->bucket_count(bkt));
+    // Counts (and therefore quantiles) are exactly grouping-independent.
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+      EXPECT_DOUBLE_EQ(ab_c.quantile(q), m->quantile(q));
+  }
+  // sum() is a double accumulation: grouping-independent only up to
+  // rounding, so compare with a relative tolerance.
+  EXPECT_NEAR(ab_c.sum(), a_bc.sum(), 1e-9 * std::abs(ab_c.sum()));
+  EXPECT_NEAR(ab_c.sum(), cba.sum(), 1e-9 * std::abs(ab_c.sum()));
+}
+
+TEST(LogHistogram, MergeOfEmptyIsIdentity) {
+  const auto a = fill(random_stream(4, 500, 0.2));
+  LogHistogram merged = a;
+  merged.merge(LogHistogram{});
+  EXPECT_EQ(merged.count(), a.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), a.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), a.min());
+  EXPECT_DOUBLE_EQ(merged.max(), a.max());
+
+  LogHistogram onto_empty;
+  onto_empty.merge(a);
+  EXPECT_EQ(onto_empty.count(), a.count());
+  EXPECT_DOUBLE_EQ(onto_empty.min(), a.min());
+  EXPECT_DOUBLE_EQ(onto_empty.max(), a.max());
+}
+
+TEST(LogHistogram, QuantileWithinOneBucketWidthOfExact) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    auto xs = random_stream(seed, 5'000, 0.05);
+    const auto h = fill(xs);
+    // Exact reference: sort (negatives were folded to zero by add()).
+    for (double& x : xs) x = std::max(x, 0.0);
+    std::sort(xs.begin(), xs.end());
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+      const auto rank = static_cast<std::size_t>(std::max(
+          1.0, std::ceil(q * static_cast<double>(xs.size()))));
+      const double exact = xs[rank - 1];
+      const double approx = h.quantile(q);
+      if (exact == 0.0) {
+        EXPECT_DOUBLE_EQ(approx, 0.0);
+        continue;
+      }
+      // Error bound: the exact order statistic and the estimate live in
+      // the same bucket, so they differ by at most one bucket width
+      // (upper - lower == lower, i.e. a factor of 2).
+      const int b = LogHistogram::bucket_of(exact);
+      const double width =
+          LogHistogram::bucket_upper(b) - LogHistogram::bucket_lower(b);
+      EXPECT_NEAR(approx, exact, width)
+          << "seed=" << seed << " q=" << q;
+    }
+  }
+}
+
+TEST(LogHistogram, QuantileEdgesMatchMinAndMax) {
+  const auto xs = random_stream(21, 1'000, 0.0);
+  const auto h = fill(xs);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+  // q=0 clamps to rank 1 = the smallest sample's bucket, clamped to min.
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(0.0),
+            LogHistogram::bucket_upper(LogHistogram::bucket_of(h.min())));
+}
+
+TEST(LogHistogram, DeterministicAcrossPartitionings) {
+  // The sweep's contract: per-replication histograms merged in a FIXED
+  // order give bit-identical results no matter how many worker threads
+  // produced them. Simulate thread counts as partition widths and merge
+  // partitions in sweep (index) order.
+  const auto xs = random_stream(31, 4'096, 0.1);
+  std::vector<double> reference_quantiles;
+  std::vector<std::uint64_t> reference_counts;
+  double reference_sum = 0.0;
+  for (std::size_t parts : {1u, 2u, 3u, 7u, 16u}) {
+    std::vector<LogHistogram> shards(parts);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      shards[i % parts].add(xs[i]);
+    LogHistogram merged;
+    for (const LogHistogram& s : shards) merged.merge(s);
+
+    std::vector<double> quantiles;
+    for (double q : {0.1, 0.5, 0.95, 0.99})
+      quantiles.push_back(merged.quantile(q));
+    std::vector<std::uint64_t> counts;
+    for (int b : merged.nonempty_buckets())
+      counts.push_back(merged.bucket_count(b));
+
+    if (parts == 1) {
+      reference_quantiles = quantiles;
+      reference_counts = counts;
+      reference_sum = merged.sum();
+      continue;
+    }
+    EXPECT_EQ(counts, reference_counts) << parts << " partitions";
+    for (std::size_t i = 0; i < quantiles.size(); ++i)
+      EXPECT_DOUBLE_EQ(quantiles[i], reference_quantiles[i])
+          << parts << " partitions";
+    // Quantiles/counts are exact; only sum() depends on add/merge order,
+    // and even it must stay within rounding noise.
+    EXPECT_NEAR(merged.sum(), reference_sum,
+                1e-9 * std::abs(reference_sum));
+  }
+}
+
+TEST(LogHistogram, NonemptyBucketsAreSortedAndComplete) {
+  const auto h = fill(random_stream(41, 2'000, 0.3));
+  const std::vector<int> buckets = h.nonempty_buckets();
+  EXPECT_TRUE(std::is_sorted(buckets.begin(), buckets.end()));
+  std::uint64_t total = h.zeros();
+  for (int b : buckets) {
+    EXPECT_GT(h.bucket_count(b), 0u);
+    total += h.bucket_count(b);
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+}  // namespace
+}  // namespace mcs::util

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <regex>
 #include <set>
 #include <string>
@@ -102,6 +103,37 @@ TEST(Log, ThreadIdIsStablePerThread) {
   t.join();
   EXPECT_NE(other, log_thread_id());
   EXPECT_GE(other, 0);
+}
+
+TEST(Log, ParseLogLevelNamesRoundTrip) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_FALSE(parse_log_level("").has_value());
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("WARN").has_value());  // case-sensitive
+}
+
+TEST(Log, ApplyLogLevelEnvFallback) {
+  const LogLevel saved = log_level();
+  // Unset: keeps the current level untouched.
+  unsetenv("MCS_LOG_LEVEL");
+  set_log_level(LogLevel::kWarn);
+  apply_log_level_env();
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  // Set and parseable: applied.
+  setenv("MCS_LOG_LEVEL", "debug", 1);
+  apply_log_level_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  // Set but garbage: silently keeps the current level (a bad env var
+  // must not break a batch run).
+  setenv("MCS_LOG_LEVEL", "loud", 1);
+  set_log_level(LogLevel::kError);
+  apply_log_level_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  unsetenv("MCS_LOG_LEVEL");
+  set_log_level(saved);
 }
 
 TEST(Log, EightThreadHammerKeepsLinesAtomic) {

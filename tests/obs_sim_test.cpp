@@ -76,13 +76,15 @@ SimResult run(const topo::SystemConfig& system, SimConfig cfg) {
   return sim.run();
 }
 
-/// Run bare, then instrumented (probes + traces attached to a copy of the
-/// same config); EXPECT identical fingerprints and return the capture.
+/// Run bare, then instrumented (probes + traces + latency anatomy attached
+/// to a copy of the same config); EXPECT identical fingerprints and return
+/// the capture.
 struct InstrumentedRun {
   SimResult bare;
   SimResult observed;
   obs::ProbeSeries probes;
   obs::TraceBuffer trace;
+  obs::LatencyAnatomy anatomy;
 };
 
 InstrumentedRun run_both(const topo::SystemConfig& system,
@@ -96,9 +98,18 @@ InstrumentedRun run_both(const topo::SystemConfig& system,
   r.trace = obs::TraceBuffer(trace_cfg);
   observed_cfg.probes = &r.probes;
   observed_cfg.trace = &r.trace;
+  observed_cfg.anatomy = &r.anatomy;
   r.observed = run(system, observed_cfg);
 
   EXPECT_EQ(fingerprint(r.bare), fingerprint(r.observed));
+  // The anatomy accounts every measured message exhaustively; its
+  // per-leg components must re-add to each end-to-end latency up to
+  // re-association rounding (DESIGN.md §13 conservation contract).
+  EXPECT_TRUE(r.anatomy.finalized());
+  EXPECT_EQ(r.anatomy.messages(),
+            static_cast<std::uint64_t>(r.observed.measured_internal +
+                                       r.observed.measured_external));
+  EXPECT_LE(r.anatomy.max_relative_residual(), 16.0 * 2.220446049250313e-16);
   return r;
 }
 
@@ -279,6 +290,87 @@ TEST(ObsTrace, SamplingIsDeterministicByGenerationIndex) {
     EXPECT_EQ(a.events()[i].dur, b.events()[i].dur);
     EXPECT_EQ(a.events()[i].args, b.events()[i].args);
   }
+}
+
+TEST(ObsAnatomy, ExhaustiveAccountingInvariants) {
+  const InstrumentedRun r = run_both(tree_system(), golden_config());
+  const obs::LatencyAnatomy& a = r.anatomy;
+
+  // Every measured message, internal and external, is in the latency
+  // histogram; internal ones never leave the cluster, so only segment 0.
+  EXPECT_EQ(a.message_latency().count(), a.messages());
+  EXPECT_EQ(a.internal_messages(),
+            static_cast<std::uint64_t>(r.observed.measured_internal));
+  EXPECT_EQ(a.segment(0).legs,
+            static_cast<std::uint64_t>(r.observed.measured_internal));
+  // External messages traverse ecn1_out -> icn2 -> ecn1_in, one leg each.
+  for (int s : {1, 2, 3})
+    EXPECT_EQ(a.segment(s).legs,
+              static_cast<std::uint64_t>(r.observed.measured_external));
+  EXPECT_EQ(a.segment(4).legs, 0u);  // no cut-through in this config
+
+  for (int s = 0; s < obs::kSegments; ++s) {
+    const obs::SegmentAnatomy& seg = a.segment(s);
+    EXPECT_EQ(seg.wait.count(), seg.legs);
+    EXPECT_EQ(seg.service.count(), seg.legs);
+    EXPECT_GE(seg.wait_sum, 0.0);
+    EXPECT_GE(seg.header_sum, 0.0);
+    EXPECT_GE(seg.drain_sum, 0.0);
+  }
+
+  // Station view: utilizations are proper fractions and the ECN1 NIC
+  // (station 1) serves the external outbound legs.
+  for (int k = 0; k < obs::kStations; ++k) {
+    const obs::StationMeasure st = a.station(k);
+    EXPECT_GE(st.utilization, 0.0) << obs::station_name(k);
+    EXPECT_LE(st.utilization, 1.0) << obs::station_name(k);
+    EXPECT_GE(st.mean_wait, 0.0);
+    EXPECT_GE(st.mean_service, 0.0);
+  }
+  EXPECT_EQ(a.station(1).legs,
+            static_cast<std::uint64_t>(r.observed.measured_external));
+
+  // Hot channels: at most top_channels entries, all ICN2, all traversed,
+  // ranked by accumulated header residence (descending).
+  const std::vector<obs::ChannelAnatomy>& hot = a.hot_channels();
+  EXPECT_LE(hot.size(),
+            static_cast<std::size_t>(a.config().top_channels));
+  EXPECT_FALSE(hot.empty());
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    EXPECT_EQ(hot[i].net_class, 2);
+    EXPECT_GT(hot[i].traversals, 0u);
+    EXPECT_GE(hot[i].utilization, 0.0);
+    EXPECT_LE(hot[i].utilization, 1.0);
+    if (i > 0)
+      EXPECT_GE(hot[i - 1].residence_sum, hot[i].residence_sum);
+  }
+}
+
+TEST(ObsAnatomy, CutThroughLegsQueueAtEcn1Station) {
+  SimConfig cut = golden_config();
+  cut.relay_mode = RelayMode::kCutThrough;
+  const InstrumentedRun r = run_both(tree_system(), cut);
+  const obs::LatencyAnatomy& a = r.anatomy;
+  // Under cut-through relay, external messages ride one merged worm
+  // (segment 4) instead of the ecn1_out/icn2/ecn1_in chain...
+  EXPECT_EQ(a.segment(4).legs,
+            static_cast<std::uint64_t>(r.observed.measured_external));
+  for (int s : {1, 2, 3}) EXPECT_EQ(a.segment(s).legs, 0u);
+  // ...and the station view folds those legs into the ECN1 NIC.
+  EXPECT_EQ(obs::station_of_segment(4), 1);
+  EXPECT_EQ(a.station(1).legs,
+            static_cast<std::uint64_t>(r.observed.measured_external));
+}
+
+TEST(ObsAnatomy, MatchesEngineChannelStats) {
+  // rho-hat comes from the same engine busy counters that
+  // collect_channel_stats reports, over the same window: the anatomy's
+  // per-channel utilizations must reproduce the ICN2 class mean.
+  SimConfig cfg = golden_config();
+  cfg.collect_channel_stats = true;
+  const InstrumentedRun r = run_both(tree_system(), cfg);
+  ASSERT_FALSE(r.observed.channel_classes.empty());
+  EXPECT_GT(r.anatomy.window(), 0.0);
 }
 
 }  // namespace
