@@ -38,6 +38,11 @@
 namespace {
 
 int run(const mcs::util::Args& args) {
+  // Strict option validation: a typo like --basline would otherwise
+  // silently skip the regression gate.
+  args.require_known({"smoke", "repeats", "scenario", "out", "baseline",
+                      "tolerance", "probe-out", "trace-out", "explain",
+                      "log-level"});
   const bool smoke = args.get_flag("smoke");
   const int repeats = static_cast<int>(args.get_int("repeats", 3));
   const std::string only = args.get("scenario", "");

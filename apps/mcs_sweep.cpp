@@ -12,6 +12,9 @@
 //   --threads=N       worker threads (default: hardware concurrency)
 //   --csv=PATH        write the result table as CSV
 //   --json=PATH       write the result table as JSON
+//   --stable-json     omit the volatile run metadata (threads, timings,
+//                     manifest, task stats) from --json so two runs with
+//                     identical rows write byte-identical documents
 //   --seed=S          override the scenario seed
 //   --replications=R  override the scenario replication count
 //   --warmup=N --measured=N  override the simulation phases
@@ -27,6 +30,26 @@
 //   --quiet           suppress the table (summary only)
 //   --progress        log a progress/ETA heartbeat while the grid runs
 //                     (implies log level info)
+//
+// Production campaign service (DESIGN.md §14):
+//
+//   --cache=DIR       content-hash result cache: rows whose digest
+//                     (scenario point + seed + flags + binary
+//                     fingerprint) is already stored are restored
+//                     bit-identically without simulating; fresh rows are
+//                     stored back
+//   --checkpoint=PATH journal every completed row (atomic
+//                     write-temp-then-rename), so an interrupted campaign
+//                     loses at most the rows in flight
+//   --resume          preload --checkpoint's journal and skip the rows it
+//                     records
+//   --shard=I/N       run only the grid rows with grid_index % N == I;
+//                     mcs_merge joins the shards' journals back into the
+//                     full grid, byte-identical to an unsharded run
+//
+// Flight recorder (incompatible with the campaign service — a restored
+// row has nothing to observe):
+//
 //   --probe-out=PATH  flight recorder: attach time-series probes to
 //                     replication 0 of every row and write them all to
 //                     PATH (.json selects JSON, anything else CSV); the
@@ -57,8 +80,9 @@
 //                     give every system's ICN2 its own channel timing
 //                     (a distinct backbone technology)
 //
-// An unknown scenario name fails with closest-match suggestions over the
-// bundled and on-disk scenario names.
+// Unknown options and unknown scenario names both fail with
+// closest-match suggestions (a typo like --find-saturaton must never
+// silently run a different experiment).
 //
 // Results are bit-identical for any --threads value, including 1: every
 // simulation task derives its seed from the scenario seed and its grid
@@ -67,7 +91,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -93,132 +116,35 @@ int list_scenarios() {
   return 0;
 }
 
-/// Scenario names a bare argument could have meant: the bundled
-/// scenarios/ directory plus any .ini files in the working directory.
-std::vector<std::string> known_scenario_names() {
-  std::vector<std::string> names;
-  for (const std::string& dir :
-       {mcs::exp::default_scenario_dir(), std::string(".")}) {
-    std::error_code ec;
-    for (const auto& entry : fs::directory_iterator(dir, ec))
-      if (entry.path().extension() == ".ini")
-        names.push_back(entry.path().stem().string());
-  }
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
-}
-
-std::string resolve_scenario_path(const std::string& arg) {
-  const bool looks_like_path =
-      arg.find('/') != std::string::npos ||
-      (arg.size() > 4 && arg.substr(arg.size() - 4) == ".ini");
-  if (!looks_like_path) {
-    const fs::path candidate =
-        fs::path(mcs::exp::default_scenario_dir()) / (arg + ".ini");
-    if (fs::exists(candidate)) return candidate.string();
-    if (fs::exists(arg + ".ini")) return arg + ".ini";
-    std::string message = "unknown scenario '" + arg + "'";
-    const std::vector<std::string> close =
-        mcs::util::closest_matches(arg, known_scenario_names());
-    if (!close.empty()) {
-      message += "; did you mean";
-      for (std::size_t i = 0; i < close.size(); ++i)
-        message += (i == 0 ? " '" : ", '") + close[i] + "'";
-      message += "?";
-    }
-    message += " (mcs_sweep --list shows all scenarios)";
-    throw mcs::ConfigError(message);
-  }
-  return arg;  // load_scenario reports unreadable paths
-}
-
-/// Apply the --icn2* flag overrides to every [system] in the spec.
-void apply_icn2_overrides(const mcs::util::Args& args,
-                          mcs::exp::ScenarioSpec& spec) {
-  const std::string kind = args.get("icn2", "");
-  const long degree = args.get_int("icn2-degree", -1);
-  const long switches = args.get_int("icn2-switches", -1);
-  const long seed = args.get_int("icn2-seed", -1);
-  if (kind.empty() && degree < 0 && switches < 0 && seed < 0) return;
-
-  for (mcs::exp::SystemEntry& system : spec.systems) {
-    mcs::topo::Icn2Config& icn2 = system.config.icn2;
-    if (!kind.empty() &&
-        !mcs::topo::parse_icn2_kind(kind, icn2.kind, icn2.torus_wrap))
-      throw mcs::ConfigError("--icn2: unknown kind '" + kind + "'");
-    if (degree >= 0) icn2.degree = static_cast<int>(degree);
-    if (switches >= 0) icn2.switches = static_cast<int>(switches);
-    if (seed >= 0) icn2.seed = static_cast<std::uint64_t>(seed);
-  }
-}
-
-/// Apply the heterogeneity flag overrides (--load-scale, --icn2-*-net/-sw
-/// channel timing) to every [system] in the spec.
-void apply_hetero_overrides(const mcs::util::Args& args,
-                            mcs::exp::ScenarioSpec& spec) {
-  // Presence is decided with Args::has, and present-but-invalid (empty,
-  // negative, non-numeric) is an error — never a silent fall-through to
-  // the "unset" sentinel (the same footgun the scenario parser rejects
-  // in [icn2_params]).
-  const auto icn2_field = [&](const char* name, bool strictly_positive) {
-    if (!args.has(name)) return -1.0;  // flag absent: inherit
-    const std::string raw = args.get(name, "");
+/// Parse --shard=I/N into (shard_index, shard_count).
+void parse_shard(const std::string& raw, mcs::exp::SweepRunOptions& options) {
+  const std::size_t slash = raw.find('/');
+  bool ok = slash != std::string::npos && slash > 0 &&
+            slash + 1 < raw.size();
+  if (ok) {
     char* end = nullptr;
-    const double v = std::strtod(raw.c_str(), &end);
-    const bool numeric = !raw.empty() && end == raw.c_str() + raw.size();
-    const bool ok = numeric && (strictly_positive ? v > 0.0 : v >= 0.0);
-    if (!ok)
-      throw mcs::ConfigError(std::string("--") + name + " must be " +
-                             (strictly_positive ? "> 0" : ">= 0") +
-                             ", got '" + raw + "'");
-    return v;
-  };
-  mcs::model::NetworkParamsOverride icn2_net;
-  icn2_net.alpha_net = icn2_field("icn2-alpha-net", false);
-  icn2_net.alpha_sw = icn2_field("icn2-alpha-sw", false);
-  icn2_net.beta_net = icn2_field("icn2-beta-net", true);
-  const std::string scales = args.get("load-scale", "");
-  if (args.has("load-scale") && scales.empty())
-    throw mcs::ConfigError("--load-scale: empty list");
-  if (scales.empty() && !icn2_net.any()) return;
-
-  std::vector<double> scale_list;
-  if (!scales.empty()) {
-    // std::getline drops a trailing separator's empty token, which would
-    // silently turn an intended list into a broadcast — reject it.
-    if (scales.back() == ',')
-      throw mcs::ConfigError("--load-scale: trailing comma in '" + scales +
-                             "'");
-    std::istringstream in(scales);
-    std::string item;
-    while (std::getline(in, item, ',')) {
-      char* end = nullptr;
-      const double v = std::strtod(item.c_str(), &end);
-      if (end == item.c_str() || *end != '\0' || !(v > 0.0))
-        throw mcs::ConfigError(
-            "--load-scale: expected positive numbers, got '" + item + "'");
-      scale_list.push_back(v);
-    }
-    if (scale_list.empty())
-      throw mcs::ConfigError("--load-scale: empty list");
+    const std::string index = raw.substr(0, slash);
+    const std::string count = raw.substr(slash + 1);
+    options.shard_index =
+        static_cast<int>(std::strtol(index.c_str(), &end, 10));
+    ok = end == index.c_str() + index.size();
+    options.shard_count =
+        static_cast<int>(std::strtol(count.c_str(), &end, 10));
+    ok = ok && end == count.c_str() + count.size();
   }
+  if (!ok)
+    throw mcs::ConfigError("--shard: expected I/N (e.g. --shard=0/3), got '" +
+                           raw + "'");
+}
 
-  for (mcs::exp::SystemEntry& system : spec.systems) {
-    const auto clusters =
-        static_cast<std::size_t>(system.config.cluster_count());
-    if (scale_list.size() == 1) {
-      system.config.load_scale.assign(clusters, scale_list.front());
-    } else if (!scale_list.empty()) {
-      if (scale_list.size() != clusters)
-        throw mcs::ConfigError(
-            "--load-scale: got " + std::to_string(scale_list.size()) +
-            " entries but system '" + system.id + "' has " +
-            std::to_string(clusters) + " clusters");
-      system.config.load_scale = scale_list;
-    }
-    if (icn2_net.any()) system.config.icn2_net = icn2_net;
-  }
+std::vector<std::string> known_options() {
+  std::vector<std::string> names = {
+      "list",      "threads",   "csv",        "json",     "stable-json",
+      "quiet",     "progress",  "probe-out",  "trace-out", "explain",
+      "log-level", "cache",     "checkpoint", "resume",    "shard"};
+  for (const std::string& name : mcs::exp::spec_flag_names())
+    names.push_back(name);
+  return names;
 }
 
 }  // namespace
@@ -226,35 +152,32 @@ void apply_hetero_overrides(const mcs::util::Args& args,
 int main(int argc, char** argv) {
   const mcs::util::Args args(argc, argv);
 
+  try {
+    args.require_known(known_options());
+  } catch (const mcs::ConfigError& e) {
+    std::fprintf(stderr, "mcs_sweep: %s\n", e.what());
+    return 2;
+  }
+
   if (args.get_flag("list")) return list_scenarios();
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: mcs_sweep <scenario.ini | name> [--threads=N] "
-                 "[--csv=PATH] [--json=PATH] [--no-sim] [--quiet] ...\n"
+                 "[--csv=PATH] [--json=PATH] [--no-sim] [--quiet]\n"
+                 "       [--cache=DIR] [--checkpoint=PATH] [--resume] "
+                 "[--shard=I/N] ...\n"
                  "       mcs_sweep --list\n");
     return 2;
   }
 
   try {
-    const std::string path = resolve_scenario_path(args.positional().front());
+    const std::string path = mcs::exp::resolve_scenario_path(
+        args.positional().front(), "mcs_sweep");
     mcs::exp::ScenarioSpec spec = mcs::exp::load_scenario(path);
 
-    // Flag overrides on top of the file.
-    spec.seed = static_cast<std::uint64_t>(
-        args.get_int("seed", static_cast<long>(spec.seed)));
-    spec.replications =
-        static_cast<int>(args.get_int("replications", spec.replications));
-    if (args.get_flag("paper-scale")) {
-      spec.warmup = 10'000;
-      spec.measured = 100'000;
-    }
-    spec.warmup = args.get_int("warmup", spec.warmup);
-    spec.measured = args.get_int("measured", spec.measured);
-    if (args.get_flag("no-sim")) spec.run_sim = false;
-    if (args.get_flag("knee")) spec.find_knee = true;
-    if (args.get_flag("find-saturation")) spec.find_sim_saturation = true;
-    apply_icn2_overrides(args, spec);
-    apply_hetero_overrides(args, spec);
+    // Flag overrides on top of the file (shared with mcs_merge, which
+    // must shape the spec identically for the digests to line up).
+    mcs::exp::apply_spec_flags(args, spec);
     const bool explain = args.get_flag("explain") || spec.explain;
 
     mcs::exp::SweepRunner runner(std::move(spec));
@@ -262,6 +185,10 @@ int main(int argc, char** argv) {
     options.threads = static_cast<int>(args.get_int("threads", 0));
     options.progress = args.get_flag("progress");
     options.explain = explain;
+    options.cache_dir = args.get("cache", "");
+    options.checkpoint_path = args.get("checkpoint", "");
+    options.resume = args.get_flag("resume");
+    if (args.has("shard")) parse_shard(args.get("shard", ""), options);
     const std::string probe_out = args.get("probe-out", "");
     const std::string trace_out = args.get("trace-out", "");
     options.collect_probes = !probe_out.empty();
@@ -354,16 +281,22 @@ int main(int argc, char** argv) {
     }
     const std::string json_path = args.get("json", "");
     if (!json_path.empty()) {
-      mcs::exp::write_json_file(result, json_path);
+      mcs::exp::write_json_file(result, json_path,
+                                args.get_flag("stable-json"));
       std::printf("wrote %s\n", json_path.c_str());
     }
 
+    std::string shard_note;
+    if (result.shard_count > 1)
+      shard_note = " [shard " + std::to_string(result.shard_index) + "/" +
+                   std::to_string(result.shard_count) + " of " +
+                   std::to_string(result.grid_size) + " grid rows]";
     std::printf(
-        "%s: %zu grid rows, %lld sim runs on %d threads in %.2fs"
-        " (%d saturated/non-stationary points)\n",
-        result.name.c_str(), result.rows.size(),
+        "%s: %zu grid rows (%d restored from cache/journal), %lld sim runs "
+        "on %d threads in %.2fs (%d saturated/non-stationary points)%s\n",
+        result.name.c_str(), result.rows.size(), result.cached_rows,
         static_cast<long long>(result.sim_tasks), result.threads,
-        result.wall_seconds, result.saturated_points);
+        result.wall_seconds, result.saturated_points, shard_note.c_str());
     return 0;
   } catch (const mcs::ConfigError& e) {
     std::fprintf(stderr, "mcs_sweep: %s\n", e.what());

@@ -16,9 +16,12 @@
 //   auto measured = sim.run();
 #pragma once
 
+#include "exp/checkpoint.hpp"
 #include "exp/explain.hpp"
+#include "exp/result_cache.hpp"
 #include "exp/saturation_search.hpp"
 #include "exp/scenario.hpp"
+#include "exp/scenario_cli.hpp"
 #include "exp/sweep.hpp"
 #include "exp/sweep_io.hpp"
 #include "exp/thread_pool.hpp"
@@ -52,9 +55,11 @@
 #include "topology/routing.hpp"
 #include "topology/torus.hpp"
 #include "topology/tree_math.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/histogram.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"

@@ -1,0 +1,167 @@
+#include "exp/checkpoint.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "exp/result_cache.hpp"
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+namespace mcs::exp {
+
+namespace {
+
+constexpr const char* kMagic = "mcs-journal";
+constexpr const char* kVersion = "v1";
+
+[[noreturn]] void malformed(const std::string& path,
+                            const std::string& what) {
+  throw ConfigError("journal '" + path + "': " + what);
+}
+
+}  // namespace
+
+std::optional<Journal> load_journal(const std::string& path) {
+  const std::optional<std::string> text = util::read_file(path);
+  if (!text) return std::nullopt;
+
+  std::istringstream in(*text);
+  std::string line;
+
+  if (!std::getline(in, line) || line != std::string(kMagic) + " " + kVersion)
+    malformed(path, "bad header (expected '" + std::string(kMagic) + " " +
+                        kVersion + "')");
+
+  Journal journal;
+  if (!std::getline(in, line) || line.rfind("scenario ", 0) != 0)
+    malformed(path, "missing scenario line");
+  journal.scenario = line.substr(9);
+
+  if (!std::getline(in, line)) malformed(path, "missing shard line");
+  {
+    std::istringstream shard(line);
+    std::string tag;
+    if (!(shard >> tag >> journal.shard_index >> journal.shard_count) ||
+        tag != "shard" || journal.shard_count < 1 ||
+        journal.shard_index < 0 ||
+        journal.shard_index >= journal.shard_count)
+      malformed(path, "bad shard line '" + line + "'");
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string tag;
+    JournalEntry entry;
+    if (!(row >> tag >> entry.grid_index >> entry.digest) || tag != "row")
+      malformed(path, "bad row line '" + line + "'");
+    std::getline(row, entry.payload);
+    // Strip the single separating space; what remains is the payload
+    // verbatim (it contains spaces itself).
+    if (!entry.payload.empty() && entry.payload.front() == ' ')
+      entry.payload.erase(0, 1);
+    if (entry.payload.empty()) malformed(path, "row without payload");
+    journal.entries.push_back(std::move(entry));
+  }
+  return journal;
+}
+
+CheckpointWriter::CheckpointWriter(std::string path, std::string scenario,
+                                   int shard_index, int shard_count)
+    : path_(std::move(path)),
+      scenario_(std::move(scenario)),
+      shard_index_(shard_index),
+      shard_count_(shard_count) {}
+
+void CheckpointWriter::add(std::int64_t grid_index,
+                           const std::string& digest,
+                           const std::string& payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_[grid_index] = JournalEntry{grid_index, digest, payload};
+  rewrite_locked();
+}
+
+void CheckpointWriter::add_batch(const std::vector<JournalEntry>& entries) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const JournalEntry& entry : entries)
+    entries_[entry.grid_index] = entry;
+  rewrite_locked();
+}
+
+void CheckpointWriter::rewrite_locked() {
+  std::string text = std::string(kMagic) + " " + kVersion + "\n";
+  text += "scenario " + scenario_ + "\n";
+  text += "shard " + std::to_string(shard_index_) + " " +
+          std::to_string(shard_count_) + "\n";
+  for (const auto& [index, entry] : entries_) {
+    text += "row " + std::to_string(index) + " " + entry.digest + " " +
+            entry.payload + "\n";
+  }
+  util::write_file_atomic(path_, text);
+}
+
+SweepResult merge_journals(const SweepRunner& runner,
+                           const std::vector<std::string>& paths,
+                           const std::string& fingerprint) {
+  if (paths.empty()) throw ConfigError("merge: no journals given");
+
+  // Pool every journal entry, keyed by content digest. The digest ties an
+  // entry to the exact (scenario point, seed, flags, binary) that
+  // produced it, so entries from an unrelated campaign can never be
+  // matched by accident — they just leave grid rows uncovered.
+  std::unordered_map<std::string, const JournalEntry*> by_digest;
+  std::vector<Journal> journals;
+  journals.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::optional<Journal> journal = load_journal(path);
+    if (!journal) throw ConfigError("merge: cannot read journal '" + path + "'");
+    if (journal->scenario != runner.spec().name)
+      throw ConfigError("merge: journal '" + path + "' records scenario '" +
+                        journal->scenario + "', expected '" +
+                        runner.spec().name + "'");
+    journals.push_back(std::move(*journal));
+  }
+  for (const Journal& journal : journals)
+    for (const JournalEntry& entry : journal.entries)
+      by_digest.emplace(entry.digest, &entry);
+
+  SweepPlan plan = runner.plan(fingerprint);
+  SweepResult result;
+  result.name = runner.spec().name;
+  result.manifest = obs::RunManifest::begin();
+  result.rows = std::move(plan.rows);
+  result.grid_size = static_cast<std::int64_t>(result.rows.size());
+
+  std::int64_t missing = 0;
+  std::int64_t first_missing = -1;
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    const auto it = by_digest.find(plan.digests[r]);
+    if (it == by_digest.end()) {
+      ++missing;
+      if (first_missing < 0)
+        first_missing = result.rows[r].grid_index;
+      continue;
+    }
+    if (!decode_row_payload(it->second->payload, result.rows[r]))
+      throw ConfigError("merge: malformed payload for grid row " +
+                        std::to_string(result.rows[r].grid_index));
+  }
+  if (missing > 0)
+    throw ConfigError(
+        "merge: " + std::to_string(missing) + " of " +
+        std::to_string(result.rows.size()) +
+        " grid rows uncovered (first: grid_index " +
+        std::to_string(first_missing) +
+        ") — the campaign is incomplete, or the journals were produced "
+        "under different scenario flags or a different binary "
+        "(fingerprint mismatch)");
+
+  result.cached_rows = static_cast<int>(result.rows.size());
+  for (const SweepRow& row : result.rows)
+    if (row.sim_state != 0) ++result.saturated_points;
+  result.manifest.complete();
+  return result;
+}
+
+}  // namespace mcs::exp

@@ -1,0 +1,91 @@
+// Sweep checkpoint journals and the shard-merge operation (DESIGN.md §14).
+//
+// A journal is a line-oriented text file recording every completed row of
+// one sweep (or one shard of it):
+//
+//   mcs-journal v1
+//   scenario <name>
+//   shard <index> <count>
+//   row <grid_index> <digest> <payload>
+//
+// `digest` is the row's content-hash cache key (exp/result_cache.hpp) and
+// `payload` the rest of the line — the row's encode_row_payload record
+// (hexfloat doubles, so restoration is bit-exact). The file is rewritten
+// whole via write-temp-then-rename on every append, sorted by grid_index:
+// a reader never observes a torn journal, and two journals of the same
+// completed shard are byte-identical regardless of task scheduling.
+//
+// Journals serve two consumers: `mcs_sweep --resume` preloads one and
+// skips the recorded rows, and `mcs_merge` joins the journals of a
+// sharded campaign back into the full grid, byte-identical to an
+// unsharded run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+
+namespace mcs::exp {
+
+struct JournalEntry {
+  std::int64_t grid_index = 0;
+  std::string digest;   ///< content-hash cache key of the row
+  std::string payload;  ///< encode_row_payload record
+};
+
+struct Journal {
+  std::string scenario;
+  int shard_index = 0;
+  int shard_count = 1;
+  std::vector<JournalEntry> entries;  ///< grid_index order
+};
+
+/// Read `path`. Returns nullopt when the file does not exist; throws
+/// mcs::ConfigError on a malformed or version-mismatched journal.
+[[nodiscard]] std::optional<Journal> load_journal(const std::string& path);
+
+/// Incremental journal writer. add() is thread-safe (worker tasks call it
+/// the moment their row's last task finishes); every call rewrites the
+/// whole file atomically with the entries sorted by grid_index.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(std::string path, std::string scenario, int shard_index,
+                   int shard_count);
+
+  /// Record one completed row and persist the journal. Re-adding a
+  /// grid_index overwrites its entry (resume preloads then re-records).
+  void add(std::int64_t grid_index, const std::string& digest,
+           const std::string& payload);
+
+  /// Record a batch (resume preload) with a single file rewrite.
+  void add_batch(const std::vector<JournalEntry>& entries);
+
+ private:
+  void rewrite_locked();  ///< caller holds mutex_
+
+  std::mutex mutex_;
+  std::string path_;
+  std::string scenario_;
+  int shard_index_;
+  int shard_count_;
+  std::map<std::int64_t, JournalEntry> entries_;
+};
+
+/// Join shard journals into the full-grid SweepResult, equivalent to (and
+/// byte-identical with, across table/CSV/stable-JSON renderings) an
+/// unsharded run of `runner`'s scenario. Pure data join: rows are matched
+/// by content digest against runner.plan(fingerprint), so a journal
+/// produced under different scenario flags — or by a different binary —
+/// fails loudly instead of merging stale data. Throws mcs::ConfigError on
+/// a scenario-name mismatch, a malformed payload, or uncovered grid rows
+/// (incomplete campaign or fingerprint mismatch).
+[[nodiscard]] SweepResult merge_journals(
+    const SweepRunner& runner, const std::vector<std::string>& paths,
+    const std::string& fingerprint = {});
+
+}  // namespace mcs::exp

@@ -1,0 +1,46 @@
+// Scenario resolution and spec-shaping flags shared by the campaign
+// tools (mcs_sweep, mcs_merge). Extracted so both apps resolve a
+// scenario argument and apply flag overrides IDENTICALLY — the merge
+// tool must reconstruct exactly the spec a sharded sweep ran, or the
+// content digests will not line up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "util/cli.hpp"
+
+namespace mcs::exp {
+
+/// Scenario names a bare argument could have meant: the bundled
+/// scenarios/ directory plus any .ini files in the working directory.
+[[nodiscard]] std::vector<std::string> known_scenario_names();
+
+/// Resolve a positional scenario argument: a bare name (no '/' and no
+/// .ini suffix) is looked up in the bundled scenarios/ directory, then
+/// the working directory; anything path-like passes through. Throws
+/// mcs::ConfigError with closest-match suggestions on an unknown name.
+/// `tool` names the binary in the error's help hint.
+[[nodiscard]] std::string resolve_scenario_path(const std::string& arg,
+                                                const std::string& tool);
+
+/// Apply the --icn2* flag overrides to every [system] in the spec.
+void apply_icn2_overrides(const util::Args& args, ScenarioSpec& spec);
+
+/// Apply the heterogeneity flag overrides (--load-scale, --icn2-*-net/-sw
+/// channel timing) to every [system] in the spec.
+void apply_hetero_overrides(const util::Args& args, ScenarioSpec& spec);
+
+/// Apply every spec-shaping flag on top of the loaded file — seed,
+/// replications, phases (--warmup/--measured/--paper-scale), evaluation
+/// switches (--no-sim/--knee/--find-saturation) and the ICN2/heterogeneity
+/// overrides above. One entry point so mcs_sweep and mcs_merge can never
+/// drift.
+void apply_spec_flags(const util::Args& args, ScenarioSpec& spec);
+
+/// The spec-shaping flag names accepted by apply_spec_flags (for
+/// Args::require_known lists).
+[[nodiscard]] std::vector<std::string> spec_flag_names();
+
+}  // namespace mcs::exp

@@ -7,7 +7,10 @@
 #include <map>
 #include <memory>
 #include <tuple>
+#include <unordered_map>
 
+#include "exp/checkpoint.hpp"
+#include "exp/result_cache.hpp"
 #include "exp/saturation_search.hpp"
 #include "model/paper_model.hpp"
 #include "model/refined_model.hpp"
@@ -69,6 +72,218 @@ const char* hetero_label(const topo::SystemConfig& config) {
   return "uniform";
 }
 
+/// The expanded grid (optionally restricted to one shard) plus the task
+/// groupings built over it. Shared by run() and plan() so the two can
+/// never disagree on row identity — the foundation of the cache-key and
+/// merge contracts.
+struct Expansion {
+  std::vector<PatternEntry> patterns;
+  std::vector<std::unique_ptr<topo::MultiClusterTopology>> topologies;
+  std::vector<SweepRow> rows;  ///< grid order; shard-filtered when sharded
+  std::vector<ModelGroup> groups;           ///< indices into `rows`
+  std::vector<SearchGroup> search_groups;   ///< indices into `rows`
+  std::int64_t grid_size = 0;               ///< FULL grid row count
+};
+
+/// Walk the spec's 7-dimensional nesting and keep the rows with
+/// grid_index % shard_count == shard_index (the deterministic shard
+/// partition rule; 0/1 keeps everything). Groups are built over the kept
+/// rows only, so a shard never constructs models it has no rows for.
+Expansion expand_grid(const ScenarioSpec& spec, int shard_index,
+                      int shard_count) {
+  Expansion ex;
+  ex.patterns = spec.patterns;
+  if (ex.patterns.empty())
+    ex.patterns.push_back({"uniform", sim::TrafficPattern{}});
+
+  ex.topologies.reserve(spec.systems.size());
+  for (const SystemEntry& system : spec.systems)
+    ex.topologies.push_back(
+        std::make_unique<topo::MultiClusterTopology>(system.config));
+
+  ex.grid_size = spec.grid_size();
+  ex.rows.reserve(static_cast<std::size_t>(
+      (ex.grid_size + shard_count - 1) / shard_count));
+
+  std::map<std::tuple<int, int, int, int, int>, std::size_t> group_of;
+  std::map<std::tuple<int, int, int, int, int, int>, std::size_t>
+      search_group_of;
+  std::int64_t grid_index = 0;
+
+  for (int sys = 0; sys < static_cast<int>(spec.systems.size()); ++sys) {
+    for (int fi = 0; fi < static_cast<int>(spec.message_flits.size()); ++fi) {
+      for (int bi = 0; bi < static_cast<int>(spec.flit_bytes.size()); ++bi) {
+        for (int pi = 0; pi < static_cast<int>(ex.patterns.size()); ++pi) {
+          for (int ri = 0; ri < static_cast<int>(spec.relay_modes.size());
+               ++ri) {
+            for (int wi = 0;
+                 wi < static_cast<int>(spec.flow_controls.size()); ++wi) {
+              for (int li = 0; li < static_cast<int>(spec.loads.size());
+                   ++li) {
+                const std::int64_t index = grid_index++;
+                if (index % shard_count != shard_index) continue;
+
+                SweepRow row;
+                row.grid_index = index;
+                row.system_idx = sys;
+                row.flits_idx = fi;
+                row.bytes_idx = bi;
+                row.pattern_idx = pi;
+                row.relay_idx = ri;
+                row.flow_idx = wi;
+                row.load_idx = li;
+                row.system_id = spec.systems[static_cast<std::size_t>(sys)].id;
+                row.pattern_id = ex.patterns[static_cast<std::size_t>(pi)].id;
+                row.icn2_kind = spec.systems[static_cast<std::size_t>(sys)]
+                                    .config.icn2.label();
+                row.hetero = hetero_label(
+                    spec.systems[static_cast<std::size_t>(sys)].config);
+                row.message_flits =
+                    spec.message_flits[static_cast<std::size_t>(fi)];
+                row.flit_bytes = spec.flit_bytes[static_cast<std::size_t>(bi)];
+                row.relay = spec.relay_modes[static_cast<std::size_t>(ri)];
+                row.flow = spec.flow_controls[static_cast<std::size_t>(wi)];
+                row.lambda = spec.loads[static_cast<std::size_t>(li)];
+
+                const auto key = std::make_tuple(sys, fi, bi, pi, wi);
+                auto [it, inserted] =
+                    group_of.try_emplace(key, ex.groups.size());
+                if (inserted) {
+                  ModelGroup group;
+                  group.system_idx = sys;
+                  group.params = spec.base_params;
+                  group.params.message_flits = row.message_flits;
+                  group.params.flit_bytes = row.flit_bytes;
+                  group.flow = row.flow;
+                  const sim::TrafficPattern& pattern =
+                      ex.patterns[static_cast<std::size_t>(pi)].pattern;
+                  group.refined_supported = pattern_model_supported(pattern);
+                  // The paper-literal model is tree-, wormhole- and
+                  // homogeneous-only (one technology, uniform load).
+                  const topo::SystemConfig& sys_config =
+                      spec.systems[static_cast<std::size_t>(sys)].config;
+                  group.paper_supported =
+                      group.refined_supported &&
+                      sys_config.icn2.kind == topo::Icn2Kind::kFatTree &&
+                      row.flow == sim::FlowControl::kWormhole &&
+                      !sys_config.heterogeneous_params() &&
+                      !sys_config.heterogeneous_load();
+                  if (pattern.kind != sim::PatternKind::kUniform &&
+                      group.refined_supported) {
+                    const auto& topology = *ex.topologies[
+                        static_cast<std::size_t>(sys)];
+                    for (int c = 0;
+                         c < topology.config().cluster_count(); ++c)
+                      group.p_out_override.push_back(
+                          pattern.p_outgoing(topology, c));
+                  }
+                  ex.groups.push_back(std::move(group));
+                }
+                ex.groups[it->second].row_indices.push_back(ex.rows.size());
+                if (spec.find_sim_saturation) {
+                  const auto skey =
+                      std::make_tuple(sys, fi, bi, pi, ri, wi);
+                  auto [sit, s_inserted] = search_group_of.try_emplace(
+                      skey, ex.search_groups.size());
+                  if (s_inserted) {
+                    SearchGroup sg;
+                    sg.model_group = it->second;
+                    sg.pattern_idx = pi;
+                    sg.relay = row.relay;
+                    sg.seed_coords[0] = static_cast<std::uint64_t>(sys);
+                    sg.seed_coords[1] = static_cast<std::uint64_t>(fi);
+                    sg.seed_coords[2] = static_cast<std::uint64_t>(bi);
+                    sg.seed_coords[3] = static_cast<std::uint64_t>(pi);
+                    sg.seed_coords[4] = static_cast<std::uint64_t>(ri);
+                    sg.seed_coords[5] = static_cast<std::uint64_t>(wi);
+                    ex.search_groups.push_back(std::move(sg));
+                  }
+                  ex.search_groups[sit->second].row_indices.push_back(
+                      ex.rows.size());
+                }
+                ex.rows.push_back(std::move(row));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return ex;
+}
+
+/// Fold one row's replications into its aggregate columns — fixed
+/// replication order, so the result is identical whether this runs in the
+/// end-of-sweep serial loop or inside the row's last finishing task
+/// (incremental checkpoint mode).
+void aggregate_sim_row(SweepRow& row, const std::vector<sim::SimResult>& runs,
+                       int reps) {
+  row.sim_run = true;
+  row.replications = reps;
+
+  util::OnlineMoments latency, internal, external;
+  util::OnlineMoments p50, p95, p99;
+  std::int64_t n_internal = 0, n_external = 0;
+  const sim::SimResult* sole_completed = nullptr;
+  std::vector<std::string> causes;
+  for (const sim::SimResult& run : runs) {
+    if (run.saturated) {
+      ++row.saturated;
+      // Keep the cap tokens: "saturated" alone cannot distinguish a
+      // blocked-worm blowup from an exhausted event budget.
+      if (!run.saturation_cause.empty() &&
+          std::find(causes.begin(), causes.end(), run.saturation_cause) ==
+              causes.end())
+        causes.push_back(run.saturation_cause);
+      continue;
+    }
+    ++row.completed;
+    sole_completed = &run;
+    latency.add(run.latency.mean);
+    internal.add(run.internal_latency.mean);
+    external.add(run.external_latency.mean);
+    if (run.latency_p50 >= 0.0) {
+      p50.add(run.latency_p50);
+      p95.add(run.latency_p95);
+      p99.add(run.latency_p99);
+    }
+    n_internal += run.measured_internal;
+    n_external += run.measured_external;
+  }
+  for (const std::string& cause : causes) {
+    if (!row.saturation_causes.empty()) row.saturation_causes += '+';
+    row.saturation_causes += cause;
+  }
+
+  if (row.completed == 0) {
+    row.sim_state = 1;
+    return;
+  }
+  if (row.completed == 1) {
+    // A single completed replication: fall back on its batch-means CI
+    // (same reading as the bench harness's single-run sweeps).
+    row.sim_latency = sole_completed->latency.mean;
+    row.sim_ci = sole_completed->latency.half_width;
+  } else {
+    const util::ConfidenceInterval ci = util::t_interval(latency);
+    row.sim_latency = ci.mean;
+    row.sim_ci = ci.half_width;
+  }
+  row.sim_internal = internal.mean();
+  row.sim_external = external.mean();
+  if (p50.count() > 0) {
+    row.sim_p50 = p50.mean();
+    row.sim_p95 = p95.mean();
+    row.sim_p99 = p99.mean();
+  }
+  if (n_internal + n_external > 0)
+    row.external_share = static_cast<double>(n_external) /
+                         static_cast<double>(n_internal + n_external);
+  // CI comparable to the mean: queues grew for the whole measurement
+  // window — the offered load is past the sustainable point.
+  if (row.sim_ci > 0.3 * row.sim_latency) row.sim_state = 2;
+}
+
 }  // namespace
 
 std::string row_label(const SweepRow& row) {
@@ -95,126 +310,127 @@ SweepRunner::SweepRunner(ScenarioSpec spec) : spec_(std::move(spec)) {
   }
 }
 
+SweepPlan SweepRunner::plan(const std::string& fingerprint) const {
+  Expansion ex = expand_grid(spec_, /*shard_index=*/0, /*shard_count=*/1);
+  SweepPlan result;
+  result.rows = std::move(ex.rows);
+  const std::string fp =
+      fingerprint.empty() ? binary_fingerprint() : fingerprint;
+  result.digests.reserve(result.rows.size());
+  for (const SweepRow& row : result.rows)
+    result.digests.push_back(row_digest(spec_, row, fp));
+  return result;
+}
+
 SweepResult SweepRunner::run(const SweepRunOptions& options) const {
   const auto t0 = std::chrono::steady_clock::now();
+
+  // --- service-mode validation -------------------------------------------
+  if (options.shard_count < 1 || options.shard_index < 0 ||
+      options.shard_index >= options.shard_count)
+    throw ConfigError("sweep: invalid shard " +
+                      std::to_string(options.shard_index) + "/" +
+                      std::to_string(options.shard_count) +
+                      " (need 0 <= index < count)");
+  if (options.resume && options.checkpoint_path.empty())
+    throw ConfigError("sweep: --resume requires a checkpoint path");
+  const bool sharded = options.shard_count > 1;
+  const bool service = sharded || options.resume ||
+                       !options.cache_dir.empty() ||
+                       !options.checkpoint_path.empty();
+  if (service &&
+      (options.collect_probes || options.collect_traces || options.explain))
+    throw ConfigError(
+        "sweep: probes/traces/explain cannot combine with "
+        "cache/checkpoint/shard modes — a restored row has nothing to "
+        "observe, so the captures would be silently partial");
+
   SweepResult result;
   result.manifest = obs::RunManifest::begin();
 
-  // Patterns dimension: an empty list means one implicit uniform pattern.
-  std::vector<PatternEntry> patterns = spec_.patterns;
-  if (patterns.empty()) patterns.push_back({"uniform", sim::TrafficPattern{}});
-
   // --- expansion: topologies, rows, model groups -------------------------
-  std::vector<std::unique_ptr<topo::MultiClusterTopology>> topologies;
-  topologies.reserve(spec_.systems.size());
-  for (const SystemEntry& system : spec_.systems)
-    topologies.push_back(
-        std::make_unique<topo::MultiClusterTopology>(system.config));
+  Expansion ex =
+      expand_grid(spec_, options.shard_index, options.shard_count);
+  const std::vector<PatternEntry>& patterns = ex.patterns;
+  std::vector<ModelGroup>& groups = ex.groups;
+  std::vector<SearchGroup>& search_groups = ex.search_groups;
 
   result.name = spec_.name;
-  result.rows.reserve(static_cast<std::size_t>(spec_.grid_size()));
+  result.rows = std::move(ex.rows);
+  result.grid_size = ex.grid_size;
+  result.shard_index = options.shard_index;
+  result.shard_count = options.shard_count;
+  std::vector<SweepRow>& rows = result.rows;
 
-  std::map<std::tuple<int, int, int, int, int>, std::size_t> group_of;
-  std::vector<ModelGroup> groups;
-  std::map<std::tuple<int, int, int, int, int, int>, std::size_t>
-      search_group_of;
-  std::vector<SearchGroup> search_groups;
+  // --- restore phase: resume journal, then content-hash cache ------------
+  // `restored[r]` != 0 means rows[r] already carries its final outputs
+  // (1 = from the resume journal, 2 = from the cache) and none of its
+  // tasks run.
+  std::vector<std::string> digests;
+  std::vector<char> restored(rows.size(), 0);
+  std::unique_ptr<ResultCache> cache;
+  std::unique_ptr<CheckpointWriter> journal;
 
-  for (int sys = 0; sys < static_cast<int>(spec_.systems.size()); ++sys) {
-    for (int fi = 0; fi < static_cast<int>(spec_.message_flits.size()); ++fi) {
-      for (int bi = 0; bi < static_cast<int>(spec_.flit_bytes.size()); ++bi) {
-        for (int pi = 0; pi < static_cast<int>(patterns.size()); ++pi) {
-          for (int ri = 0; ri < static_cast<int>(spec_.relay_modes.size());
-               ++ri) {
-            for (int wi = 0;
-                 wi < static_cast<int>(spec_.flow_controls.size()); ++wi) {
-              for (int li = 0; li < static_cast<int>(spec_.loads.size());
-                   ++li) {
-                SweepRow row;
-                row.system_idx = sys;
-                row.flits_idx = fi;
-                row.bytes_idx = bi;
-                row.pattern_idx = pi;
-                row.relay_idx = ri;
-                row.flow_idx = wi;
-                row.load_idx = li;
-                row.system_id = spec_.systems[static_cast<std::size_t>(sys)].id;
-                row.pattern_id = patterns[static_cast<std::size_t>(pi)].id;
-                row.icn2_kind = spec_.systems[static_cast<std::size_t>(sys)]
-                                    .config.icn2.label();
-                row.hetero = hetero_label(
-                    spec_.systems[static_cast<std::size_t>(sys)].config);
-                row.message_flits =
-                    spec_.message_flits[static_cast<std::size_t>(fi)];
-                row.flit_bytes = spec_.flit_bytes[static_cast<std::size_t>(bi)];
-                row.relay = spec_.relay_modes[static_cast<std::size_t>(ri)];
-                row.flow = spec_.flow_controls[static_cast<std::size_t>(wi)];
-                row.lambda = spec_.loads[static_cast<std::size_t>(li)];
+  if (service) {
+    const std::string fp = options.fingerprint.empty()
+                               ? binary_fingerprint()
+                               : options.fingerprint;
+    digests.reserve(rows.size());
+    for (const SweepRow& row : rows)
+      digests.push_back(row_digest(spec_, row, fp));
+  }
+  if (!options.cache_dir.empty())
+    cache = std::make_unique<ResultCache>(options.cache_dir);
 
-                const auto key = std::make_tuple(sys, fi, bi, pi, wi);
-                auto [it, inserted] =
-                    group_of.try_emplace(key, groups.size());
-                if (inserted) {
-                  ModelGroup group;
-                  group.system_idx = sys;
-                  group.params = spec_.base_params;
-                  group.params.message_flits = row.message_flits;
-                  group.params.flit_bytes = row.flit_bytes;
-                  group.flow = row.flow;
-                  const sim::TrafficPattern& pattern =
-                      patterns[static_cast<std::size_t>(pi)].pattern;
-                  group.refined_supported = pattern_model_supported(pattern);
-                  // The paper-literal model is tree-, wormhole- and
-                  // homogeneous-only (one technology, uniform load).
-                  const topo::SystemConfig& sys_config =
-                      spec_.systems[static_cast<std::size_t>(sys)].config;
-                  group.paper_supported =
-                      group.refined_supported &&
-                      sys_config.icn2.kind == topo::Icn2Kind::kFatTree &&
-                      row.flow == sim::FlowControl::kWormhole &&
-                      !sys_config.heterogeneous_params() &&
-                      !sys_config.heterogeneous_load();
-                  if (pattern.kind != sim::PatternKind::kUniform &&
-                      group.refined_supported) {
-                    const auto& topology = *topologies[
-                        static_cast<std::size_t>(sys)];
-                    for (int c = 0;
-                         c < topology.config().cluster_count(); ++c)
-                      group.p_out_override.push_back(
-                          pattern.p_outgoing(topology, c));
-                  }
-                  groups.push_back(std::move(group));
-                }
-                groups[it->second].row_indices.push_back(result.rows.size());
-                if (spec_.find_sim_saturation) {
-                  const auto skey =
-                      std::make_tuple(sys, fi, bi, pi, ri, wi);
-                  auto [sit, s_inserted] = search_group_of.try_emplace(
-                      skey, search_groups.size());
-                  if (s_inserted) {
-                    SearchGroup sg;
-                    sg.model_group = it->second;
-                    sg.pattern_idx = pi;
-                    sg.relay = row.relay;
-                    sg.seed_coords[0] = static_cast<std::uint64_t>(sys);
-                    sg.seed_coords[1] = static_cast<std::uint64_t>(fi);
-                    sg.seed_coords[2] = static_cast<std::uint64_t>(bi);
-                    sg.seed_coords[3] = static_cast<std::uint64_t>(pi);
-                    sg.seed_coords[4] = static_cast<std::uint64_t>(ri);
-                    sg.seed_coords[5] = static_cast<std::uint64_t>(wi);
-                    search_groups.push_back(std::move(sg));
-                  }
-                  search_groups[sit->second].row_indices.push_back(
-                      result.rows.size());
-                }
-                result.rows.push_back(std::move(row));
-              }
-            }
-          }
-        }
+  if (options.resume) {
+    // Entries are matched by content digest, so a journal from a
+    // different scenario/flag set/binary simply restores nothing — stale
+    // data can never leak into the rows.
+    if (const std::optional<Journal> prior =
+            load_journal(options.checkpoint_path)) {
+      std::unordered_map<std::string, const JournalEntry*> by_digest;
+      for (const JournalEntry& entry : prior->entries)
+        by_digest.emplace(entry.digest, &entry);
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        const auto it = by_digest.find(digests[r]);
+        if (it != by_digest.end() &&
+            decode_row_payload(it->second->payload, rows[r]))
+          restored[r] = 1;
       }
     }
   }
+  if (cache) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (restored[r]) continue;
+      const std::optional<std::string> payload = cache->load(digests[r]);
+      if (payload && decode_row_payload(*payload, rows[r]))
+        restored[r] = 2;
+    }
+  }
+  for (const char r : restored) result.cached_rows += r != 0;
+
+  if (!options.checkpoint_path.empty()) {
+    journal = std::make_unique<CheckpointWriter>(
+        options.checkpoint_path, spec_.name, options.shard_index,
+        options.shard_count);
+    // Seed the journal with the restored rows (one rewrite) so it is
+    // complete for mcs_merge even before any new row finishes; rows
+    // restored from the journal itself also warm the cache.
+    std::vector<JournalEntry> preload;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (!restored[r]) continue;
+      const std::string payload = encode_row_payload(rows[r]);
+      preload.push_back({rows[r].grid_index, digests[r], payload});
+      if (cache && restored[r] == 1) cache->store(digests[r], payload);
+    }
+    journal->add_batch(preload);
+  }
+
+  // Incremental mode: rows are finalized (aggregated + journaled +
+  // cached) the moment their last task finishes, instead of in the
+  // end-of-sweep serial loop. Only worth the bookkeeping when there is a
+  // journal or cache to feed.
+  const bool incremental = journal != nullptr || cache != nullptr;
 
   // --- execution ---------------------------------------------------------
   std::unique_ptr<ThreadPool> owned_pool;
@@ -225,20 +441,45 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
   }
   result.threads = pool->thread_count();
 
-  std::vector<SweepRow>& rows = result.rows;
   const int reps = spec_.replications;
   const bool run_models = spec_.run_paper_model || spec_.run_refined_model;
+
+  // Which groups still have uncomputed rows? Fully restored groups are
+  // skipped whole; a partially restored group re-runs and overwrites the
+  // restored rows' model columns with deterministically identical values.
+  const auto group_needed = [&](const std::vector<std::size_t>& indices) {
+    for (const std::size_t r : indices)
+      if (!restored[r]) return true;
+    return false;
+  };
+  std::vector<char> model_submitted(groups.size(), 0);
+  std::size_t model_task_count = 0;
+  if (run_models) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      model_submitted[g] = group_needed(groups[g].row_indices) ? 1 : 0;
+      model_task_count += model_submitted[g];
+    }
+  }
+  std::vector<char> search_submitted(search_groups.size(), 0);
+  std::size_t search_task_count = 0;
+  for (std::size_t g = 0; g < search_groups.size(); ++g) {
+    search_submitted[g] =
+        group_needed(search_groups[g].row_indices) ? 1 : 0;
+    search_task_count += search_submitted[g];
+  }
+  std::size_t sim_task_count = 0;
+  if (spec_.run_sim) {
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      if (!restored[r]) sim_task_count += static_cast<std::size_t>(reps);
+  }
 
   // --- task telemetry ----------------------------------------------------
   // One preallocated TaskStat slot per task (model groups + row
   // replications + search groups, all known before anything is
   // submitted); each task writes only its own slot, so no
   // synchronization. The heartbeat ticks through two atomics.
-  const std::size_t model_task_count = run_models ? groups.size() : 0;
-  const std::size_t sim_task_count =
-      spec_.run_sim ? rows.size() * static_cast<std::size_t>(reps) : 0;
   result.task_stats.resize(model_task_count + sim_task_count +
-                           search_groups.size());
+                           search_task_count);
   std::vector<TaskStat>& stats = result.task_stats;
   const std::int64_t total_tasks =
       static_cast<std::int64_t>(stats.size());
@@ -298,6 +539,8 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
   // Flight-recorder captures: replication 0 of each row gets a probe
   // series / trace buffer (configs from the spec's [observe] block).
   // Preallocated here so the pointers handed to tasks stay stable.
+  // (Mutually exclusive with the service modes — validated above — so a
+  // captured row is always a computed row.)
   std::vector<obs::ProbeSeries>& row_probes = result.row_probes;
   std::vector<obs::TraceBuffer>& row_traces = result.row_traces;
   if (spec_.run_sim && options.collect_probes)
@@ -320,66 +563,115 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
   const bool explain_model = options.explain && spec_.run_refined_model;
   if (explain_model) row_breakdown.resize(rows.size());
 
-  // Model tasks: one per group (construction dominates; predictions for
-  // the group's loads ride along). Each row's model fields are written by
-  // exactly one task, so no synchronization is needed.
+  // Per-row countdown of the tasks still owing output to the row (sim
+  // replications + its model-group task + its search-group task, when
+  // submitted). The task that decrements a counter to zero finalizes the
+  // row: aggregate, journal, cache. Restored rows start at zero and are
+  // never finalized again.
+  std::vector<std::vector<sim::SimResult>> sim_runs;
+  if (spec_.run_sim) sim_runs.resize(rows.size());
+  std::unique_ptr<std::atomic<int>[]> pending;
+  if (incremental) {
+    pending.reset(new std::atomic<int>[rows.size()]);
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      pending[r].store(
+          restored[r] ? 0 : (spec_.run_sim ? reps : 0),
+          std::memory_order_relaxed);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (!model_submitted[g]) continue;
+      for (const std::size_t r : groups[g].row_indices)
+        if (!restored[r])
+          pending[r].fetch_add(1, std::memory_order_relaxed);
+    }
+    for (std::size_t g = 0; g < search_groups.size(); ++g) {
+      if (!search_submitted[g]) continue;
+      for (const std::size_t r : search_groups[g].row_indices)
+        if (!restored[r])
+          pending[r].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const auto finalize_row = [&](std::size_t r) {
+    SweepRow& row = rows[r];
+    if (spec_.run_sim) aggregate_sim_row(row, sim_runs[r], reps);
+    const std::string payload = encode_row_payload(row);
+    if (journal) journal->add(row.grid_index, digests[r], payload);
+    if (cache) cache->store(digests[r], payload);
+  };
+  const auto complete_row = [&](std::size_t r) {
+    if (pending[r].fetch_sub(1, std::memory_order_acq_rel) == 1)
+      finalize_row(r);
+  };
+
+  // Model tasks: one per group with uncomputed rows (construction
+  // dominates; predictions for the group's loads ride along). Each row's
+  // model fields are written by exactly one task, so no synchronization.
   if (run_models) {
-    for (ModelGroup& group : groups) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (!model_submitted[g]) continue;
+      ModelGroup& group = groups[g];
       pool->submit(instrument('m', [this, &group, &rows, &row_breakdown,
-                                    explain_model] {
-        if (!group.refined_supported) return;
-        const topo::SystemConfig& config =
-            spec_.systems[static_cast<std::size_t>(group.system_idx)].config;
-        std::unique_ptr<model::PaperModel> paper;
-        std::unique_ptr<model::RefinedModel> refined;
-        if (spec_.run_paper_model && group.paper_supported)
-          paper = std::make_unique<model::PaperModel>(config, group.params,
-                                                      group.p_out_override);
-        if (spec_.run_refined_model)
-          refined = std::make_unique<model::RefinedModel>(
-              config, group.params, group.p_out_override, group.flow);
-        double knee = -1.0;
-        if (spec_.find_knee && (refined || paper)) {
-          const model::LatencyModel* knee_model =
-              refined ? static_cast<const model::LatencyModel*>(refined.get())
-                      : static_cast<const model::LatencyModel*>(paper.get());
-          knee = model::find_saturation(*knee_model).lambda_sat;
-        }
-        for (const std::size_t r : group.row_indices) {
-          SweepRow& row = rows[r];
-          row.knee_lambda = knee;
-          if (paper) {
-            const model::LatencyPrediction p = paper->predict(row.lambda);
-            row.paper_run = true;
-            row.paper_latency = p.mean_latency;
-            row.paper_stable = p.stable;
+                                    &restored, &complete_row, explain_model,
+                                    incremental] {
+        if (group.refined_supported) {
+          const topo::SystemConfig& config =
+              spec_.systems[static_cast<std::size_t>(group.system_idx)]
+                  .config;
+          std::unique_ptr<model::PaperModel> paper;
+          std::unique_ptr<model::RefinedModel> refined;
+          if (spec_.run_paper_model && group.paper_supported)
+            paper = std::make_unique<model::PaperModel>(
+                config, group.params, group.p_out_override);
+          if (spec_.run_refined_model)
+            refined = std::make_unique<model::RefinedModel>(
+                config, group.params, group.p_out_override, group.flow);
+          double knee = -1.0;
+          if (spec_.find_knee && (refined || paper)) {
+            const model::LatencyModel* knee_model =
+                refined
+                    ? static_cast<const model::LatencyModel*>(refined.get())
+                    : static_cast<const model::LatencyModel*>(paper.get());
+            knee = model::find_saturation(*knee_model).lambda_sat;
           }
-          if (refined) {
-            const model::LatencyPrediction p = refined->predict(row.lambda);
-            row.refined_run = true;
-            row.refined_latency = p.mean_latency;
-            row.refined_stable = p.stable;
-            if (explain_model) row_breakdown[r] = refined->breakdown(row.lambda);
+          for (const std::size_t r : group.row_indices) {
+            SweepRow& row = rows[r];
+            row.knee_lambda = knee;
+            if (paper) {
+              const model::LatencyPrediction p = paper->predict(row.lambda);
+              row.paper_run = true;
+              row.paper_latency = p.mean_latency;
+              row.paper_stable = p.stable;
+            }
+            if (refined) {
+              const model::LatencyPrediction p = refined->predict(row.lambda);
+              row.refined_run = true;
+              row.refined_latency = p.mean_latency;
+              row.refined_stable = p.stable;
+              if (explain_model)
+                row_breakdown[r] = refined->breakdown(row.lambda);
+            }
           }
         }
+        if (incremental)
+          for (const std::size_t r : group.row_indices)
+            if (!restored[r]) complete_row(r);
       }));
     }
   }
 
-  // Simulation tasks: one per (row, replication). Seeds depend only on
-  // grid coordinates, never on scheduling.
-  std::vector<std::vector<sim::SimResult>> sim_runs;
+  // Simulation tasks: one per (uncomputed row, replication). Seeds depend
+  // only on grid coordinates, never on scheduling or sharding.
   if (spec_.run_sim) {
-    sim_runs.resize(rows.size());
     for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (restored[r]) continue;
       sim_runs[r].resize(static_cast<std::size_t>(reps));
       const SweepRow& row = rows[r];
       const topo::MultiClusterTopology& topology =
-          *topologies[static_cast<std::size_t>(row.system_idx)];
+          *ex.topologies[static_cast<std::size_t>(row.system_idx)];
       for (int rep = 0; rep < reps; ++rep) {
         pool->submit(instrument('s', [this, &row, &topology, &patterns,
                                       &sim_runs, &row_probes, &row_traces,
-                                      &row_anatomy, r, rep] {
+                                      &row_anatomy, &complete_row, r, rep,
+                                      incremental] {
           model::NetworkParams params = spec_.base_params;
           params.message_flits = row.message_flits;
           params.flit_bytes = row.flit_bytes;
@@ -412,23 +704,28 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
 
           sim::Simulator simulator(topology, params, row.lambda, cfg);
           sim_runs[r][static_cast<std::size_t>(rep)] = simulator.run();
+          if (incremental) complete_row(r);
         }));
         ++result.sim_tasks;
       }
     }
   }
 
-  // Saturation-search tasks: one closed-loop bisection per search group.
-  // Probes run serially inside the task (run_replications_sequential with
-  // no pool: nested pool waits would deadlock inside a pool task); the
-  // groups themselves fan out across the pool. Each group's rows get the
-  // same sim_lambda_sat / sat_ratio, written by exactly one task.
-  for (SearchGroup& sg : search_groups) {
+  // Saturation-search tasks: one closed-loop bisection per search group
+  // with uncomputed rows. Probes run serially inside the task
+  // (run_replications_sequential with no pool: nested pool waits would
+  // deadlock inside a pool task); the groups themselves fan out across
+  // the pool. Each group's rows get the same sim_lambda_sat / sat_ratio,
+  // written by exactly one task.
+  for (std::size_t g = 0; g < search_groups.size(); ++g) {
+    if (!search_submitted[g]) continue;
+    SearchGroup& sg = search_groups[g];
     const ModelGroup& mg = groups[sg.model_group];
     const topo::MultiClusterTopology& topology =
-        *topologies[static_cast<std::size_t>(mg.system_idx)];
+        *ex.topologies[static_cast<std::size_t>(mg.system_idx)];
     pool->submit(instrument('k', [this, &sg, &mg, &topology, &patterns,
-                                  &rows] {
+                                  &rows, &restored, &complete_row,
+                                  incremental] {
       const topo::SystemConfig& config =
           spec_.systems[static_cast<std::size_t>(mg.system_idx)].config;
       // Analytical seed knee, same preference order as the model tasks
@@ -474,81 +771,26 @@ SweepResult SweepRunner::run(const SweepRunOptions& options) const {
                                 ? found.ratio
                                 : -1.0;
       }
+      if (incremental)
+        for (const std::size_t r : sg.row_indices)
+          if (!restored[r]) complete_row(r);
     }));
   }
 
   pool->wait_idle();
 
   // --- aggregation (fixed grid order: thread-count invariant) ------------
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    SweepRow& row = rows[r];
-    if (!spec_.run_sim) continue;
-    row.sim_run = true;
-    row.replications = reps;
-
-    util::OnlineMoments latency, internal, external;
-    util::OnlineMoments p50, p95, p99;
-    std::int64_t n_internal = 0, n_external = 0;
-    const sim::SimResult* sole_completed = nullptr;
-    std::vector<std::string> causes;
-    for (const sim::SimResult& run : sim_runs[r]) {
-      if (run.saturated) {
-        ++row.saturated;
-        // Keep the cap tokens: "saturated" alone cannot distinguish a
-        // blocked-worm blowup from an exhausted event budget.
-        if (!run.saturation_cause.empty() &&
-            std::find(causes.begin(), causes.end(), run.saturation_cause) ==
-                causes.end())
-          causes.push_back(run.saturation_cause);
-        continue;
-      }
-      ++row.completed;
-      sole_completed = &run;
-      latency.add(run.latency.mean);
-      internal.add(run.internal_latency.mean);
-      external.add(run.external_latency.mean);
-      if (run.latency_p50 >= 0.0) {
-        p50.add(run.latency_p50);
-        p95.add(run.latency_p95);
-        p99.add(run.latency_p99);
-      }
-      n_internal += run.measured_internal;
-      n_external += run.measured_external;
+  // Incremental mode already aggregated each row in its finalizing task
+  // (same per-row fold, same replication order — bit-identical values);
+  // restored rows carry their outputs from the payload either way.
+  if (!incremental && spec_.run_sim) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (restored[r]) continue;
+      aggregate_sim_row(rows[r], sim_runs[r], reps);
     }
-    for (const std::string& cause : causes) {
-      if (!row.saturation_causes.empty()) row.saturation_causes += '+';
-      row.saturation_causes += cause;
-    }
-
-    if (row.completed == 0) {
-      row.sim_state = 1;
-    } else {
-      if (row.completed == 1) {
-        // A single completed replication: fall back on its batch-means CI
-        // (same reading as the bench harness's single-run sweeps).
-        row.sim_latency = sole_completed->latency.mean;
-        row.sim_ci = sole_completed->latency.half_width;
-      } else {
-        const util::ConfidenceInterval ci = util::t_interval(latency);
-        row.sim_latency = ci.mean;
-        row.sim_ci = ci.half_width;
-      }
-      row.sim_internal = internal.mean();
-      row.sim_external = external.mean();
-      if (p50.count() > 0) {
-        row.sim_p50 = p50.mean();
-        row.sim_p95 = p95.mean();
-        row.sim_p99 = p99.mean();
-      }
-      if (n_internal + n_external > 0)
-        row.external_share = static_cast<double>(n_external) /
-                             static_cast<double>(n_internal + n_external);
-      // CI comparable to the mean: queues grew for the whole measurement
-      // window — the offered load is past the sustainable point.
-      if (row.sim_ci > 0.3 * row.sim_latency) row.sim_state = 2;
-    }
-    if (row.sim_state != 0) ++result.saturated_points;
   }
+  for (const SweepRow& row : rows)
+    if (row.sim_state != 0) ++result.saturated_points;
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

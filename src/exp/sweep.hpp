@@ -37,6 +37,10 @@ using util::derive_seed;
 struct SweepRow {
   // Grid coordinates (indices into the ScenarioSpec lists) and their
   // resolved values.
+  /// Flat index in full-grid nesting order (system, flits, bytes,
+  /// pattern, relay, flow, load) — stable under sharding: shard i of N
+  /// holds the rows with grid_index % N == i, and merging orders by it.
+  std::int64_t grid_index = 0;
   int system_idx = 0;
   int flits_idx = 0;
   int bytes_idx = 0;
@@ -119,6 +123,14 @@ struct SweepResult {
   double wall_seconds = 0.0;
   /// Simulated rows whose sim_state != 0.
   int saturated_points = 0;
+  /// Full-grid row count (== rows.size() unless sharded).
+  std::int64_t grid_size = 0;
+  /// This run's shard (0/1 = unsharded).
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Rows restored from the result cache or the resume journal instead of
+  /// being computed (their tasks never ran).
+  int cached_rows = 0;
 
   /// Build/host/resource provenance of this run (attached to the JSON
   /// report so a result file is self-describing).
@@ -164,11 +176,49 @@ struct SweepRunOptions {
   /// output can join measured vs predicted stage by stage
   /// (exp/explain.hpp).
   bool explain = false;
+
+  // --- production sweep service (DESIGN.md §14) --------------------------
+  // The flight recorder (probes/traces/explain) is incompatible with the
+  // service modes below: a restored row has nothing to observe, so run()
+  // rejects the combination rather than silently emitting partial
+  // captures.
+  /// Content-hash result cache directory; empty disables. Rows whose
+  /// digest is already stored are restored bit-identically without
+  /// running any task; freshly computed rows are stored back.
+  std::string cache_dir;
+  /// Checkpoint journal path; empty disables. Every completed row is
+  /// journaled (atomic write-temp-then-rename of the whole file) the
+  /// moment its last task finishes, so an interrupted campaign loses at
+  /// most the rows in flight.
+  std::string checkpoint_path;
+  /// Preload checkpoint_path (when the file exists) and skip the rows it
+  /// records. Requires checkpoint_path; the journal is rewritten with the
+  /// preloaded rows plus everything newly completed.
+  bool resume = false;
+  /// Deterministic shard partition (`--shard i/N`): only full-grid rows
+  /// with grid_index % shard_count == shard_index are kept; the result
+  /// (and its journal) contains exactly those rows. mcs_merge joins shard
+  /// journals back into the full grid, byte-identical to an unsharded
+  /// run.
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Cache-key binary fingerprint override (tests exercise invalidation
+  /// with it); empty selects exp::binary_fingerprint().
+  std::string fingerprint;
 };
 
 /// Compact row tag labeling probe/trace output:
 /// "<system>/<pattern>/<relay>/<flow> f<flits> lambda=<value>".
 [[nodiscard]] std::string row_label(const SweepRow& row);
+
+/// The expanded full grid without executing anything: rows carry their
+/// coordinates/identity fields (outputs empty) and `digests[r]` is
+/// rows[r]'s content-hash cache key. mcs_merge plans the grid to know
+/// which digests a complete campaign must cover.
+struct SweepPlan {
+  std::vector<SweepRow> rows;
+  std::vector<std::string> digests;  ///< parallel to rows
+};
 
 class SweepRunner {
  public:
@@ -180,6 +230,11 @@ class SweepRunner {
   /// Expand, execute, aggregate. Safe to call repeatedly; each call
   /// returns an identical result for a given spec.
   [[nodiscard]] SweepResult run(const SweepRunOptions& options = {}) const;
+
+  /// Expand the FULL grid (no shard filter) and compute each row's cache
+  /// digest, without running any task. An empty `fingerprint` selects
+  /// binary_fingerprint().
+  [[nodiscard]] SweepPlan plan(const std::string& fingerprint = {}) const;
 
  private:
   ScenarioSpec spec_;

@@ -83,6 +83,9 @@ void write_csv(const SweepResult& result, const std::string& path) {
                  opt_num(row.external_share >= 0.0, row.external_share, 4),
                  std::to_string(row.sim_state)});
   }
+  // Explicit close so a failed final flush throws here (the destructor
+  // must swallow it).
+  csv.close();
 }
 
 namespace {
@@ -143,26 +146,32 @@ void json_field(std::ostream& out, const char* key, bool value, bool& first) {
 
 }  // namespace
 
-void write_json(const SweepResult& result, std::ostream& out) {
+void write_json(const SweepResult& result, std::ostream& out, bool stable) {
   out.precision(12);
-  out << "{\"name\":\"" << json_escape(result.name)
-      << "\",\"threads\":" << result.threads
-      << ",\"sim_tasks\":" << result.sim_tasks
-      << ",\"wall_seconds\":" << result.wall_seconds
-      << ",\"saturated_points\":" << result.saturated_points
-      << ",\"manifest\":";
-  result.manifest.write_json(out);
-  out.precision(12);  // the manifest writer drops precision to 6
-  out << ",\"task_stats\":[";
-  bool first_stat = true;
-  for (const TaskStat& stat : result.task_stats) {
-    if (!first_stat) out << ",";
-    first_stat = false;
-    out << "{\"kind\":\"" << stat.kind
-        << "\",\"queue_wait\":" << stat.queue_wait
-        << ",\"exec\":" << stat.exec << ",\"thread\":" << stat.thread << "}";
+  out << "{\"name\":\"" << json_escape(result.name) << "\"";
+  if (!stable) {
+    out << ",\"threads\":" << result.threads
+        << ",\"sim_tasks\":" << result.sim_tasks
+        << ",\"wall_seconds\":" << result.wall_seconds;
   }
-  out << "],\"rows\":[";
+  out << ",\"saturated_points\":" << result.saturated_points;
+  if (!stable) {
+    out << ",\"manifest\":";
+    result.manifest.write_json(out);
+    out.precision(12);  // the manifest writer drops precision to 6
+    out << ",\"task_stats\":[";
+    bool first_stat = true;
+    for (const TaskStat& stat : result.task_stats) {
+      if (!first_stat) out << ",";
+      first_stat = false;
+      out << "{\"kind\":\"" << stat.kind
+          << "\",\"queue_wait\":" << stat.queue_wait
+          << ",\"exec\":" << stat.exec << ",\"thread\":" << stat.thread
+          << "}";
+    }
+    out << "]";
+  }
+  out << ",\"rows\":[";
   bool first_row = true;
   for (std::size_t r = 0; r < result.rows.size(); ++r) {
     const SweepRow& row = result.rows[r];
@@ -252,10 +261,18 @@ void write_json(const SweepResult& result, std::ostream& out) {
   out << "]}\n";
 }
 
-void write_json_file(const SweepResult& result, const std::string& path) {
+void write_json_file(const SweepResult& result, const std::string& path,
+                     bool stable) {
   std::ofstream out(path);
   if (!out) throw ConfigError("cannot open '" + path + "' for writing");
-  write_json(result, out);
+  write_json(result, out, stable);
+  out.flush();
+  // Same audit as CsvWriter: a full disk must fail the run, not silently
+  // truncate the report with exit code 0.
+  if (!out)
+    throw ConfigError("write to '" + path +
+                      "' failed (disk full or I/O error); output is "
+                      "incomplete");
 }
 
 util::TextTable to_table(const SweepResult& result) {

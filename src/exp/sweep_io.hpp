@@ -20,9 +20,18 @@ namespace mcs::exp {
 void write_csv(const SweepResult& result, const std::string& path);
 
 /// The same schema as a JSON document: {"name", "threads", "wall_seconds",
-/// "rows": [{...}, ...]}.
-void write_json(const SweepResult& result, std::ostream& out);
-void write_json_file(const SweepResult& result, const std::string& path);
+/// "rows": [{...}, ...]}. `stable` omits the volatile run metadata
+/// (threads, sim_tasks, wall_seconds, manifest, task_stats) so two runs
+/// producing the same rows emit byte-identical documents — the form
+/// mcs_merge emits and the shard/cache bit-identity tests compare
+/// (mcs_sweep --stable-json).
+void write_json(const SweepResult& result, std::ostream& out,
+                bool stable = false);
+/// Throws mcs::ConfigError when the file cannot be opened or the final
+/// flush fails (disk full / I/O error) — a truncated result file must
+/// never pass as success.
+void write_json_file(const SweepResult& result, const std::string& path,
+                     bool stable = false);
 
 /// Render the rows as a text table. Coordinate columns that take a single
 /// value across the whole sweep are dropped to keep the table narrow.

@@ -1,0 +1,22 @@
+// Atomic whole-file writes (write-temp-then-rename) for checkpoint
+// journals and cache entries: a reader never sees a half-written file,
+// and a crash mid-write leaves the previous version intact.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace mcs::util {
+
+/// Write `content` to `path` atomically: the bytes land in a unique
+/// sibling temp file first, which is then renamed over `path` (rename is
+/// atomic within a filesystem). Throws mcs::ConfigError when the temp
+/// file cannot be created, written, flushed or renamed; the temp file is
+/// removed on failure.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// The whole file as a string, or nullopt when it does not exist or is
+/// unreadable. No exceptions — absence is an expected state for caches.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace mcs::util

@@ -73,6 +73,24 @@ std::vector<std::string> Args::unknown(
   return out;
 }
 
+void Args::require_known(const std::vector<std::string>& known) const {
+  const std::vector<std::string> bad = unknown(known);
+  if (bad.empty()) return;
+  std::string message;
+  for (const std::string& name : bad) {
+    if (!message.empty()) message += "; ";
+    message += "unknown option '--" + name + "'";
+    const std::vector<std::string> close = closest_matches(name, known);
+    if (!close.empty()) {
+      message += ", did you mean";
+      for (std::size_t i = 0; i < close.size(); ++i)
+        message += (i == 0 ? " '--" : ", '--") + close[i] + "'";
+      message += "?";
+    }
+  }
+  throw ConfigError(message);
+}
+
 std::size_t edit_distance(const std::string& a, const std::string& b) {
   // One-row dynamic program over the (|a|+1) x (|b|+1) edit lattice.
   std::vector<std::size_t> row(b.size() + 1);

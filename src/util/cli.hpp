@@ -31,6 +31,14 @@ class Args {
   [[nodiscard]] std::vector<std::string> unknown(
       const std::vector<std::string>& known) const;
 
+  /// Strict option validation: throws mcs::ConfigError naming every
+  /// supplied `--option` not in `known`, with closest_matches
+  /// suggestions — the CLI counterpart of the scenario parser's
+  /// unknown-key handling. Without this an app silently ignores typos
+  /// (e.g. `--find-saturaton` runs a full sweep with no saturation
+  /// search).
+  void require_known(const std::vector<std::string>& known) const;
+
  private:
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;

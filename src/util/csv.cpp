@@ -7,7 +7,7 @@ namespace mcs::util {
 
 CsvWriter::CsvWriter(const std::string& path,
                      std::vector<std::string> header)
-    : out_(path), columns_(header.size()) {
+    : path_(path), out_(path), columns_(header.size()) {
   if (!out_) throw ConfigError("CsvWriter: cannot open " + path);
   MCS_EXPECTS(columns_ > 0);
   write_row(header);
@@ -19,10 +19,22 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
 }
 
 void CsvWriter::close() {
-  if (out_.is_open()) out_.close();
+  if (!out_.is_open()) return;
+  out_.flush();
+  check_stream();
+  out_.close();
+  if (out_.fail())
+    throw ConfigError("CsvWriter: closing '" + path_ + "' failed");
 }
 
-CsvWriter::~CsvWriter() { close(); }
+CsvWriter::~CsvWriter() {
+  // Destructors must not throw; callers that care about the final flush
+  // (every production writer) call close() explicitly.
+  try {
+    close();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -30,6 +42,14 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
     out_ << escape(cells[i]);
   }
   out_ << '\n';
+  check_stream();
+}
+
+void CsvWriter::check_stream() const {
+  if (!out_)
+    throw ConfigError("CsvWriter: write to '" + path_ +
+                      "' failed (disk full or I/O error); output is "
+                      "incomplete");
 }
 
 std::string CsvWriter::escape(const std::string& cell) {

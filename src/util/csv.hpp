@@ -9,12 +9,18 @@ namespace mcs::util {
 
 /// Writes RFC-4180-ish CSV: cells containing commas/quotes/newlines are
 /// quoted with doubled quotes. The file is created on construction.
+///
+/// Stream health is checked after every row and on close(): a full disk
+/// or I/O error throws mcs::ConfigError instead of silently truncating
+/// the output with exit code 0. Call close() explicitly to observe the
+/// final flush; the destructor swallows errors (it must not throw).
 class CsvWriter {
  public:
   CsvWriter(const std::string& path, std::vector<std::string> header);
 
   void add_row(const std::vector<std::string>& cells);
-  /// Flush and close; also run by the destructor.
+  /// Flush, verify stream health, and close. Also run (without throwing)
+  /// by the destructor.
   void close();
 
   ~CsvWriter();
@@ -23,8 +29,10 @@ class CsvWriter {
 
  private:
   void write_row(const std::vector<std::string>& cells);
+  void check_stream() const;
   static std::string escape(const std::string& cell);
 
+  std::string path_;
   std::ofstream out_;
   std::size_t columns_;
 };

@@ -1,0 +1,45 @@
+// Stable content hashing for the experiment result cache (DESIGN.md §14).
+//
+// SHA-256, self-contained and byte-stable across platforms, compilers and
+// library versions — the cache key contract is "same digest = same
+// resolved inputs", which std::hash (implementation-defined) cannot give.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcs::util {
+
+/// Streaming SHA-256 (FIPS 180-4). Feed bytes with update(), read the
+/// digest with hex_digest(); finishing is idempotent — update() after the
+/// first digest read is a contract violation.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// The 32-byte digest. Pads and finalizes on first call.
+  [[nodiscard]] std::array<std::uint8_t, 32> digest();
+  /// The digest as 64 lowercase hex characters (cache file names).
+  [[nodiscard]] std::string hex_digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+  void finalize();
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot convenience: SHA-256 of `s` as lowercase hex.
+[[nodiscard]] std::string sha256_hex(std::string_view s);
+
+}  // namespace mcs::util

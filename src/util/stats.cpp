@@ -197,14 +197,22 @@ double Histogram::quantile(double q) const {
   MCS_EXPECTS(q >= 0.0 && q <= 1.0);
   if (n_ == 0) return lo_;
   const double target = q * static_cast<double>(n_);
+  // Interpolate inside the first POPULATED bucket whose cumulative count
+  // reaches the target. Empty buckets are skipped outright: interpolating
+  // inside one anchored the estimate at an edge holding no data (q=0
+  // returned lo_ regardless of where the data sat, and any quantile
+  // landing exactly on a zero-count bucket returned that empty bucket's
+  // low edge).
   double cum = 0.0;
   for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
     const double next = cum + static_cast<double>(counts_[b]);
     if (next >= target) {
-      const double frac =
-          counts_[b] > 0
-              ? (target - cum) / static_cast<double>(counts_[b])
-              : 0.0;
+      // target <= cum happens for q = 0 (target 0) and for a target
+      // landing exactly on the gap before this bucket: anchor at the
+      // populated bucket's low edge, never inside the empty run.
+      const double frac = std::max(0.0, (target - cum)) /
+                          static_cast<double>(counts_[b]);
       return bin_lo(b) + frac * width_;
     }
     cum = next;

@@ -1,0 +1,360 @@
+#!/usr/bin/env python3
+"""Black-box end-to-end harness for the production sweep service.
+
+Drives the *built* mcs_sweep / mcs_merge / mcs_perf binaries exactly the
+way a campaign script would — through argv, files and exit codes, with no
+linkage against the library — and checks the service contracts that unit
+tests cannot see from inside the process:
+
+  * exit-code discipline (0 ok, 1 runtime error, 2 usage error),
+  * the printed summary metrics (grid rows, restored rows, sim runs),
+  * CSV/JSON output validity,
+  * malformed-input rejection (bad scenario file, bad --shard, typo'd
+    flags with closest-match suggestions),
+  * shard 0/3 + 1/3 + 2/3 merged byte-identical to the unsharded run,
+  * warm-cache re-runs executing zero simulations with identical bytes,
+  * SIGKILL mid-run followed by --resume completing identically,
+  * a deliberate hang caught by the harness wall-clock timeout, the
+    moral equivalent of a deadlock detector for the whole binary.
+
+Usage:  production_test.py [--build-dir=PATH] [--report=PATH] [--keep]
+
+Exit status is the number of failed tests (0 = all green). A JSON report
+(name, status, seconds, detail per test) is written for CI artifact
+upload regardless of outcome.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SCENARIO = "smoke"           # 4 grid rows, 8 sim runs, well under a second
+DEFAULT_TIMEOUT = 120        # generous per-command ceiling (seconds)
+HANG_TIMEOUT = 10            # deliberate-hang detection window (seconds)
+
+RESULTS = []                 # [{name, status, seconds, detail}]
+
+
+class Failure(Exception):
+    pass
+
+
+def check(cond, detail):
+    if not cond:
+        raise Failure(detail)
+
+
+class Harness:
+    def __init__(self, build_dir, workdir):
+        self.build_dir = os.path.abspath(build_dir)
+        self.workdir = workdir
+        for tool in ("mcs_sweep", "mcs_merge", "mcs_perf"):
+            path = os.path.join(self.build_dir, tool)
+            if not os.path.isfile(path) or not os.access(path, os.X_OK):
+                sys.exit(f"error: missing binary {path}; build first")
+
+    def path(self, *parts):
+        return os.path.join(self.workdir, *parts)
+
+    def run(self, tool, *args, timeout=DEFAULT_TIMEOUT, expect=0):
+        """Run a built binary; returns CompletedProcess. expect=None skips
+        the exit-code check."""
+        cmd = [os.path.join(self.build_dir, tool)] + list(args)
+        proc = subprocess.run(cmd, cwd=self.workdir, capture_output=True,
+                              text=True, timeout=timeout)
+        if expect is not None:
+            check(proc.returncode == expect,
+                  f"{' '.join(cmd)}: exit {proc.returncode}, wanted {expect}"
+                  f"\nstdout: {proc.stdout[-500:]}"
+                  f"\nstderr: {proc.stderr[-500:]}")
+        return proc
+
+    def read(self, name):
+        with open(self.path(name), "rb") as f:
+            return f.read()
+
+    def summary_metrics(self, stdout):
+        """Parse the mcs_sweep summary line:
+        '<name>: R grid rows (C restored from cache/journal), S sim runs
+        on T threads in W s (P saturated...)'."""
+        for line in stdout.splitlines():
+            if " grid rows (" in line and " sim runs " in line:
+                head, rest = line.split(" grid rows (", 1)
+                rows = int(head.rsplit(":", 1)[1])
+                restored = int(rest.split(" restored", 1)[0])
+                sim_runs = int(rest.split("), ", 1)[1].split(" sim runs")[0])
+                return {"rows": rows, "restored": restored,
+                        "sim_runs": sim_runs}
+        raise Failure(f"no summary line in stdout:\n{stdout}")
+
+
+# --------------------------------------------------------------- tests --
+
+def test_smoke_run_and_outputs(h):
+    """Plain run: exit 0, summary metrics, valid CSV and JSON."""
+    proc = h.run("mcs_sweep", SCENARIO, "--quiet", "--threads=2",
+                 "--csv=ref.csv", "--json=ref.json", "--stable-json")
+    m = h.summary_metrics(proc.stdout)
+    check(m["rows"] == 4, f"expected 4 grid rows, got {m}")
+    check(m["restored"] == 0, f"cold run restored rows: {m}")
+    check(m["sim_runs"] == 8, f"expected 8 sim runs (4 rows x 2 reps): {m}")
+
+    csv = h.read("ref.csv").decode()
+    lines = csv.strip().splitlines()
+    check(len(lines) == 5, f"CSV should be header + 4 rows, got {len(lines)}")
+    check(lines[0].startswith("system,"), f"unexpected CSV header {lines[0]}")
+
+    doc = json.loads(h.read("ref.json"))
+    check(doc["name"] == SCENARIO, f"JSON name {doc.get('name')}")
+    check(len(doc["rows"]) == 4, "JSON row count")
+    for key in ("threads", "wall_seconds", "manifest"):
+        check(key not in doc, f"--stable-json must omit volatile key {key}")
+    return "4 rows, 8 sim runs, CSV+stable JSON valid"
+
+
+def test_usage_errors(h):
+    """Exit-code discipline on bad invocations."""
+    proc = h.run("mcs_sweep", expect=2)
+    check("usage:" in proc.stderr, "no usage text without a scenario")
+
+    proc = h.run("mcs_sweep", "no_such_scenario_xyz", expect=1)
+    check("--list" in proc.stderr,
+          f"unknown scenario should point at --list: {proc.stderr}")
+
+    proc = h.run("mcs_sweep", SCENARIO, "--shard=3/0", expect=1)
+    proc = h.run("mcs_sweep", SCENARIO, "--shard=banana", expect=1)
+    check("--shard" in proc.stderr, f"bad shard syntax: {proc.stderr}")
+
+    proc = h.run("mcs_sweep", SCENARIO, "--resume", expect=1)
+    check("--resume" in proc.stderr,
+          f"--resume without --checkpoint must be rejected: {proc.stderr}")
+    return "usage and option errors rejected with the right exit codes"
+
+
+def test_typo_suggestions(h):
+    """Regression: a typo'd flag must fail fast with a suggestion, not run
+    a subtly different experiment."""
+    proc = h.run("mcs_sweep", SCENARIO, "--find-saturaton", expect=2)
+    check("find-saturaton" in proc.stderr and
+          "find-saturation" in proc.stderr,
+          f"no closest-match suggestion: {proc.stderr}")
+
+    proc = h.run("mcs_perf", "--basline=x.json", expect=2)
+    check("baseline" in proc.stderr,
+          f"mcs_perf typo not suggested: {proc.stderr}")
+
+    proc = h.run("mcs_merge", SCENARIO, "j.journal", "--qiuet", expect=2)
+    check("quiet" in proc.stderr,
+          f"mcs_merge typo not suggested: {proc.stderr}")
+    return "typo'd flags exit 2 with closest-match suggestions"
+
+
+def test_malformed_scenario_rejected(h):
+    """A broken scenario file must produce a diagnostic and exit 1."""
+    bad = h.path("broken.ini")
+    with open(bad, "w") as f:
+        f.write("[sweep]\nname = broken\nloads = not_a_number\n")
+    proc = h.run("mcs_sweep", bad, expect=1)
+    check(proc.stderr.strip(), "no diagnostic for a malformed scenario")
+
+    with open(bad, "w") as f:
+        f.write("[sweep]\nname = broken\nbogus_key = 1\nloads = 1e-3\n")
+    proc = h.run("mcs_sweep", bad, expect=1)
+    check("bogus_key" in proc.stderr,
+          f"unknown scenario key not named: {proc.stderr}")
+    return "malformed scenario files exit 1 with diagnostics"
+
+
+def test_shard_merge_byte_identity(h):
+    """shard 0/3 + 1/3 + 2/3 -> mcs_merge == unsharded run, byte for
+    byte, on both CSV and stable JSON."""
+    journals = []
+    total_rows = 0
+    for i in range(3):
+        journal = f"shard{i}.journal"
+        proc = h.run("mcs_sweep", SCENARIO, "--quiet", "--threads=2",
+                     f"--shard={i}/3", f"--checkpoint={journal}")
+        total_rows += h.summary_metrics(proc.stdout)["rows"]
+        journals.append(journal)
+    check(total_rows == 4, f"shards must partition the grid: {total_rows}")
+
+    h.run("mcs_merge", SCENARIO, *journals, "--quiet",
+          "--csv=merged.csv", "--json=merged.json")
+    check(h.read("merged.csv") == h.read("ref.csv"),
+          "merged CSV differs from the unsharded run")
+    check(h.read("merged.json") == h.read("ref.json"),
+          "merged stable JSON differs from the unsharded run")
+
+    # Dropping a shard must fail loudly, never merge a partial campaign.
+    proc = h.run("mcs_merge", SCENARIO, journals[0], journals[2],
+                 "--quiet", expect=1)
+    check("incomplete" in proc.stderr or "uncovered" in proc.stderr,
+          f"partial merge not rejected: {proc.stderr}")
+    return "3-way shard + merge byte-identical; partial merge rejected"
+
+
+def test_warm_cache_zero_sims(h):
+    """Second run against a warm cache: zero simulations, identical CSV."""
+    cache = h.path("cache")
+    h.run("mcs_sweep", SCENARIO, "--quiet", "--threads=2",
+          f"--cache={cache}")
+    proc = h.run("mcs_sweep", SCENARIO, "--quiet", "--threads=2",
+                 f"--cache={cache}", "--csv=warm.csv")
+    m = h.summary_metrics(proc.stdout)
+    check(m["restored"] == 4, f"warm run should restore all 4 rows: {m}")
+    check(m["sim_runs"] == 0, f"warm run must execute zero sims: {m}")
+    check(h.read("warm.csv") == h.read("ref.csv"),
+          "warm-cache CSV differs from the cold run")
+
+    # A changed evaluation flag must miss the cache, not serve stale rows.
+    proc = h.run("mcs_sweep", SCENARIO, "--quiet", "--threads=2",
+                 f"--cache={cache}", "--measured=3000")
+    m = h.summary_metrics(proc.stdout)
+    check(m["restored"] == 0 and m["sim_runs"] == 8,
+          f"changed --measured must invalidate the cache: {m}")
+    return "warm cache: 4/4 restored, 0 sim runs, bytes identical"
+
+
+def test_kill_and_resume(h):
+    """SIGKILL a checkpointed run mid-flight, then --resume: the finished
+    campaign must be byte-identical to an uninterrupted one."""
+    journal = h.path("resume.journal")
+    if os.path.exists(journal):
+        os.remove(journal)
+    # Reference for these exact flags (longer phases slow the victim down
+    # enough to catch it between checkpoint appends).
+    flags = ["--measured=400000", "--warmup=500", "--threads=1"]
+    h.run("mcs_sweep", SCENARIO, "--quiet", *flags, "--csv=resume_ref.csv")
+
+    cmd = [os.path.join(h.build_dir, "mcs_sweep"), SCENARIO, "--quiet",
+           f"--checkpoint={journal}"] + flags
+    victim = subprocess.Popen(cmd, cwd=h.workdir,
+                              stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL)
+    killed_midway = False
+    deadline = time.monotonic() + DEFAULT_TIMEOUT
+    while time.monotonic() < deadline and victim.poll() is None:
+        if os.path.exists(journal):
+            with open(journal) as f:
+                rows = sum(1 for line in f if line.startswith("row "))
+            if rows >= 1:
+                victim.send_signal(signal.SIGKILL)
+                killed_midway = True
+                break
+        time.sleep(0.005)
+    victim.wait(timeout=DEFAULT_TIMEOUT)
+
+    proc = h.run("mcs_sweep", SCENARIO, "--quiet", *flags,
+                 f"--checkpoint={journal}", "--resume",
+                 "--csv=resumed.csv")
+    m = h.summary_metrics(proc.stdout)
+    check(h.read("resumed.csv") == h.read("resume_ref.csv"),
+          "resumed campaign differs from the uninterrupted run")
+    how = (f"killed with {m['restored']} rows checkpointed"
+           if killed_midway else
+           "victim finished before the kill window (machine too fast)")
+    return f"resume byte-identical; {how}"
+
+
+def test_hang_caught_by_timeout(h):
+    """A pathological invocation that runs far beyond its budget must be
+    caught by the harness wall-clock ceiling — the black-box equivalent
+    of a deadlock detector."""
+    cmd = [os.path.join(h.build_dir, "mcs_sweep"), SCENARIO, "--quiet",
+           "--threads=1", "--measured=2000000000", "--warmup=200"]
+    try:
+        subprocess.run(cmd, cwd=h.workdir, capture_output=True,
+                       timeout=HANG_TIMEOUT)
+        raise Failure("a 2e9-event run finished inside the hang window; "
+                      "the timeout guard is not being exercised")
+    except subprocess.TimeoutExpired:
+        return f"hang detected and killed after {HANG_TIMEOUT}s"
+
+
+def test_perf_smoke_contract(h):
+    """mcs_perf --smoke: exit 0, a report with manifest + measurements."""
+    proc = h.run("mcs_perf", "--smoke", "--repeats=1",
+                 "--out=perf_e2e.json", timeout=DEFAULT_TIMEOUT)
+    doc = json.loads(h.read("perf_e2e.json"))
+    check(doc.get("scenarios"), "perf report has no scenario measurements")
+    check("manifest" in doc, "perf report has no manifest")
+    check("events" in proc.stdout, "perf table not printed")
+    return f"{len(doc['scenarios'])} perf scenarios measured"
+
+
+TESTS = [
+    test_smoke_run_and_outputs,
+    test_usage_errors,
+    test_typo_suggestions,
+    test_malformed_scenario_rejected,
+    test_shard_merge_byte_identity,
+    test_warm_cache_zero_sims,
+    test_kill_and_resume,
+    test_hang_caught_by_timeout,
+    test_perf_smoke_contract,
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    here = os.path.dirname(os.path.abspath(__file__))
+    parser.add_argument("--build-dir",
+                        default=os.path.join(here, "..", "..", "build"),
+                        help="directory holding the built mcs_* binaries")
+    parser.add_argument("--report", default="e2e_report.json",
+                        help="JSON report path (written regardless)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch directory for debugging")
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="mcs_e2e_")
+    h = Harness(args.build_dir, workdir)
+    print(f"binaries: {h.build_dir}\nscratch:  {workdir}\n")
+
+    failed = 0
+    for test in TESTS:
+        name = test.__name__
+        start = time.monotonic()
+        try:
+            detail = test(h)
+            status = "PASS"
+        except Failure as e:
+            status, detail, failed = "FAIL", str(e), failed + 1
+        except subprocess.TimeoutExpired as e:
+            status, detail, failed = "FAIL", f"timeout: {e}", failed + 1
+        seconds = time.monotonic() - start
+        RESULTS.append({"name": name, "status": status,
+                        "seconds": round(seconds, 3), "detail": detail})
+        print(f"[{status}] {name} ({seconds:.2f}s)")
+        if status == "FAIL":
+            print(f"       {detail}")
+        elif detail:
+            print(f"       {detail}")
+
+    report = {
+        "suite": "production_e2e",
+        "build_dir": h.build_dir,
+        "passed": len(TESTS) - failed,
+        "failed": failed,
+        "results": RESULTS,
+    }
+    with open(args.report, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"\n{report['passed']}/{len(TESTS)} passed; report: {args.report}")
+
+    if args.keep:
+        print(f"scratch kept: {workdir}")
+    else:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return failed
+
+
+if __name__ == "__main__":
+    sys.exit(main())

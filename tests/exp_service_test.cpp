@@ -1,0 +1,450 @@
+// Production sweep service (DESIGN.md §14): content-hash cache,
+// checkpoint/resume, shard/merge. The contracts under test are all
+// BIT-identity contracts — a restored, resumed, or merged result must be
+// indistinguishable from a cold computation, byte for byte across every
+// output format.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/checkpoint.hpp"
+#include "exp/result_cache.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "exp/sweep_io.hpp"
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+namespace mcs::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScenarioSpec tiny_spec() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.systems.push_back({"h1x2", topo::SystemConfig::homogeneous(4, 1, 2)});
+  spec.patterns.push_back({"uniform", sim::TrafficPattern{}});
+  PatternEntry local{"local", {}};
+  local.pattern.kind = sim::PatternKind::kLocalFavor;
+  local.pattern.local_fraction = 0.7;
+  spec.patterns.push_back(local);
+  spec.loads = {5e-4, 1e-3};
+  spec.replications = 2;
+  spec.warmup = 200;
+  spec.measured = 2'000;
+  spec.find_knee = true;
+  return spec;
+}
+
+/// A scratch directory unique to the calling test.
+std::string scratch_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "mcs_service_" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void expect_rows_identical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    const std::string ctx = "row " + std::to_string(i);
+    EXPECT_EQ(encode_row_payload(a.rows[i]), encode_row_payload(b.rows[i]))
+        << ctx;
+    EXPECT_EQ(a.rows[i].grid_index, b.rows[i].grid_index) << ctx;
+    EXPECT_EQ(a.rows[i].system_id, b.rows[i].system_id) << ctx;
+    EXPECT_EQ(a.rows[i].pattern_id, b.rows[i].pattern_id) << ctx;
+    EXPECT_EQ(a.rows[i].lambda, b.rows[i].lambda) << ctx;
+  }
+}
+
+/// Every user-facing rendering, byte for byte.
+void expect_outputs_byte_identical(const SweepResult& a,
+                                   const SweepResult& b,
+                                   const std::string& dir) {
+  EXPECT_EQ(to_table(a).render(), to_table(b).render());
+
+  std::ostringstream ja, jb;
+  write_json(a, ja, /*stable=*/true);
+  write_json(b, jb, /*stable=*/true);
+  EXPECT_EQ(ja.str(), jb.str());
+
+  write_csv(a, dir + "/a.csv");
+  write_csv(b, dir + "/b.csv");
+  EXPECT_EQ(util::read_file(dir + "/a.csv"), util::read_file(dir + "/b.csv"));
+}
+
+// --- row payload codec ---------------------------------------------------
+
+TEST(RowPayload, RoundTripsEveryOutputFieldBitExact) {
+  SweepRow row;
+  row.paper_run = true;
+  row.paper_latency = 0.1 + 0.2;  // not exactly 0.3: hexfloat must keep it
+  row.paper_stable = true;
+  row.refined_run = true;
+  row.refined_latency = std::numeric_limits<double>::infinity();
+  row.refined_stable = false;
+  row.knee_lambda = 1.23456789012345e-4;
+  row.sim_lambda_sat = 9.87e-5;
+  row.sat_ratio = 0.913;
+  row.sim_run = true;
+  row.replications = 7;
+  row.completed = 5;
+  row.saturated = 2;
+  row.saturation_causes = "worms+events";
+  row.sim_latency = 17.25;
+  row.sim_ci = 0.03125;
+  row.sim_internal = 3.5;
+  row.sim_external = 21.75;
+  row.external_share = 0.875;
+  row.sim_p50 = 16.0;
+  row.sim_p95 = 40.5;
+  row.sim_p99 = 55.125;
+  row.sim_state = 2;
+
+  const std::string payload = encode_row_payload(row);
+  SweepRow restored;
+  ASSERT_TRUE(decode_row_payload(payload, restored));
+  // Bit-identity: re-encoding the restored row reproduces the payload.
+  EXPECT_EQ(encode_row_payload(restored), payload);
+  EXPECT_EQ(restored.paper_latency, row.paper_latency);
+  EXPECT_TRUE(std::isinf(restored.refined_latency));
+  EXPECT_EQ(restored.saturation_causes, "worms+events");
+  EXPECT_EQ(restored.sim_state, 2);
+}
+
+TEST(RowPayload, EmptySaturationCausesSurvive) {
+  SweepRow row;
+  row.sim_run = true;
+  const std::string payload = encode_row_payload(row);
+  SweepRow restored;
+  restored.saturation_causes = "stale";
+  ASSERT_TRUE(decode_row_payload(payload, restored));
+  EXPECT_EQ(restored.saturation_causes, "");
+}
+
+TEST(RowPayload, RejectsMalformedAndWrongVersion) {
+  SweepRow row;
+  EXPECT_FALSE(decode_row_payload("", row));
+  EXPECT_FALSE(decode_row_payload("not-a-payload v1", row));
+  EXPECT_FALSE(decode_row_payload("mcs-row-payload v999 sim_state=0", row));
+  // Truncated: right magic, missing fields.
+  EXPECT_FALSE(decode_row_payload("mcs-row-payload v1 sim_state=0", row));
+  // Corrupt value.
+  std::string payload = encode_row_payload(SweepRow{});
+  const std::size_t pos = payload.find("sim_state=");
+  payload.replace(pos, std::string::npos, "sim_state=banana");
+  EXPECT_FALSE(decode_row_payload(payload, row));
+}
+
+// --- digest sensitivity --------------------------------------------------
+
+TEST(RowDigest, SensitiveToEveryKeyedInput) {
+  const ScenarioSpec spec = tiny_spec();
+  const SweepRunner runner(spec);
+  const SweepPlan plan = runner.plan("fp");
+  ASSERT_EQ(plan.rows.size(), 4u);
+
+  // All digests distinct (different grid points).
+  for (std::size_t i = 0; i < plan.digests.size(); ++i)
+    for (std::size_t j = i + 1; j < plan.digests.size(); ++j)
+      EXPECT_NE(plan.digests[i], plan.digests[j]);
+
+  const SweepRow& row = plan.rows.front();
+  const std::string base = row_digest(spec, row, "fp");
+  EXPECT_EQ(base.size(), 64u);
+  EXPECT_EQ(base, plan.digests.front());  // plan agrees with row_digest
+
+  // Binary fingerprint enters the key (rebuild invalidation).
+  EXPECT_NE(row_digest(spec, row, "fp2"), base);
+
+  // Scenario seed and evaluation switches enter the key.
+  ScenarioSpec mutated = spec;
+  mutated.seed += 1;
+  EXPECT_NE(row_digest(mutated, row, "fp"), base);
+  mutated = spec;
+  mutated.measured += 1;
+  EXPECT_NE(row_digest(mutated, row, "fp"), base);
+  mutated = spec;
+  mutated.run_paper_model = false;
+  EXPECT_NE(row_digest(mutated, row, "fp"), base);
+
+  // Grid coordinates enter the key even at equal resolved values: task
+  // seeds derive from the coordinates, so the same lambda at a different
+  // load index is a different simulation.
+  SweepRow moved = row;
+  moved.load_idx += 1;
+  EXPECT_NE(row_digest(spec, moved, "fp"), base);
+}
+
+// --- result cache --------------------------------------------------------
+
+TEST(ResultCacheService, WarmRunExecutesZeroSimulationsByteIdentically) {
+  const std::string dir = scratch_dir("warm");
+  const SweepRunner runner(tiny_spec());
+
+  SweepRunOptions options;
+  options.threads = 2;
+  options.cache_dir = dir + "/cache";
+  options.fingerprint = "test-fp";
+  const SweepResult cold = runner.run(options);
+  EXPECT_EQ(cold.cached_rows, 0);
+  EXPECT_EQ(cold.sim_tasks, 8);  // 4 rows x 2 replications
+
+  const SweepResult warm = runner.run(options);
+  EXPECT_EQ(warm.cached_rows, 4);
+  EXPECT_EQ(warm.sim_tasks, 0);      // zero simulations
+  EXPECT_TRUE(warm.task_stats.empty());  // zero tasks of any kind
+
+  expect_rows_identical(cold, warm);
+  expect_outputs_byte_identical(cold, warm, dir);
+}
+
+TEST(ResultCacheService, FingerprintChangeInvalidatesEveryEntry) {
+  const std::string dir = scratch_dir("fp");
+  const SweepRunner runner(tiny_spec());
+
+  SweepRunOptions options;
+  options.cache_dir = dir + "/cache";
+  options.fingerprint = "build-A";
+  (void)runner.run(options);
+
+  options.fingerprint = "build-B";  // same cache dir, new binary identity
+  const SweepResult rebuilt = runner.run(options);
+  EXPECT_EQ(rebuilt.cached_rows, 0);
+  EXPECT_EQ(rebuilt.sim_tasks, 8);
+}
+
+TEST(ResultCacheService, CorruptEntryIsTreatedAsMiss) {
+  const std::string dir = scratch_dir("corrupt");
+  const SweepRunner runner(tiny_spec());
+
+  SweepRunOptions options;
+  options.cache_dir = dir + "/cache";
+  options.fingerprint = "fp";
+  const SweepResult cold = runner.run(options);
+
+  // Truncate every cache entry.
+  for (const auto& entry : fs::directory_iterator(options.cache_dir))
+    util::write_file_atomic(entry.path().string(), "mcs-row-payload v1 gar");
+
+  const SweepResult rerun = runner.run(options);
+  EXPECT_EQ(rerun.cached_rows, 0);  // misses, not crashes or stale rows
+  expect_rows_identical(cold, rerun);
+}
+
+// --- shard / merge -------------------------------------------------------
+
+TEST(ShardMerge, ThreeShardsMergeByteIdenticalToUnsharded) {
+  const std::string dir = scratch_dir("shard");
+  const SweepRunner runner(tiny_spec());
+
+  SweepRunOptions plain;
+  plain.fingerprint = "fp";
+  const SweepResult whole = runner.run(plain);
+
+  std::vector<std::string> journals;
+  std::int64_t shard_rows = 0;
+  for (int i = 0; i < 3; ++i) {
+    SweepRunOptions options;
+    options.fingerprint = "fp";
+    options.shard_index = i;
+    options.shard_count = 3;
+    options.checkpoint_path =
+        dir + "/shard" + std::to_string(i) + ".journal";
+    journals.push_back(options.checkpoint_path);
+    const SweepResult shard = runner.run(options);
+    EXPECT_EQ(shard.grid_size, 4);
+    shard_rows += static_cast<std::int64_t>(shard.rows.size());
+    for (const SweepRow& row : shard.rows)
+      EXPECT_EQ(row.grid_index % 3, i);  // the partition rule
+  }
+  EXPECT_EQ(shard_rows, 4);  // disjoint and complete
+
+  const SweepResult merged = merge_journals(runner, journals, "fp");
+  EXPECT_EQ(merged.cached_rows, 4);
+  expect_rows_identical(whole, merged);
+  expect_outputs_byte_identical(whole, merged, dir);
+}
+
+TEST(ShardMerge, IncompleteCampaignFailsLoudly) {
+  const std::string dir = scratch_dir("incomplete");
+  const SweepRunner runner(tiny_spec());
+
+  SweepRunOptions options;
+  options.fingerprint = "fp";
+  options.shard_index = 0;
+  options.shard_count = 2;
+  options.checkpoint_path = dir + "/only.journal";
+  (void)runner.run(options);
+
+  EXPECT_THROW((void)merge_journals(runner, {options.checkpoint_path}, "fp"),
+               ConfigError);
+  // A fingerprint mismatch leaves every row uncovered -> same loud error.
+  EXPECT_THROW(
+      (void)merge_journals(runner, {options.checkpoint_path}, "other-fp"),
+      ConfigError);
+}
+
+TEST(ShardMerge, ScenarioNameMismatchRejected) {
+  const std::string dir = scratch_dir("name");
+  const SweepRunner runner(tiny_spec());
+  SweepRunOptions options;
+  options.fingerprint = "fp";
+  options.checkpoint_path = dir + "/tiny.journal";
+  (void)runner.run(options);
+
+  ScenarioSpec other = tiny_spec();
+  other.name = "other";
+  const SweepRunner other_runner(other);
+  EXPECT_THROW(
+      (void)merge_journals(other_runner, {options.checkpoint_path}, "fp"),
+      ConfigError);
+}
+
+// --- checkpoint / resume -------------------------------------------------
+
+TEST(Checkpoint, JournalRoundTripsAndSortsByGridIndex) {
+  const std::string path = scratch_dir("journal") + "/j.journal";
+  CheckpointWriter writer(path, "tiny", 0, 1);
+  writer.add(3, "d3", "mcs-row-payload v1 x=1");
+  writer.add(1, "d1", "mcs-row-payload v1 y=2");
+
+  const std::optional<Journal> journal = load_journal(path);
+  ASSERT_TRUE(journal.has_value());
+  EXPECT_EQ(journal->scenario, "tiny");
+  EXPECT_EQ(journal->shard_count, 1);
+  ASSERT_EQ(journal->entries.size(), 2u);
+  EXPECT_EQ(journal->entries[0].grid_index, 1);  // sorted
+  EXPECT_EQ(journal->entries[1].grid_index, 3);
+  EXPECT_EQ(journal->entries[0].digest, "d1");
+  EXPECT_EQ(journal->entries[0].payload, "mcs-row-payload v1 y=2");
+
+  EXPECT_FALSE(load_journal(path + ".does-not-exist").has_value());
+}
+
+TEST(Checkpoint, MalformedJournalThrows) {
+  const std::string dir = scratch_dir("badjournal");
+  util::write_file_atomic(dir + "/bad1", "not-a-journal\n");
+  EXPECT_THROW((void)load_journal(dir + "/bad1"), ConfigError);
+  util::write_file_atomic(dir + "/bad2", "mcs-journal v1\nscenario x\n"
+                                         "shard 5 2\n");
+  EXPECT_THROW((void)load_journal(dir + "/bad2"), ConfigError);
+  util::write_file_atomic(dir + "/bad3", "mcs-journal v1\nscenario x\n"
+                                         "shard 0 1\nrow nope\n");
+  EXPECT_THROW((void)load_journal(dir + "/bad3"), ConfigError);
+}
+
+TEST(Checkpoint, ResumeFromPartialJournalCompletesIdentically) {
+  const std::string dir = scratch_dir("resume");
+  const SweepRunner runner(tiny_spec());
+
+  SweepRunOptions plain;
+  plain.fingerprint = "fp";
+  const SweepResult whole = runner.run(plain);
+
+  // A half-finished campaign: shard 0/2's journal records 2 of 4 rows —
+  // the same file state an interrupted (killed) full run leaves behind.
+  SweepRunOptions half;
+  half.fingerprint = "fp";
+  half.shard_index = 0;
+  half.shard_count = 2;
+  half.checkpoint_path = dir + "/run.journal";
+  (void)runner.run(half);
+
+  SweepRunOptions resume;
+  resume.fingerprint = "fp";
+  resume.checkpoint_path = dir + "/run.journal";
+  resume.resume = true;
+  const SweepResult resumed = runner.run(resume);
+  EXPECT_EQ(resumed.cached_rows, 2);
+  EXPECT_EQ(resumed.sim_tasks, 4);  // only the 2 missing rows x 2 reps
+  expect_rows_identical(whole, resumed);
+  expect_outputs_byte_identical(whole, resumed, dir);
+
+  // The journal now covers the full grid: merge-able on its own.
+  const SweepResult merged =
+      merge_journals(runner, {resume.checkpoint_path}, "fp");
+  expect_rows_identical(whole, merged);
+}
+
+TEST(Checkpoint, StaleJournalRestoresNothing) {
+  const std::string dir = scratch_dir("stale");
+  const SweepRunner runner(tiny_spec());
+
+  SweepRunOptions first;
+  first.fingerprint = "old-build";
+  first.checkpoint_path = dir + "/run.journal";
+  (void)runner.run(first);
+
+  // Same journal, new fingerprint: digests match nothing, so every row
+  // recomputes — stale bytes can never leak into the result.
+  SweepRunOptions resume;
+  resume.fingerprint = "new-build";
+  resume.checkpoint_path = dir + "/run.journal";
+  resume.resume = true;
+  const SweepResult resumed = runner.run(resume);
+  EXPECT_EQ(resumed.cached_rows, 0);
+  EXPECT_EQ(resumed.sim_tasks, 8);
+}
+
+// --- option validation ---------------------------------------------------
+
+TEST(ServiceOptions, InvalidCombinationsRejected) {
+  const SweepRunner runner(tiny_spec());
+
+  SweepRunOptions bad_shard;
+  bad_shard.shard_index = 3;
+  bad_shard.shard_count = 3;
+  EXPECT_THROW((void)runner.run(bad_shard), ConfigError);
+  bad_shard.shard_index = -1;
+  EXPECT_THROW((void)runner.run(bad_shard), ConfigError);
+  bad_shard.shard_index = 0;
+  bad_shard.shard_count = 0;
+  EXPECT_THROW((void)runner.run(bad_shard), ConfigError);
+
+  SweepRunOptions resume_only;
+  resume_only.resume = true;  // no checkpoint path
+  EXPECT_THROW((void)runner.run(resume_only), ConfigError);
+
+  SweepRunOptions observed;
+  observed.cache_dir = scratch_dir("observed") + "/cache";
+  observed.collect_probes = true;
+  EXPECT_THROW((void)runner.run(observed), ConfigError);
+  observed.collect_probes = false;
+  observed.explain = true;
+  EXPECT_THROW((void)runner.run(observed), ConfigError);
+}
+
+// --- search results ride the cache ---------------------------------------
+
+TEST(ResultCacheService, SaturationSearchResultsAreCachedToo) {
+  const std::string dir = scratch_dir("search");
+  ScenarioSpec spec = tiny_spec();
+  spec.patterns.resize(1);  // single pattern: one search group
+  spec.find_sim_saturation = true;
+  spec.search.seq = sim::SequentialSpec{2, 3, 0.3};
+  spec.search.rel_tol = 0.2;
+  spec.search.max_probes = 8;
+  const SweepRunner runner(spec);
+
+  SweepRunOptions options;
+  options.cache_dir = dir + "/cache";
+  options.fingerprint = "fp";
+  const SweepResult cold = runner.run(options);
+  ASSERT_GT(cold.rows.size(), 0u);
+
+  const SweepResult warm = runner.run(options);
+  EXPECT_EQ(warm.sim_tasks, 0);
+  EXPECT_TRUE(warm.task_stats.empty());  // search tasks skipped too
+  expect_rows_identical(cold, warm);
+}
+
+}  // namespace
+}  // namespace mcs::exp

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -81,6 +84,96 @@ TEST(Args, UnknownDetection) {
   const auto unknown = args.unknown({"known"});
   ASSERT_EQ(unknown.size(), 1u);
   EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Args, RequireKnownAcceptsKnownOptions) {
+  const char* argv[] = {"prog", "--csv=out.csv", "--quiet", "positional"};
+  Args args(4, argv);
+  EXPECT_NO_THROW(args.require_known({"csv", "quiet", "json"}));
+}
+
+TEST(Args, RequireKnownThrowsWithSuggestion) {
+  // Regression: `--find-saturaton` used to be silently ignored, running a
+  // full sweep with no saturation search and no diagnostic.
+  const char* argv[] = {"prog", "--find-saturaton"};
+  Args args(2, argv);
+  try {
+    args.require_known({"find-saturation", "find-knee", "csv"});
+    FAIL() << "require_known accepted a typo'd option";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("find-saturaton"), std::string::npos) << what;
+    EXPECT_NE(what.find("find-saturation"), std::string::npos) << what;
+  }
+}
+
+TEST(Args, RequireKnownNamesEveryUnknownOption) {
+  const char* argv[] = {"prog", "--bogus1=1", "--bogus2"};
+  Args args(3, argv);
+  try {
+    args.require_known({"csv"});
+    FAIL() << "require_known accepted unknown options";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus1"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus2"), std::string::npos) << what;
+  }
+}
+
+TEST(CsvWriter, ThrowsOnFailedStreamInsteadOfSilentTruncation) {
+  // /dev/full accepts the open but fails every flush with ENOSPC — the
+  // exact disk-full scenario that used to truncate silently and exit 0.
+  if (!std::filesystem::exists("/dev/full"))
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  EXPECT_THROW(
+      {
+        CsvWriter csv("/dev/full", {"a", "b"});
+        for (int i = 0; i < 100000; ++i)
+          csv.add_row({"xxxxxxxxxxxxxxxx", "yyyyyyyyyyyyyyyy"});
+        csv.close();
+      },
+      ConfigError);
+}
+
+TEST(Sha256, MatchesFipsKnownVectors) {
+  EXPECT_EQ(
+      sha256_hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      sha256_hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  const std::string message =
+      "the quick brown fox jumps over the lazy dog, repeatedly, until the "
+      "update spans multiple 64-byte blocks and a ragged tail";
+  Sha256 chunked;
+  for (std::size_t i = 0; i < message.size(); i += 7)
+    chunked.update(message.substr(i, 7));
+  EXPECT_EQ(chunked.hex_digest(), sha256_hex(message));
+}
+
+TEST(AtomicFile, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "mcs_atomic_test.txt";
+  const std::string content = "line one\nline two\nno trailing newline";
+  write_file_atomic(path, content);
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, content);
+  // Overwrite goes through the same temp-then-rename path.
+  write_file_atomic(path, "v2");
+  EXPECT_EQ(read_file(path).value_or(""), "v2");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, ReadMissingFileIsNulloptAndWriteToBadDirThrows) {
+  EXPECT_FALSE(read_file("/nonexistent_dir_xyz/missing.txt").has_value());
+  EXPECT_THROW(write_file_atomic("/nonexistent_dir_xyz/out.txt", "x"),
+               ConfigError);
 }
 
 TEST(Log, LevelFiltering) {
