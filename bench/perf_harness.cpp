@@ -134,9 +134,12 @@ PerfMeasurement measure(const PerfScenario& scenario, int repeats) {
 
   for (int r = 0; r < repeats; ++r) {
     sim::Simulator simulator(topology, params, scenario.lambda, scenario.sim);
+    // mcs-lint: allow(raw-entropy) wall time IS the measurement here; the
+    // harness cross-checks event counts, not times, for bit-identity.
     const auto start = std::chrono::steady_clock::now();
     const sim::SimResult result = simulator.run();
     const std::chrono::duration<double> elapsed =
+        // mcs-lint: allow(raw-entropy) same timing measurement as above.
         std::chrono::steady_clock::now() - start;
 
     if (r == 0) {

@@ -110,6 +110,12 @@ SweepResult merge_journals(const SweepRunner& runner,
   // entry to the exact (scenario point, seed, flags, binary) that
   // produced it, so entries from an unrelated campaign can never be
   // matched by accident — they just leave grid rows uncovered.
+  // mcs-lint: note(unordered-iter) lookup-only index: probed with find()
+  // per planned grid row (grid order), never iterated — merge output
+  // order is the plan's, independent of journal entry order (regression:
+  // exp_service_test MergeOrderIndependent). Duplicate digests keep the
+  // first entry in paths order: deterministic, and duplicates can only
+  // carry byte-identical payloads anyway (digest pins the content).
   std::unordered_map<std::string, const JournalEntry*> by_digest;
   std::vector<Journal> journals;
   journals.reserve(paths.size());

@@ -297,9 +297,9 @@ SimResult Simulator::run() {
   // measured_latencies_ in place.
   if (config_.warmup_deletion != WarmupDeletion::kOff &&
       !measured_latencies_.empty()) {
-    const std::size_t n = measured_latencies_.size();
+    const std::size_t measured = measured_latencies_.size();
     std::size_t cut = static_cast<std::size_t>(
-        config_.warmup_fraction * static_cast<double>(n));
+        config_.warmup_fraction * static_cast<double>(measured));
     if (config_.warmup_deletion == WarmupDeletion::kMser5) {
       const util::Mser5Result mser = util::mser5_cutoff(measured_latencies_);
       if (mser.undetermined) {
@@ -308,7 +308,7 @@ SimResult Simulator::run() {
         cut = mser.cutoff;
       }
     }
-    if (cut >= n) cut = n - 1;  // always keep at least one message
+    if (cut >= measured) cut = measured - 1;  // always keep >= one message
     if (cut > 0) apply_warmup_deletion(cut);
     result.warmup_deleted = static_cast<std::int64_t>(cut);
   }

@@ -46,6 +46,9 @@ std::optional<LogLevel> parse_log_level(const std::string& name) {
 }
 
 void apply_log_level_env() {
+  // Called once from main() before any worker thread exists, so the
+  // mt-unsafety of getenv cannot bite.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("MCS_LOG_LEVEL");
   if (env == nullptr) return;
   if (const auto level = parse_log_level(env)) set_log_level(*level);
@@ -66,6 +69,8 @@ void log(LogLevel level, const std::string& message) {
       static_cast<int>(g_level.load(std::memory_order_relaxed)))
     return;
 
+  // mcs-lint: allow(raw-entropy) log-line timestamps are diagnostics on
+  // stderr, never part of result output.
   const auto now = std::chrono::system_clock::now();
   const std::time_t secs = std::chrono::system_clock::to_time_t(now);
   const int millis = static_cast<int>(

@@ -5,6 +5,7 @@
 // output format.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -372,6 +373,93 @@ TEST(Checkpoint, ResumeFromPartialJournalCompletesIdentically) {
   const SweepResult merged =
       merge_journals(runner, {resume.checkpoint_path}, "fp");
   expect_rows_identical(whole, merged);
+}
+
+// Rewrite a journal with its row lines permuted (header untouched).
+// load_journal's on-disk files are always grid_index-sorted, so this
+// forges the adversarial input: a journal whose ENTRY order disagrees
+// with grid order, as a hand-edited or foreign-tool journal could.
+std::string permute_journal_rows(const std::string& path,
+                                 const std::string& out_path) {
+  const std::optional<std::string> text = util::read_file(path);
+  EXPECT_TRUE(text.has_value());
+  std::istringstream in(*text);
+  std::string line, header;
+  std::vector<std::string> row_lines;
+  int headers = 0;
+  while (std::getline(in, line)) {
+    if (headers < 3) {
+      header += line + "\n";
+      ++headers;
+    } else if (!line.empty()) {
+      row_lines.push_back(line);
+    }
+  }
+  // Reverse, then swap the middle pair when there is one: distinct from
+  // both forward and strictly-reversed order.
+  std::reverse(row_lines.begin(), row_lines.end());
+  if (row_lines.size() >= 3)
+    std::swap(row_lines[0], row_lines[row_lines.size() / 2]);
+  std::string out = header;
+  for (const std::string& row : row_lines) out += row + "\n";
+  util::write_file_atomic(out_path, out);
+  return out_path;
+}
+
+// Regression for the unordered_map digest indexes (checkpoint.cpp
+// merge_journals, sweep.cpp resume restore): both are lookup-only —
+// probed per grid row, never iterated into output — so permuting the
+// journal's entry order must not move a byte of merge output.
+TEST(ShardMerge, MergeOrderIndependent) {
+  const std::string dir = scratch_dir("mergeorder");
+  const SweepRunner runner(tiny_spec());
+
+  SweepRunOptions options;
+  options.fingerprint = "fp";
+  options.checkpoint_path = dir + "/full.journal";
+  (void)runner.run(options);
+
+  const SweepResult merged =
+      merge_journals(runner, {options.checkpoint_path}, "fp");
+  const SweepResult permuted = merge_journals(
+      runner,
+      {permute_journal_rows(options.checkpoint_path,
+                            dir + "/permuted.journal")},
+      "fp");
+  expect_rows_identical(merged, permuted);
+  expect_outputs_byte_identical(merged, permuted, dir);
+}
+
+// Same property for --resume: restoring from a journal whose entries
+// arrive in any order restores the same rows with the same bytes.
+TEST(Checkpoint, ResumeOrderIndependent) {
+  const std::string dir = scratch_dir("resumeorder");
+  const SweepRunner runner(tiny_spec());
+
+  SweepRunOptions make;
+  make.fingerprint = "fp";
+  make.checkpoint_path = dir + "/full.journal";
+  (void)runner.run(make);
+
+  SweepRunOptions resume;
+  resume.fingerprint = "fp";
+  resume.checkpoint_path = dir + "/full.journal";
+  resume.resume = true;
+  const SweepResult from_sorted = runner.run(resume);
+  EXPECT_EQ(from_sorted.cached_rows, 4);
+  EXPECT_EQ(from_sorted.sim_tasks, 0);  // fully restored, zero recompute
+
+  SweepRunOptions resume_permuted;
+  resume_permuted.fingerprint = "fp";
+  resume_permuted.checkpoint_path = permute_journal_rows(
+      make.checkpoint_path, dir + "/permuted.journal");
+  resume_permuted.resume = true;
+  const SweepResult from_permuted = runner.run(resume_permuted);
+  EXPECT_EQ(from_permuted.cached_rows, 4);
+  EXPECT_EQ(from_permuted.sim_tasks, 0);
+
+  expect_rows_identical(from_sorted, from_permuted);
+  expect_outputs_byte_identical(from_sorted, from_permuted, dir);
 }
 
 TEST(Checkpoint, StaleJournalRestoresNothing) {

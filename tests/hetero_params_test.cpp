@@ -147,7 +147,9 @@ INSTANTIATE_TEST_SUITE_P(
     MixedTechAndHotCluster, HeteroModelVsSim,
     ::testing::Values(std::make_pair("mixed_tech", 0),
                       std::make_pair("hot_cluster", 1)),
-    [](const auto& info) { return std::string(info.param.first); });
+    [](const auto& suite_info) {
+      return std::string(suite_info.param.first);
+    });
 
 TEST(HeteroParams, MixedTechnologyActuallyChangesTheSimulation) {
   const model::NetworkParams params;

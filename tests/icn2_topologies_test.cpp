@@ -60,7 +60,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(topo::Icn2Kind::kFatTree, topo::Icn2Kind::kTorus,
                       topo::Icn2Kind::kDragonfly,
                       topo::Icn2Kind::kRandomRegular),
-    [](const auto& info) { return std::string(to_string(info.param)); });
+    [](const auto& suite_info) {
+      return std::string(to_string(suite_info.param));
+    });
 
 TEST(Icn2Scenario, ParsesTheIcn2Keys) {
   const exp::ScenarioSpec spec = exp::parse_scenario_string(R"(

@@ -90,9 +90,9 @@ TEST_P(ModelConsistency, RefinedAlwaysAtLeastPaperAtEqualLoad) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Orgs, ModelConsistency, ::testing::Range(0, 5),
-                         [](const ::testing::TestParamInfo<int>& info) {
+                         [](const ::testing::TestParamInfo<int>& suite_info) {
                            return ModelConsistency::cases()
-                               [static_cast<std::size_t>(info.param)]
+                               [static_cast<std::size_t>(suite_info.param)]
                                    .name;
                          });
 

@@ -341,8 +341,9 @@ TEST(ObsAnatomy, ExhaustiveAccountingInvariants) {
     EXPECT_GT(hot[i].traversals, 0u);
     EXPECT_GE(hot[i].utilization, 0.0);
     EXPECT_LE(hot[i].utilization, 1.0);
-    if (i > 0)
+    if (i > 0) {
       EXPECT_GE(hot[i - 1].residence_sum, hot[i].residence_sum);
+    }
   }
 }
 

@@ -85,7 +85,8 @@ TEST(WarmupDeletion, FractionModeDeletesTheExactFraction) {
   cfg.warmup_fraction = 0.2;
   const SimResult r = run(cfg);
   EXPECT_EQ(r.warmup_deleted,
-            static_cast<std::int64_t>(0.2 * r.delivered_measured));
+            static_cast<std::int64_t>(
+                0.2 * static_cast<double>(r.delivered_measured)));
   EXPECT_FALSE(r.warmup_fallback);
 }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Header self-containment check (DESIGN.md §15): every header under
+# include/ and src/ must compile standalone — no reliance on transitive
+# includes from whichever .cpp happened to include it first. A header
+# that only compiles in a lucky include order is one refactor away from
+# breaking the build.
+#
+# Usage: tools/lint/check_headers.sh [repo-root]
+# Exit:  0 all headers self-contained, 1 otherwise.
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/../.." && pwd)}"
+cxx="${CXX:-g++}"
+
+cd "$root" || exit 2
+
+headers=$(find include src -name '*.hpp' -o -name '*.h' | sort)
+[ -n "$headers" ] || { echo "check_headers: no headers found" >&2; exit 2; }
+
+fails=0
+checked=0
+for header in $headers; do
+  checked=$((checked + 1))
+  # -x c++ -fsyntax-only: parse the header as its own translation unit
+  # with exactly the include paths the library target exports.
+  if ! out=$("$cxx" -std=c++20 -x c++ -fsyntax-only \
+               -Iinclude -Isrc "$header" 2>&1); then
+    fails=$((fails + 1))
+    echo "check_headers: $header is not self-contained:"
+    echo "$out" | head -15
+  fi
+done
+
+if [ "$fails" -ne 0 ]; then
+  echo "check_headers: $fails of $checked headers failed" >&2
+  exit 1
+fi
+echo "check_headers: $checked headers self-contained"

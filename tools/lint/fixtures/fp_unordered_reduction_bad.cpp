@@ -1,0 +1,20 @@
+// Fixture: fp-unordered-reduction MUST fire. Floating-point addition is
+// not associative; folding in hash order yields run-dependent sums.
+#include <numeric>
+#include <string>
+#include <unordered_map>
+
+double total_weight(const std::unordered_map<std::string, double>& w) {
+  double sum = 0.0;
+  for (const auto& kv : w) {
+    sum += kv.second;  // fold in hash order
+  }
+  return sum;
+}
+
+double accumulate_direct(const std::unordered_map<std::string, double>& w) {
+  return std::accumulate(w.begin(), w.end(), 0.0,
+                         [](double acc, const auto& kv) {
+                           return acc + kv.second;
+                         });
+}

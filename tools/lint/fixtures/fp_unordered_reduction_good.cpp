@@ -1,0 +1,27 @@
+// Fixture: fp-unordered-reduction MUST stay silent. Integer folds are
+// associative, and FP folds over order-stable containers are fine.
+#include <map>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+long long total_count(const std::unordered_map<std::string, long long>& c) {
+  long long sum = 0;
+  for (const auto& kv : c) {
+    sum += kv.second;  // integer addition is associative: order-free
+  }
+  return sum;
+}
+
+double total_sorted(const std::map<std::string, double>& by_key) {
+  double acc = 0.0;
+  for (const auto& kv : by_key) {
+    acc += kv.second;  // key order is deterministic
+  }
+  return acc;
+}
+
+double total_vector(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}

@@ -1,0 +1,14 @@
+// Fixture: pointer-key MUST fire. Pointer-keyed associative containers
+// order (or hash) by address, which ASLR and allocator state change every
+// run.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+struct Node {
+  int id;
+};
+
+std::map<const Node*, int> rank_by_node;          // ordered by address
+std::set<Node*> visited;                          // ordered by address
+std::unordered_map<Node*, double> weight_by_node; // hashed by address

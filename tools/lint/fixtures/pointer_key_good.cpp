@@ -1,0 +1,15 @@
+// Fixture: pointer-key MUST stay silent. Stable-id keys are fine, and a
+// pointer as the mapped VALUE (not the key) is fine too.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+struct Node {
+  std::int64_t id;
+};
+
+std::map<std::int64_t, int> rank_by_id;
+std::set<std::string> visited_names;
+std::unordered_map<std::string, const Node*> node_by_name;  // value, not key

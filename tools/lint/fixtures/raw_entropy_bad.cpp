@@ -1,0 +1,24 @@
+// Fixture: raw-entropy MUST fire on every ambient-entropy read below.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned seed_from_clock() {
+  return static_cast<unsigned>(time(nullptr));  // wall clock as seed
+}
+
+int roll() {
+  return std::rand() % 6;  // process-global C RNG
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // nondeterministic source
+  return rd();
+}
+
+double stamp() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();  // argless clock read
+}

@@ -1,0 +1,24 @@
+// Fixture: raw-entropy MUST stay silent. All randomness flows from the
+// seeded RNG; time() with an argument (a time_t out-param) is a
+// different, still-deterministic-free API shape the rule leaves to
+// review; named durations are not clock reads.
+#include <chrono>
+#include <cstdint>
+
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+std::uint64_t draw(SplitMix64& rng) { return rng.next(); }
+
+double simulated_now(double base, double dt) {
+  return base + dt;  // simulation time is model state, not a clock
+}
+
+std::chrono::seconds timeout() { return std::chrono::seconds(30); }

@@ -1,0 +1,8 @@
+// Fixture: allow() without a justification is a fatal suppression error
+// (exit 2).
+#include <ctime>
+
+unsigned wall_clock_tag() {
+  // mcs-lint: allow(raw-entropy)
+  return static_cast<unsigned>(time(nullptr));
+}

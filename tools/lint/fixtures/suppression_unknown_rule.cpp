@@ -1,0 +1,8 @@
+// Fixture: an unknown rule name in allow() is a fatal suppression error
+// (exit 2) — suppressions must not rot silently.
+#include <ctime>
+
+unsigned wall_clock_tag() {
+  // mcs-lint: allow(no-such-rule) this rule name does not exist
+  return static_cast<unsigned>(time(nullptr));
+}

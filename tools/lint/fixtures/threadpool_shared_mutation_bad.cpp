@@ -1,0 +1,28 @@
+// Fixture: threadpool-shared-mutation MUST fire. Tasks submitted to the
+// pool mutate by-reference captured state with no mutex, no atomic, and
+// no per-task slot.
+#include <functional>
+#include <vector>
+
+struct ThreadPool {
+  void submit(std::function<void()> task);
+  void parallel_for(long n, const std::function<void(long)>& body);
+};
+
+void racy_counter(ThreadPool& pool) {
+  int done = 0;
+  std::vector<double> results;
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      done += 1;                 // plain read-modify-write from N workers
+      results.push_back(1.0);    // vector growth races
+    });
+  }
+}
+
+void racy_named_capture(ThreadPool& pool) {
+  double total = 0.0;
+  pool.parallel_for(64, [&total](long i) {
+    total = total + static_cast<double>(i);  // racy and order-dependent
+  });
+}

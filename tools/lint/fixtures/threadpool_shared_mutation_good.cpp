@@ -1,0 +1,45 @@
+// Fixture: threadpool-shared-mutation MUST stay silent. The three
+// sanctioned shapes: per-task slot writes, atomics, and a named mutex.
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+struct ThreadPool {
+  void submit(std::function<void()> task);
+  void parallel_for(long n, const std::function<void(long)>& body);
+};
+
+void disjoint_slots(ThreadPool& pool, std::vector<double>& results) {
+  pool.parallel_for(static_cast<long>(results.size()), [&](long i) {
+    results[static_cast<std::size_t>(i)] = static_cast<double>(i) * 2.0;
+  });
+}
+
+void atomic_counter(ThreadPool& pool) {
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] {
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+}
+
+void mutex_guarded(ThreadPool& pool, std::vector<double>& results) {
+  std::mutex mutex;
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&, i] {
+      const std::lock_guard<std::mutex> lock(mutex);
+      results.push_back(static_cast<double>(i));
+    });
+  }
+}
+
+void local_state_only(ThreadPool& pool) {
+  pool.submit([] {
+    double acc = 0.0;
+    for (int i = 0; i < 4; ++i) acc += static_cast<double>(i);
+    (void)acc;
+  });
+}

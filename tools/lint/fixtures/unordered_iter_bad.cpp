@@ -1,0 +1,20 @@
+// Fixture: unordered-iter MUST fire. Iterating an unordered_map into a
+// stream and into a vector — both orders are hash-table order.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+void print_counts(const std::unordered_map<std::string, int>& counts) {
+  for (const auto& [name, n] : counts) {
+    std::cout << name << " " << n << "\n";  // output in hash order
+  }
+}
+
+std::vector<int> collect(const std::unordered_map<std::string, int>& counts) {
+  std::vector<int> out;
+  for (const auto& kv : counts) {
+    out.push_back(kv.second);  // container construction in hash order
+  }
+  return out;
+}

@@ -1,0 +1,36 @@
+// Fixture: unordered-iter MUST stay silent. Lookup-only unordered maps
+// (never iterated) and iteration over ordered containers are fine.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+int lookup(const std::unordered_map<std::string, int>& index,
+           const std::string& key) {
+  const auto it = index.find(key);  // probe, never iterate
+  return it == index.end() ? -1 : it->second;
+}
+
+int sum_sorted(const std::map<std::string, int>& sorted_counts) {
+  int total = 0;
+  for (const auto& [name, n] : sorted_counts) {
+    (void)name;
+    total += n;  // std::map iterates in key order: deterministic
+  }
+  return total;
+}
+
+int count_only(const std::unordered_map<std::string, int>& counts) {
+  int n = 0;
+  for (const auto& kv : counts) {
+    (void)kv;
+    ++n;  // order-independent: no sink, no accumulation of values
+  }
+  return n;
+}
+
+std::vector<int> over_vector(const std::vector<int>& xs) {
+  std::vector<int> out;
+  for (const int x : xs) out.push_back(x);  // vector order is stable
+  return out;
+}
