@@ -1,5 +1,6 @@
 #include "exp/checkpoint.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
@@ -20,11 +21,28 @@ constexpr const char* kVersion = "v1";
   throw ConfigError("journal '" + path + "': " + what);
 }
 
+std::string row_line(const JournalEntry& entry) {
+  return "row " + std::to_string(entry.grid_index) + " " + entry.digest +
+         " " + entry.payload + "\n";
+}
+
 }  // namespace
 
 std::optional<Journal> load_journal(const std::string& path) {
-  const std::optional<std::string> text = util::read_file(path);
+  std::optional<std::string> text = util::read_file(path);
   if (!text) return std::nullopt;
+
+  // A crash mid-append leaves a torn trailing line. The append path
+  // writes each "row ...\n" with one call, so a complete line always
+  // ends in '\n': everything after the last newline is the torn
+  // fragment — drop it, never parse it. (The header and every earlier
+  // line landed via atomic rewrite or completed appends, so anything
+  // malformed BEFORE the final newline is real corruption and still
+  // throws below.)
+  if (!text->empty() && text->back() != '\n') {
+    const std::size_t last_nl = text->find_last_of('\n');
+    text->erase(last_nl == std::string::npos ? 0 : last_nl + 1);
+  }
 
   std::istringstream in(*text);
   std::string line;
@@ -49,6 +67,11 @@ std::optional<Journal> load_journal(const std::string& path) {
       malformed(path, "bad shard line '" + line + "'");
   }
 
+  // The append segment may re-record a grid_index (resume preload, then
+  // the live run) and arrives in completion order: the LAST occurrence
+  // wins, and the entries come back sorted by grid_index regardless of
+  // file order.
+  std::map<std::int64_t, JournalEntry> by_index;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream row(line);
@@ -62,6 +85,11 @@ std::optional<Journal> load_journal(const std::string& path) {
     if (!entry.payload.empty() && entry.payload.front() == ' ')
       entry.payload.erase(0, 1);
     if (entry.payload.empty()) malformed(path, "row without payload");
+    by_index[entry.grid_index] = std::move(entry);
+  }
+  journal.entries.reserve(by_index.size());
+  for (auto& [index, entry] : by_index) {
+    (void)index;
     journal.entries.push_back(std::move(entry));
   }
   return journal;
@@ -79,7 +107,21 @@ void CheckpointWriter::add(std::int64_t grid_index,
                            const std::string& payload) {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_[grid_index] = JournalEntry{grid_index, digest, payload};
-  rewrite_locked();
+  if (!base_written_) {
+    // First write: the header (and this row) land atomically, so a
+    // reader never sees a headerless file.
+    rewrite_locked();
+    return;
+  }
+  util::append_file(path_, row_line(entries_[grid_index]));
+  ++appends_;
+  // Compaction keeps the segment bounded at half the entry count (floor
+  // 64): an add costs one appended line, O(1) amortized, instead of the
+  // former O(rows) whole-file rewrite — which made checkpointing an
+  // N-row sweep O(N^2) in journal bytes written.
+  if (appends_ >= std::max<std::int64_t>(
+          64, static_cast<std::int64_t>(entries_.size()) / 2))
+    rewrite_locked();
 }
 
 void CheckpointWriter::add_batch(const std::vector<JournalEntry>& entries) {
@@ -89,16 +131,24 @@ void CheckpointWriter::add_batch(const std::vector<JournalEntry>& entries) {
   rewrite_locked();
 }
 
+void CheckpointWriter::finalize() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (base_written_ && appends_ == 0) return;  // already compact
+  rewrite_locked();
+}
+
 void CheckpointWriter::rewrite_locked() {
   std::string text = std::string(kMagic) + " " + kVersion + "\n";
   text += "scenario " + scenario_ + "\n";
   text += "shard " + std::to_string(shard_index_) + " " +
           std::to_string(shard_count_) + "\n";
   for (const auto& [index, entry] : entries_) {
-    text += "row " + std::to_string(index) + " " + entry.digest + " " +
-            entry.payload + "\n";
+    (void)index;
+    text += row_line(entry);
   }
   util::write_file_atomic(path_, text);
+  base_written_ = true;
+  appends_ = 0;
 }
 
 SweepResult merge_journals(const SweepRunner& runner,

@@ -10,10 +10,20 @@
 //
 // `digest` is the row's content-hash cache key (exp/result_cache.hpp) and
 // `payload` the rest of the line — the row's encode_row_payload record
-// (hexfloat doubles, so restoration is bit-exact). The file is rewritten
-// whole via write-temp-then-rename on every append, sorted by grid_index:
-// a reader never observes a torn journal, and two journals of the same
-// completed shard are byte-identical regardless of task scheduling.
+// (hexfloat doubles, so restoration is bit-exact).
+//
+// On disk the journal is a sorted BASE (written whole via
+// write-temp-then-rename) followed by an APPEND SEGMENT: each completed
+// row lands as one appended line, O(1) instead of the former O(rows)
+// whole-file rewrite per row. The segment is folded back into the base
+// when it reaches half the entry count (floor 64 — amortized O(1) per
+// add), and finalize() folds once more at end of run, so a COMPLETED
+// journal is always fully sorted with one line per row — byte-identical
+// across task schedules. The reader makes the mid-run states safe: a
+// torn trailing line (crash mid-append; everything after the last
+// newline) is dropped, duplicate grid_index lines resolve to the last
+// occurrence (re-records supersede), and entries come back sorted by
+// grid_index whatever the file order.
 //
 // Journals serve two consumers: `mcs_sweep --resume` preloads one and
 // skips the recorded rows, and `mcs_merge` joins the journals of a
@@ -50,20 +60,28 @@ struct Journal {
 [[nodiscard]] std::optional<Journal> load_journal(const std::string& path);
 
 /// Incremental journal writer. add() is thread-safe (worker tasks call it
-/// the moment their row's last task finishes); every call rewrites the
-/// whole file atomically with the entries sorted by grid_index.
+/// the moment their row's last task finishes); the first write lays down
+/// the header atomically, later adds append one row line each and
+/// periodically compact the file back to sorted form.
 class CheckpointWriter {
  public:
   CheckpointWriter(std::string path, std::string scenario, int shard_index,
                    int shard_count);
 
-  /// Record one completed row and persist the journal. Re-adding a
-  /// grid_index overwrites its entry (resume preloads then re-records).
+  /// Record one completed row and persist it (one appended line, O(1)
+  /// amortized). Re-adding a grid_index supersedes its entry (resume
+  /// preloads then re-records; the reader's last-occurrence rule).
   void add(std::int64_t grid_index, const std::string& digest,
            const std::string& payload);
 
   /// Record a batch (resume preload) with a single file rewrite.
   void add_batch(const std::vector<JournalEntry>& entries);
+
+  /// Fold the append segment into the sorted base. Call once after the
+  /// last add(): the finalized bytes depend only on the recorded rows,
+  /// never on the order scheduling completed them in. No-op when the
+  /// file is already compact.
+  void finalize();
 
  private:
   void rewrite_locked();  ///< caller holds mutex_
@@ -74,6 +92,8 @@ class CheckpointWriter {
   int shard_index_;
   int shard_count_;
   std::map<std::int64_t, JournalEntry> entries_;
+  bool base_written_ = false;   ///< header exists on disk
+  std::int64_t appends_ = 0;    ///< lines in the append segment
 };
 
 /// Join shard journals into the full-grid SweepResult, equivalent to (and

@@ -1,0 +1,170 @@
+// Conservative parallel single-run simulation (DESIGN.md §16): the
+// discrete-event loop is partitioned per cluster and the partitions run
+// concurrently on an exp::ThreadPool, synchronized by bounded windows.
+//
+// Safety argument (classic conservative PDES, YAWNS-style rounds): the
+// only cross-partition interactions are (a) worm hand-offs across ICN2
+// ownership boundaries — shipped at channel GRANT time, one full crossing
+// before the header reaches the remote channel — and (b) releases of
+// remotely-held channels computed by a migrated worm's drain, which the
+// recurrence puts at least one flit service after the computing instant
+// whenever M >= path + 1. Both legs give a static positive lookahead L,
+// so every round may safely process all events below
+//     bound = (global minimum pending event time) + L
+// and every boundary message generated inside the round carries a
+// timestamp >= bound; messages are exchanged at the barrier.
+//
+// Determinism contract: partition count equals the CLUSTER count (a
+// config property, not a machine property), every partition runs its own
+// (time, seq) event heap, and barrier mailboxes are merged in the pinned
+// (time, sender partition, send index) order before local sequence
+// numbers are assigned. Results are therefore bit-identical across
+// `SimConfig::parallel` worker-thread counts — 1, 2 and 8 workers agree
+// to the last bit (pinned by tests/parallel_sim_test.cpp) — but form
+// their OWN golden stream, distinct from the single-threaded simulator's
+// (whose fingerprints are byte-unchanged by this mode's existence).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/params.hpp"
+#include "obs/probe.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/layout.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+#include "topology/multi_cluster.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mcs::sim {
+
+class ParallelSimulator {
+ public:
+  /// Same contract as Simulator, plus: config.parallel must be >= 1
+  /// (worker threads; capped at the cluster count), trace/anatomy
+  /// observers are rejected (their span streams are inherently
+  /// total-order), and wormhole flow control on a multi-cluster system
+  /// additionally requires message_flits >= longest path + 1 so that
+  /// remotely-held channels always release with positive lookahead.
+  ParallelSimulator(const topo::MultiClusterTopology& topology,
+                    const model::NetworkParams& params, double lambda_g,
+                    SimConfig config);
+  ~ParallelSimulator();
+
+  /// Run to completion. Single-use, like Simulator::run().
+  SimResult run();
+
+ private:
+  struct Partition;
+
+  /// Per-partition engine callbacks: worm completions (Listener) and the
+  /// partition boundary (PartitionPort). One instance per partition, so
+  /// the engine's calls carry their partition id for free.
+  struct Hooks final : WormholeEngine::Listener,
+                       WormholeEngine::PartitionPort {
+    ParallelSimulator* self = nullptr;
+    std::int32_t p = 0;
+
+    void on_worm_done(WormId worm, double time) override;
+    [[nodiscard]] bool local_channel(GlobalChannelId c) const override;
+    void handoff(WormId id, double at) override;
+    void remote_release(GlobalChannelId c, double at) override;
+  };
+
+  /// One measured delivery, recorded per partition and merged at the end
+  /// of the run in the pinned (time, partition, record index) order.
+  struct DeliveredRec {
+    double time = 0.0;
+    double latency = 0.0;
+    std::int32_t src_cluster = 0;
+    std::uint8_t internal = 0;
+  };
+
+  /// Boundary messages from one partition to one other partition,
+  /// accumulated lock-free during a round (only the owning sender
+  /// writes) and drained single-threaded at the barrier.
+  struct Outbox {
+    struct Handoff {
+      double at = 0.0;            ///< request instant in the receiver
+      double enqueue_time = 0.0;  ///< original worm enqueue time
+      std::int32_t hop = 0;       ///< hop index to request on arrival
+      std::int32_t len = 0;       ///< full path length
+      std::int32_t path_off = 0;  ///< into path_data, `len` entries
+      std::int32_t acq_off = 0;   ///< into acq_data, `hop` entries
+      MsgRec msg;                 ///< message record, shipped by value
+    };
+    struct Release {
+      double at = 0.0;
+      GlobalChannelId channel = 0;
+    };
+
+    std::vector<Handoff> handoffs;
+    std::vector<GlobalChannelId> path_data;
+    std::vector<double> acq_data;
+    std::vector<Release> releases;
+
+    void clear() {
+      handoffs.clear();
+      path_data.clear();
+      acq_data.clear();
+      releases.clear();
+    }
+  };
+
+  void run_round(Partition& part, double bound);
+  void handle_generate(Partition& part, std::int32_t node, double now);
+  void spawn_segment(Partition& part, std::int32_t msg_id, double now);
+  void finalize(Partition& part, std::int32_t msg_id, double now);
+  /// Drain every outbox into the receivers' event queues, in the pinned
+  /// (time, sender partition, send index) order per receiver.
+  void deliver_mailboxes();
+  void record_probe(double now);
+  [[nodiscard]] double node_lambda(std::int32_t cluster) const {
+    return cluster_lambda_[static_cast<std::size_t>(cluster)];
+  }
+
+  const topo::MultiClusterTopology& topology_;
+  model::NetworkParams params_;
+  double lambda_;
+  SimConfig config_;
+  SimLayout layout_;
+
+  std::int32_t partition_count_ = 0;
+  /// Global channel -> owning partition. ICN1/ECN1 channels belong to
+  /// their cluster; ICN2 injection (ejection) channels to the cluster
+  /// they inject from (eject into), so segment spawns are always local;
+  /// interior ICN2 channels round-robin.
+  std::vector<std::int32_t> owner_;
+  /// Conservative lookahead: min over the boundary-message legs (see the
+  /// file comment); > 0 whenever the system has more than one cluster.
+  double lookahead_ = 0.0;
+  std::vector<double> cluster_lambda_;
+  std::vector<std::int32_t> cluster_of_;
+  std::vector<topo::EndpointId> local_of_;
+
+  std::vector<std::unique_ptr<Partition>> parts_;
+
+  std::int64_t waiting_cap_ = 0;
+  std::int64_t generated_cap_ = 0;
+
+  obs::ProbeSeries* probes_ = nullptr;
+  double probe_prev_time_ = 0.0;
+  double probe_prev_busy_[obs::kNetClasses] = {0.0, 0.0, 0.0};
+  std::int64_t class_channels_[obs::kNetClasses] = {0, 0, 0};
+};
+
+/// Dispatch on config.parallel: 0 runs the classic single-threaded
+/// Simulator, >= 1 the conservative per-cluster parallel mode. Every
+/// production entry point (replication, sweeps, saturation search, perf
+/// harness) funnels through here.
+[[nodiscard]] SimResult run_simulation(
+    const topo::MultiClusterTopology& topology,
+    const model::NetworkParams& params, double lambda_g,
+    const SimConfig& config);
+
+}  // namespace mcs::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "sim/parallel_sim.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -20,8 +21,7 @@ SimResult run_one(const topo::MultiClusterTopology& topology,
                   const SimConfig& base, std::int64_t r) {
   SimConfig cfg = base;
   cfg.seed = util::derive_seed(base.seed, {static_cast<std::uint64_t>(r)});
-  Simulator simulator(topology, params, lambda_g, cfg);
-  return simulator.run();
+  return run_simulation(topology, params, lambda_g, cfg);
 }
 
 /// Derive every aggregate of `result` from result.runs (walked in
@@ -152,8 +152,14 @@ ReplicationResult run_replications_sequential(
       // decisive — the CI over completed runs cannot converge at a load
       // past the knee, so do not burn the remaining budget.
       if (prefix_saturated >= spec.r_min) stop_at = r_count;
-      else if (util::relative_half_width(prefix_latency) <=
-               spec.rel_precision)
+      // The CI rule needs at least two completed runs before it may fire:
+      // below that relative_half_width() returns infinity, which a
+      // permissive target (rel_precision = inf passes validate()) would
+      // "satisfy" via inf <= inf, stopping after a single run with a
+      // meaningless interval and precision_met = false.
+      else if (prefix_latency.count() >= 2 &&
+               util::relative_half_width(prefix_latency) <=
+                   spec.rel_precision)
         stop_at = r_count;
     }
   }

@@ -24,7 +24,7 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
       params_(params),
       lambda_(lambda_g),
       config_(std::move(config)),
-      engine_([&] {
+      layout_([&] {
         params_.validate();
         if (!(lambda_ > 0.0))
           throw ConfigError("Simulator: lambda_g must be > 0");
@@ -34,75 +34,12 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
           throw ConfigError("Simulator: warmup_fraction must be in [0, 1)");
 
         // Canonical network order: (ICN1_0, ECN1_0, ICN1_1, ECN1_1, ...,
-        // ICN2). Build the registry and the global service-time table.
-        const auto& cfg = topology_.config();
-        GlobalChannelId base = 0;
-        int longest = 0;
-        for (int i = 0; i < cfg.cluster_count(); ++i) {
-          nets_.push_back(Net{NetKind::kIcn1, i, &topology_.icn1(i), base});
-          icn1_base_.push_back(base);
-          base += static_cast<GlobalChannelId>(
-              topology_.icn1(i).channel_count());
-          nets_.push_back(Net{NetKind::kEcn1, i, &topology_.ecn1(i), base});
-          ecn1_base_.push_back(base);
-          base += static_cast<GlobalChannelId>(
-              topology_.ecn1(i).channel_count());
-          longest = std::max(longest, 2 * topology_.icn1(i).height());
-        }
-        nets_.push_back(Net{NetKind::kIcn2, -1, &topology_.icn2(), base});
-        icn2_base_ = base;
-        base += static_cast<GlobalChannelId>(topology_.icn2().channel_count());
-        const int icn2_longest = topology_.icn2().max_route_length();
-        if (config_.relay_mode == RelayMode::kCutThrough) {
-          // One merged worm spans both ECN1 legs plus the ICN2 crossing
-          // (the ICN2 route's injection/ejection channels are the
-          // concentrator relays, still part of the worm).
-          int max_cluster = 0;
-          for (int i = 0; i < cfg.cluster_count(); ++i)
-            max_cluster = std::max(max_cluster, topology_.icn1(i).height());
-          longest = std::max(longest, 4 * max_cluster + icn2_longest);
-        } else {
-          longest = std::max(longest, icn2_longest);
-        }
-
-        max_path_len_ = longest;
-        if (config_.flow_control == FlowControl::kWormhole &&
-            longest > params_.message_flits)
-          throw ConfigError(
-              "Simulator: message_flits (M=" +
-              std::to_string(params_.message_flits) +
-              ") is shorter than the longest path (" +
-              std::to_string(longest) +
-              " channels); the wormhole engine requires a worm to span its "
-              "path (see DESIGN.md)");
-
-        std::vector<double> service(static_cast<std::size_t>(base));
-        channel_net_.assign(static_cast<std::size_t>(base), 0);
-        for (std::size_t n = 0; n < nets_.size(); ++n) {
-          const Net& net = nets_[n];
-          // The owning network's technology decides the channel timing:
-          // cluster networks use the cluster's params, the ICN2 its own.
-          // On homogeneous configs every resolution returns params_'s
-          // exact bits, keeping the golden fingerprints unchanged.
-          const model::NetworkParams np =
-              net.kind == NetKind::kIcn2
-                  ? cfg.icn2_params(params_)
-                  : cfg.cluster_params(net.cluster, params_);
-          const double tcn = np.t_cn();
-          const double tcs = np.t_cs();
-          for (std::size_t c = 0; c < net.net->channel_count(); ++c) {
-            const auto g = static_cast<std::size_t>(net.base) + c;
-            channel_net_[g] = static_cast<std::int32_t>(n);
-            service[g] =
-                topo::is_node_link(
-                    net.net->channel(static_cast<topo::ChannelId>(c)).kind)
-                    ? tcn
-                    : tcs;
-          }
-        }
-        return service;
-      }(),
-              params_.message_flits, queue_, *this, config_.flow_control),
+        // ICN2) with the global service-time table (layout.cpp).
+        return build_layout(topology_, params_, config_.relay_mode,
+                            config_.flow_control);
+      }()),
+      engine_(layout_.service, params_.message_flits, queue_, *this,
+              config_.flow_control),
       sampler_(topology_, config_.pattern),
       latency_(config_.batch_size),
       internal_latency_(config_.batch_size),
@@ -135,30 +72,18 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
     cluster_lambda_.push_back(topology_.config().cluster_load_scale(i) *
                               lambda_);
 
-  // Shape the route memo to its use-sites (see simulator.hpp).
-  const int clusters = topology_.config().cluster_count();
-  icn1_routes_.resize(static_cast<std::size_t>(clusters));
-  ecn1_to_conc_.resize(static_cast<std::size_t>(clusters));
-  ecn1_from_conc_.resize(static_cast<std::size_t>(clusters));
-  for (int i = 0; i < clusters; ++i) {
-    const auto size =
-        static_cast<std::size_t>(topology_.config().cluster_size(i));
-    icn1_routes_[static_cast<std::size_t>(i)].resize(size * size);
-    ecn1_to_conc_[static_cast<std::size_t>(i)].resize(size);
-    ecn1_from_conc_[static_cast<std::size_t>(i)].resize(size);
-  }
-  icn2_routes_.resize(static_cast<std::size_t>(clusters) *
-                      static_cast<std::size_t>(clusters));
+  // Shape the route memo to its use-sites (see layout.hpp).
+  routes_.init(topology_, layout_);
 
   // Pre-size the hot pools: recycled worm rows for the expected number of
   // concurrently live worms, and the pending-event heap's high-water mark
   // (the standing kGenerate event per node plus the in-flight worm events
   // — a worm contributes one pending event while advancing and a burst of
   // path-length + 1 at drain time).
-  engine_.reserve_worms(256, max_path_len_);
+  engine_.reserve_worms(256, layout_.max_path_len);
   queue_.enable_generate_lane(static_cast<std::size_t>(n));
   queue_.reserve(static_cast<std::size_t>(n) +
-                 256 * static_cast<std::size_t>(max_path_len_ + 2));
+                 256 * static_cast<std::size_t>(layout_.max_path_len + 2));
 
   waiting_cap_ = config_.max_waiting_worms > 0
                      ? config_.max_waiting_worms
@@ -181,16 +106,18 @@ Simulator::Simulator(const topo::MultiClusterTopology& topology,
   trace_ = config_.trace;
   anatomy_ = config_.anatomy;
   if (probes_ != nullptr)
-    for (std::size_t c = 0; c < channel_net_.size(); ++c)
+    for (std::size_t c = 0; c < layout_.channel_net.size(); ++c)
       ++class_channels_[static_cast<int>(
-          nets_[static_cast<std::size_t>(channel_net_[c])].kind)];
+          layout_.nets[static_cast<std::size_t>(layout_.channel_net[c])]
+              .kind)];
   if (anatomy_ != nullptr) {
     // Hand the anatomy the channel -> network-class table (NetKind's
     // 0/1/2 order IS the obs class convention).
-    std::vector<std::uint8_t> channel_class(channel_net_.size());
-    for (std::size_t c = 0; c < channel_net_.size(); ++c)
+    std::vector<std::uint8_t> channel_class(layout_.channel_net.size());
+    for (std::size_t c = 0; c < layout_.channel_net.size(); ++c)
       channel_class[c] = static_cast<std::uint8_t>(
-          nets_[static_cast<std::size_t>(channel_net_[c])].kind);
+          layout_.nets[static_cast<std::size_t>(layout_.channel_net[c])]
+              .kind);
     anatomy_->prepare(std::move(channel_class));
   }
 }
@@ -202,32 +129,6 @@ Simulator::StopCause Simulator::should_stop(double now) const {
   if (generated_ > generated_cap_) return StopCause::kGenerated;
   return StopCause::kNone;
 }
-
-namespace {
-
-/// (short token, human-readable reason) for each saturation cap. The
-/// long strings predate the token and are part of the reporting surface;
-/// the token is what replication/sweep aggregation carries forward.
-struct StopCauseText {
-  const char* cause;
-  const char* reason;
-};
-
-StopCauseText stop_cause_text(int cause_index) {
-  switch (cause_index) {
-    case 1: return {"events", "event budget exhausted"};
-    case 2: return {"time", "simulated-time budget exhausted"};
-    case 3:
-      return {"worms",
-              "blocked-worm cap exceeded (queues growing without bound)"};
-    case 4:
-      return {"generated",
-              "generation cap exceeded before measured messages drained"};
-    default: return {"", ""};
-  }
-}
-
-}  // namespace
 
 SimResult Simulator::run() {
   if (config_.collect_channel_stats) engine_.enable_channel_stats();
@@ -367,10 +268,10 @@ void Simulator::record_probe(double now) {
   // count and window length. O(channels) per sample — off the per-event
   // hot path by construction.
   double busy[obs::kNetClasses] = {0.0, 0.0, 0.0};
-  for (std::size_t c = 0; c < channel_net_.size(); ++c)
+  for (std::size_t c = 0; c < layout_.channel_net.size(); ++c)
     busy[static_cast<int>(
-        nets_[static_cast<std::size_t>(channel_net_[c])].kind)] +=
-        engine_.busy_time(static_cast<GlobalChannelId>(c));
+        layout_.nets[static_cast<std::size_t>(layout_.channel_net[c])]
+            .kind)] += engine_.busy_time(static_cast<GlobalChannelId>(c));
   const double dt = now - probe_prev_time_;
   for (int k = 0; k < obs::kNetClasses; ++k) {
     if (dt > 0.0 && class_channels_[k] > 0) {
@@ -442,82 +343,24 @@ void Simulator::handle_generate(std::int32_t node, double now) {
   spawn_segment(msg_id, now);
 }
 
-std::span<const GlobalChannelId> Simulator::route_via(
-    RouteSlot& slot, const topo::Network& net, GlobalChannelId base,
-    topo::EndpointId src, topo::EndpointId dst) {
-  if (slot.off < 0) {
-    route_scratch_.clear();
-    net.route_into(src, dst, route_scratch_);
-    slot.off = static_cast<std::int32_t>(route_pool_.size());
-    slot.len = static_cast<std::int16_t>(route_scratch_.size());
-    for (const topo::ChannelId c : route_scratch_)
-      route_pool_.push_back(base + c);
-  }
-  return {route_pool_.data() + slot.off, static_cast<std::size_t>(slot.len)};
-}
-
 void Simulator::spawn_segment(std::int32_t msg_id, double now) {
   const MsgRec& m = msgs_[static_cast<std::size_t>(msg_id)];
-  const auto sc = static_cast<std::size_t>(m.src_cluster);
-  const auto dc = static_cast<std::size_t>(m.dst_cluster);
-  const auto clusters =
-      static_cast<std::size_t>(topology_.config().cluster_count());
-
-  const auto icn1 = [&]() {
-    const auto size = static_cast<std::size_t>(
-        topology_.config().cluster_size(m.src_cluster));
-    return route_via(
-        icn1_routes_[sc][static_cast<std::size_t>(m.src_local) * size +
-                         static_cast<std::size_t>(m.dst_local)],
-        topology_.icn1(m.src_cluster), icn1_base_[sc], m.src_local,
-        m.dst_local);
-  };
-  const auto ecn1_out = [&]() {
-    return route_via(ecn1_to_conc_[sc][static_cast<std::size_t>(m.src_local)],
-                     topology_.ecn1(m.src_cluster), ecn1_base_[sc],
-                     m.src_local,
-                     topology_.concentrator_endpoint(m.src_cluster));
-  };
-  const auto icn2 = [&]() {
-    return route_via(icn2_routes_[sc * clusters + dc], topology_.icn2(),
-                     icn2_base_, topology_.icn2_endpoint(m.src_cluster),
-                     topology_.icn2_endpoint(m.dst_cluster));
-  };
-  const auto ecn1_in = [&]() {
-    return route_via(
-        ecn1_from_conc_[dc][static_cast<std::size_t>(m.dst_local)],
-        topology_.ecn1(m.dst_cluster), ecn1_base_[dc],
-        topology_.concentrator_endpoint(m.dst_cluster), m.dst_local);
-  };
-
   switch (m.segment) {
     case 0:  // internal: one worm through the cluster's ICN1
-      engine_.spawn(msg_id, icn1(), now);
+      engine_.spawn(msg_id, routes_.icn1(m), now);
       return;
     case 1:  // external leg 1: source ECN1, node -> concentrator
-      engine_.spawn(msg_id, ecn1_out(), now);
+      engine_.spawn(msg_id, routes_.ecn1_out(m), now);
       return;
     case 2:  // external leg 2: ICN2, concentrator_i -> concentrator_v
-      engine_.spawn(msg_id, icn2(), now);
+      engine_.spawn(msg_id, routes_.icn2(m), now);
       return;
     case 3:  // external leg 3: destination ECN1, concentrator -> node
-      engine_.spawn(msg_id, ecn1_in(), now);
+      engine_.spawn(msg_id, routes_.ecn1_in(m), now);
       return;
-    case 4: {
-      // Cut-through: concatenate the three legs into one worm. The relays
-      // act as one-flit buffers along the path instead of full queues.
-      // Each cached span is copied before the next lookup (a cache miss
-      // may reallocate route_pool_ and invalidate earlier spans).
-      path_scratch_.clear();
-      const auto append = [&](std::span<const GlobalChannelId> leg) {
-        path_scratch_.insert(path_scratch_.end(), leg.begin(), leg.end());
-      };
-      append(ecn1_out());
-      append(icn2());
-      append(ecn1_in());
-      engine_.spawn(msg_id, path_scratch_, now);
+    case 4:  // cut-through: the three external legs as one merged worm
+      engine_.spawn(msg_id, routes_.cut_through(m), now);
       return;
-    }
     default:
       MCS_ASSERT(false);
   }
@@ -614,7 +457,7 @@ void Simulator::record_anatomy(const Worm& w, MsgRec& m, WormId worm,
     const auto c = static_cast<std::size_t>(path[h]);
     const double end = h + 1 < hops ? acq[h + 1] : time;
     const int net_class = static_cast<int>(
-        nets_[static_cast<std::size_t>(channel_net_[c])].kind);
+        layout_.nets[static_cast<std::size_t>(layout_.channel_net[c])].kind);
     anatomy_->record_hop(path[h], net_class, acq[h] - ready, end - acq[h],
                          h == 0, seg);
     ready = acq[h] + engine_.crossing_time(path[h]);
@@ -673,61 +516,13 @@ void Simulator::apply_warmup_deletion(std::size_t cut) {
 
 void Simulator::collect_channel_classes(SimResult& result) const {
   const double duration = result.end_time - measure_start_time_;
-  if (!(duration > 0.0)) return;
-
-  // Flat (key, accumulator) pairs instead of a std::map: the class count
-  // is tiny (network kind x channel kind x level), so a linear probe plus
-  // one final sort reproduces the map's (net, kind, level) output order
-  // without any node allocation.
-  struct Accum {
-    std::int64_t key = 0;
-    std::size_t channels = 0;
-    double util_sum = 0.0;
-    double util_max = 0.0;
-    double rate_sum = 0.0;
-  };
-  std::vector<Accum> classes;
-
+  std::vector<double> busy(engine_.channel_count());
+  std::vector<std::uint64_t> traversals(engine_.channel_count());
   for (std::size_t c = 0; c < engine_.channel_count(); ++c) {
-    const Net& net = nets_[static_cast<std::size_t>(channel_net_[c])];
-    const auto local = static_cast<topo::ChannelId>(
-        static_cast<GlobalChannelId>(c) - net.base);
-    const topo::Channel& ch = net.net->channel(local);
-    const double util =
-        engine_.busy_time(static_cast<GlobalChannelId>(c)) / duration;
-    const double rate =
-        static_cast<double>(
-            engine_.traversals(static_cast<GlobalChannelId>(c))) /
-        duration;
-    // Lexicographic (net, kind, level) packed into one sortable key.
-    const std::int64_t key = (static_cast<std::int64_t>(net.kind) << 40) |
-                             (static_cast<std::int64_t>(ch.kind) << 32) |
-                             static_cast<std::uint32_t>(ch.level);
-    auto it = std::find_if(classes.begin(), classes.end(),
-                           [&](const Accum& a) { return a.key == key; });
-    if (it == classes.end()) {
-      classes.push_back(Accum{key, 0, 0.0, 0.0, 0.0});
-      it = classes.end() - 1;
-    }
-    ++it->channels;
-    it->util_sum += util;
-    it->util_max = std::max(it->util_max, util);
-    it->rate_sum += rate;
+    busy[c] = engine_.busy_time(static_cast<GlobalChannelId>(c));
+    traversals[c] = engine_.traversals(static_cast<GlobalChannelId>(c));
   }
-
-  std::sort(classes.begin(), classes.end(),
-            [](const Accum& a, const Accum& b) { return a.key < b.key; });
-  for (const Accum& a : classes) {
-    ChannelClassStat stat;
-    stat.net = static_cast<NetKind>(a.key >> 40);
-    stat.kind = static_cast<topo::ChannelKind>((a.key >> 32) & 0xFF);
-    stat.level = static_cast<int>(a.key & 0xFFFFFFFF);
-    stat.channels = a.channels;
-    stat.mean_utilization = a.util_sum / static_cast<double>(a.channels);
-    stat.max_utilization = a.util_max;
-    stat.mean_message_rate = a.rate_sum / static_cast<double>(a.channels);
-    result.channel_classes.push_back(stat);
-  }
+  sim::collect_channel_classes(layout_, busy, traversals, duration, result);
 }
 
 }  // namespace mcs::sim

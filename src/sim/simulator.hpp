@@ -17,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/layout.hpp"
 #include "sim/metrics.hpp"
 #include "sim/traffic.hpp"
 #include "topology/multi_cluster.hpp"
@@ -24,17 +25,6 @@
 #include "util/stats.hpp"
 
 namespace mcs::sim {
-
-/// How external messages traverse the concentrator/dispatcher relays.
-enum class RelayMode : std::uint8_t {
-  /// The relay receives the whole message, then re-injects it (three
-  /// chained worms). Matches the M/D/1 relay model of Eq. (33) and is the
-  /// physically faithful reading of "simple bi-directional buffers".
-  kStoreForward,
-  /// The relay cuts the worm through: one worm spans source ECN1, ICN2 and
-  /// destination ECN1 (the merged-journey abstraction of Eq. (26)).
-  kCutThrough,
-};
 
 /// Initial-transient ("warmup") deletion applied to the measured latency
 /// stream after the run (DESIGN.md §11). The fixed warmup_messages phase
@@ -82,6 +72,16 @@ struct SimConfig {
   bool collect_channel_stats = false;
   TrafficPattern pattern;
 
+  /// Worker threads for the partitioned per-cluster event loops
+  /// (parallel_sim.hpp): 0 selects the classic single-threaded simulator
+  /// (byte-identical to every release since PR 3), >= 1 the conservative
+  /// parallel mode. The parallel mode has its OWN pinned deterministic
+  /// order — results are bit-identical across `parallel` worker counts
+  /// (1, 2, 8, ... all agree) but are a different pinned stream than the
+  /// single-threaded mode's, because the event-sequence numbering and the
+  /// warmup accounting are sharded per cluster (DESIGN.md §16).
+  int parallel = 0;
+
   // --- observability (DESIGN.md §12) -------------------------------------
   // Caller-owned observers; both default off. The contract is hard:
   // attaching them never consumes RNG, never pushes or reorders events,
@@ -118,44 +118,6 @@ class Simulator : private WormholeEngine::Listener {
   SimResult run();
 
  private:
-  struct Net {
-    NetKind kind;
-    int cluster;  ///< -1 for ICN2
-    const topo::Network* net;
-    GlobalChannelId base;
-  };
-
-  /// In-flight message; recycled through a free list.
-  struct MsgRec {
-    double gen_time = 0.0;
-    std::int32_t src_cluster = 0;
-    std::int32_t dst_cluster = 0;
-    topo::EndpointId src_local = 0;
-    topo::EndpointId dst_local = 0;
-    /// 0: internal; 1..3: external store-and-forward legs;
-    /// 4: external cut-through (single merged worm).
-    std::int8_t segment = 0;
-    bool measured = false;
-    bool internal = false;
-    /// Trace lane (tid) of a traced message; -1 when untraced. Assigned
-    /// deterministically from the generation index, never from RNG.
-    std::int32_t trace_tid = -1;
-    /// Running sum of the anatomy components recorded for this message
-    /// (wait + header + drain per leg) — finalize() hands it to the
-    /// anatomy's conservation check against the end-to-end latency.
-    double anatomy_sum = 0.0;
-  };
-
-  /// One memoized route, global-channel-translated: off/len into
-  /// route_pool_ (-1 = not computed yet). Routes are deterministic, so
-  /// caching them is invisible to results — it only removes the repeated
-  /// tree/graph arithmetic and the per-spawn translate loop from the hot
-  /// path (DESIGN.md §9).
-  struct RouteSlot {
-    std::int32_t off = -1;
-    std::int16_t len = 0;
-  };
-
   void on_worm_done(WormId worm, double time) override;
 
   void handle_generate(std::int32_t node, double now);
@@ -183,30 +145,18 @@ class Simulator : private WormholeEngine::Listener {
   /// and the per-cluster means from the recorded per-message detail).
   void apply_warmup_deletion(std::size_t cut);
 
-  /// Fill `slot` on first use with net's src->dst route shifted by `base`;
-  /// return the cached global-channel path.
-  std::span<const GlobalChannelId> route_via(RouteSlot& slot,
-                                             const topo::Network& net,
-                                             GlobalChannelId base,
-                                             topo::EndpointId src,
-                                             topo::EndpointId dst);
-
   const topo::MultiClusterTopology& topology_;
   model::NetworkParams params_;
   double lambda_;
   SimConfig config_;
 
   EventQueue queue_;
-  std::vector<Net> nets_;
-  std::vector<std::int32_t> channel_net_;  ///< global channel -> nets_ index
-  // ICN1/ECN1/ICN2 base offsets per cluster for fast path building. These
-  // (and nets_/channel_net_) are filled by engine_'s initializer, so they
-  // must be declared — i.e. constructed — before it.
-  std::vector<GlobalChannelId> icn1_base_;
-  std::vector<GlobalChannelId> ecn1_base_;
-  GlobalChannelId icn2_base_ = 0;
-  int max_path_len_ = 0;  ///< longest worm path (queue/pool size hints)
+  // The canonical channel layout is built — and the config validated — by
+  // layout_'s initializer, so it must be declared (i.e. constructed)
+  // before engine_.
+  SimLayout layout_;
   WormholeEngine engine_;
+  RouteTables routes_;
 
   // Node addressing and per-node RNG streams.
   std::vector<std::int32_t> cluster_of_;
@@ -257,18 +207,6 @@ class Simulator : private WormholeEngine::Listener {
   double probe_prev_busy_[obs::kNetClasses] = {0.0, 0.0, 0.0};
   std::int64_t class_channels_[obs::kNetClasses] = {0, 0, 0};
 
-  // Route memo (see RouteSlot): only the pairs a workload actually routes
-  // get pool entries, and the slot tables are shaped per use-site — ICN1
-  // carries all-pairs internal traffic, the ECN1s only ever route to/from
-  // their concentrator, the ICN2 routes concentrator pairs.
-  std::vector<std::vector<RouteSlot>> icn1_routes_;    ///< [cl][src*N+dst]
-  std::vector<std::vector<RouteSlot>> ecn1_to_conc_;   ///< [cl][src]
-  std::vector<std::vector<RouteSlot>> ecn1_from_conc_; ///< [cl][dst]
-  std::vector<RouteSlot> icn2_routes_;                 ///< [src_c*C+dst_c]
-  std::vector<GlobalChannelId> route_pool_;
-
-  std::vector<topo::ChannelId> route_scratch_;
-  std::vector<GlobalChannelId> path_scratch_;
 };
 
 }  // namespace mcs::sim

@@ -57,14 +57,19 @@ double TrafficPattern::p_outgoing(const topo::MultiClusterTopology& topology,
     case PatternKind::kLocalFavor:
       return 1.0 - local_fraction;
     case PatternKind::kHotspot: {
-      // Hotspot draws hit the own cluster iff the hotspot lives there.
+      // Hotspot draws hit the own cluster iff the hotspot lives there —
+      // except from the hotspot node itself, whose redirected draws fall
+      // back to the uniform sampler (a node never targets itself) and
+      // leave the cluster with probability p_o. Averaged over the hot
+      // cluster's N_v equal-rate sources the hotspot term is therefore
+      // f * p_o / N_v, not 0.
       const auto [hot_cluster, hot_local] = topology.locate(hotspot_node);
       (void)hot_local;
-      const double uniform_part =
-          (1.0 - hotspot_fraction) * cfg.p_outgoing(cluster);
-      const double hotspot_part =
-          hot_cluster == cluster ? 0.0 : hotspot_fraction;
-      return uniform_part + hotspot_part;
+      const double p_o = cfg.p_outgoing(cluster);
+      const double uniform_part = (1.0 - hotspot_fraction) * p_o;
+      if (hot_cluster != cluster) return uniform_part + hotspot_fraction;
+      const auto n_v = static_cast<double>(cfg.cluster_size(cluster));
+      return uniform_part + hotspot_fraction * p_o / n_v;
     }
     case PatternKind::kClusterPermutation:
       // Every message goes to the shifted cluster: external unless the

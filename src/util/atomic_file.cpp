@@ -59,6 +59,16 @@ void write_file_atomic(const std::string& path, const std::string& content) {
   }
 }
 
+void append_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw ConfigError("cannot open '" + path + "' for append");
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out)
+    throw ConfigError("append to '" + path + "' failed (disk full?)");
+}
+
 std::optional<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;

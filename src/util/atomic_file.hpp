@@ -1,6 +1,7 @@
-// Atomic whole-file writes (write-temp-then-rename) for checkpoint
-// journals and cache entries: a reader never sees a half-written file,
-// and a crash mid-write leaves the previous version intact.
+// Small-file IO primitives for checkpoint journals and cache entries:
+// atomic whole-file writes (write-temp-then-rename — a reader never sees
+// a half-written file, and a crash mid-write leaves the previous version
+// intact) plus a plain in-place append for line-oriented append segments.
 #pragma once
 
 #include <optional>
@@ -14,6 +15,13 @@ namespace mcs::util {
 /// file cannot be created, written, flushed or renamed; the temp file is
 /// removed on failure.
 void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Append `content` to `path` in place (creating it when absent). NOT
+/// atomic: a crash mid-write can leave a torn trailing fragment, so a
+/// format using append segments must make its reader tolerate one (the
+/// checkpoint journal drops everything after the last newline). Throws
+/// mcs::ConfigError when the file cannot be opened or the write fails.
+void append_file(const std::string& path, const std::string& content);
 
 /// The whole file as a string, or nullopt when it does not exist or is
 /// unreadable. No exceptions — absence is an expected state for caches.

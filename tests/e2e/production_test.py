@@ -223,14 +223,19 @@ def test_warm_cache_zero_sims(h):
 
 def test_kill_and_resume(h):
     """SIGKILL a checkpointed run mid-flight, then --resume: the finished
-    campaign must be byte-identical to an uninterrupted one."""
+    campaign must be byte-identical to an uninterrupted one. A mid-kill
+    journal may carry an unsorted append segment and even a torn trailing
+    line — --resume must swallow both, and the journal it leaves behind
+    must match the uninterrupted run's byte for byte (the finalize
+    compaction makes finished journals scheduling-independent)."""
     journal = h.path("resume.journal")
     if os.path.exists(journal):
         os.remove(journal)
     # Reference for these exact flags (longer phases slow the victim down
     # enough to catch it between checkpoint appends).
     flags = ["--measured=400000", "--warmup=500", "--threads=1"]
-    h.run("mcs_sweep", SCENARIO, "--quiet", *flags, "--csv=resume_ref.csv")
+    h.run("mcs_sweep", SCENARIO, "--quiet", *flags, "--csv=resume_ref.csv",
+          "--checkpoint=resume_ref.journal")
 
     cmd = [os.path.join(h.build_dir, "mcs_sweep"), SCENARIO, "--quiet",
            f"--checkpoint={journal}"] + flags
@@ -256,10 +261,14 @@ def test_kill_and_resume(h):
     m = h.summary_metrics(proc.stdout)
     check(h.read("resumed.csv") == h.read("resume_ref.csv"),
           "resumed campaign differs from the uninterrupted run")
+    check(h.read("resume.journal") == h.read("resume_ref.journal"),
+          "finalized journal differs from the uninterrupted run's — "
+          "completed journals must be byte-identical regardless of "
+          "interruption or task scheduling")
     how = (f"killed with {m['restored']} rows checkpointed"
            if killed_midway else
            "victim finished before the kill window (machine too fast)")
-    return f"resume byte-identical; {how}"
+    return f"resume and journal byte-identical; {how}"
 
 
 def test_hang_caught_by_timeout(h):

@@ -330,6 +330,112 @@ TEST(Checkpoint, JournalRoundTripsAndSortsByGridIndex) {
   EXPECT_FALSE(load_journal(path + ".does-not-exist").has_value());
 }
 
+// The append segment: adds past the first land as one appended line
+// each (with periodic compaction), in whatever order scheduling
+// completes rows — the loader must hand back a sorted, deduplicated
+// view regardless. 200 reverse-order adds also push well past the
+// compaction threshold (floor 64), so both the append and the fold-back
+// paths are exercised.
+TEST(Checkpoint, AppendedRowsLoadSortedAndDeduplicated) {
+  const std::string path = scratch_dir("append") + "/j.journal";
+  CheckpointWriter writer(path, "tiny", 0, 1);
+  for (int i = 199; i >= 0; --i)
+    writer.add(i, "d" + std::to_string(i),
+               "mcs-row-payload v1 p=" + std::to_string(i));
+  // Re-record one index (the resume-then-recompute pattern): the fresh
+  // entry must supersede the stale one.
+  writer.add(42, "d42-fresh", "mcs-row-payload v1 p=fresh");
+
+  const std::optional<Journal> journal = load_journal(path);
+  ASSERT_TRUE(journal.has_value());
+  ASSERT_EQ(journal->entries.size(), 200u);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(journal->entries[static_cast<std::size_t>(i)].grid_index, i);
+  EXPECT_EQ(journal->entries[42].digest, "d42-fresh");
+  EXPECT_EQ(journal->entries[42].payload, "mcs-row-payload v1 p=fresh");
+}
+
+// A crash mid-append leaves a torn trailing line (no final newline).
+// The loader must drop exactly that fragment — and only that fragment:
+// malformed lines before the final newline are real corruption.
+TEST(Checkpoint, TornTrailingLineIsDropped) {
+  const std::string dir = scratch_dir("torn");
+  const std::string header =
+      "mcs-journal v1\nscenario x\nshard 0 1\n";
+  const std::string row1 = "row 1 d1 mcs-row-payload v1 y=2\n";
+
+  // Torn mid-payload.
+  util::write_file_atomic(dir + "/a", header + row1 + "row 7 d7 mcs-row-pa");
+  std::optional<Journal> j = load_journal(dir + "/a");
+  ASSERT_TRUE(j.has_value());
+  ASSERT_EQ(j->entries.size(), 1u);
+  EXPECT_EQ(j->entries[0].grid_index, 1);
+
+  // Torn mid-tag.
+  util::write_file_atomic(dir + "/b", header + row1 + "ro");
+  j = load_journal(dir + "/b");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->entries.size(), 1u);
+
+  // A torn duplicate of a recorded index must not shadow the complete
+  // earlier copy (last-occurrence-wins applies to complete lines only).
+  util::write_file_atomic(dir + "/c", header + row1 + "row 1 d1-torn");
+  j = load_journal(dir + "/c");
+  ASSERT_TRUE(j.has_value());
+  ASSERT_EQ(j->entries.size(), 1u);
+  EXPECT_EQ(j->entries[0].digest, "d1");
+  EXPECT_EQ(j->entries[0].payload, "mcs-row-payload v1 y=2");
+
+  // Malformed BEFORE the final newline: still a loud error.
+  util::write_file_atomic(dir + "/d", header + "row nope\n" + row1);
+  EXPECT_THROW((void)load_journal(dir + "/d"), ConfigError);
+}
+
+TEST(Checkpoint, DuplicateGridIndexLastOccurrenceWins) {
+  const std::string dir = scratch_dir("dup");
+  util::write_file_atomic(
+      dir + "/j", "mcs-journal v1\nscenario x\nshard 0 1\n"
+                  "row 1 d1-old mcs-row-payload v1 p=old\n"
+                  "row 2 d2 mcs-row-payload v1 p=2\n"
+                  "row 1 d1-new mcs-row-payload v1 p=new\n");
+  const std::optional<Journal> j = load_journal(dir + "/j");
+  ASSERT_TRUE(j.has_value());
+  ASSERT_EQ(j->entries.size(), 2u);
+  EXPECT_EQ(j->entries[0].grid_index, 1);
+  EXPECT_EQ(j->entries[0].digest, "d1-new");
+  EXPECT_EQ(j->entries[0].payload, "mcs-row-payload v1 p=new");
+  EXPECT_EQ(j->entries[1].grid_index, 2);
+}
+
+// The scheduling-independence contract: mid-run bytes track completion
+// order, but finalize() folds the segment so the finished file depends
+// only on the recorded rows.
+TEST(Checkpoint, FinalizedBytesIndependentOfAddOrder) {
+  const std::string dir = scratch_dir("finalorder");
+  const auto entry = [](std::int64_t i) {
+    return JournalEntry{i, "d" + std::to_string(i),
+                        "mcs-row-payload v1 p=" + std::to_string(i)};
+  };
+
+  CheckpointWriter a(dir + "/a.journal", "tiny", 0, 1);
+  for (const std::int64_t i : {3, 1, 2})
+    a.add(entry(i).grid_index, entry(i).digest, entry(i).payload);
+  CheckpointWriter b(dir + "/b.journal", "tiny", 0, 1);
+  for (const std::int64_t i : {2, 3, 1})
+    b.add(entry(i).grid_index, entry(i).digest, entry(i).payload);
+
+  // Mid-run the files differ (append order) — the loaders already agree.
+  EXPECT_NE(util::read_file(dir + "/a.journal"),
+            util::read_file(dir + "/b.journal"));
+
+  a.finalize();
+  b.finalize();
+  const std::optional<std::string> bytes_a =
+      util::read_file(dir + "/a.journal");
+  ASSERT_TRUE(bytes_a.has_value());
+  EXPECT_EQ(bytes_a, util::read_file(dir + "/b.journal"));
+}
+
 TEST(Checkpoint, MalformedJournalThrows) {
   const std::string dir = scratch_dir("badjournal");
   util::write_file_atomic(dir + "/bad1", "not-a-journal\n");

@@ -1,0 +1,274 @@
+// Parallel-mode determinism suite (DESIGN.md §16).
+//
+// The conservative per-cluster simulator carries TWO contracts, and this
+// file pins both:
+//  1. Worker-count invariance: `SimConfig::parallel` = 1, 2 and 8 produce
+//     BIT-IDENTICAL results (the partition layout and mailbox merge order
+//     are config-determined, never machine-determined). One fingerprint
+//     is additionally pinned as a golden string so the parallel stream
+//     itself cannot drift silently.
+//  2. Fidelity: on a single-cluster system the parallel mode degenerates
+//     to one partition processing the global (time, seq) order, so its
+//     latency statistics match the sequential simulator bit-exactly; on
+//     multi-cluster systems the sharded warmup quotas legitimately select
+//     a different measured set, so the comparison is statistical.
+//
+// The conservative-horizon property itself (no boundary message may carry
+// a timestamp below the receiver's processed horizon) is enforced at
+// runtime by EventQueue's push contract (time >= last pop time), which
+// every mailbox delivery crosses — all runs below double as property
+// checks of the lookahead bound.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/anatomy.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace mcs::sim {
+namespace {
+
+std::string hex(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Latency-statistics fingerprint: every field here must be bit-stable
+/// across worker counts. end_time/events are included — the round loop
+/// and its early-out guards are deterministic too.
+std::string fingerprint(const SimResult& r) {
+  std::string s;
+  s += "mean=" + hex(r.latency.mean);
+  s += " p50=" + hex(r.latency_p50);
+  s += " p95=" + hex(r.latency_p95);
+  s += " p99=" + hex(r.latency_p99);
+  s += " int=" + hex(r.internal_latency.mean);
+  s += " ext=" + hex(r.external_latency.mean);
+  s += " srcw=" + hex(r.mean_source_wait);
+  s += " concw=" + hex(r.mean_conc_wait);
+  s += " end=" + hex(r.end_time);
+  s += " events=" + std::to_string(r.events_processed);
+  s += " gen=" + std::to_string(r.generated);
+  s += " nint=" + std::to_string(r.measured_internal);
+  s += " next=" + std::to_string(r.measured_external);
+  return s;
+}
+
+topo::SystemConfig tree_system() {
+  topo::SystemConfig cfg;
+  cfg.m = 4;
+  cfg.cluster_heights = {2, 2, 3};
+  return cfg;
+}
+
+topo::SystemConfig torus_system() {
+  topo::SystemConfig cfg = topo::SystemConfig::homogeneous(4, 2, 6);
+  cfg.icn2.kind = topo::Icn2Kind::kTorus;
+  cfg.icn2.torus_wrap = true;
+  return cfg;
+}
+
+SimConfig base_config() {
+  SimConfig cfg;
+  cfg.seed = 20060814;
+  cfg.warmup_messages = 200;
+  cfg.measured_messages = 2000;
+  cfg.batch_size = 100;
+  return cfg;
+}
+
+SimResult run_parallel(const topo::SystemConfig& system, SimConfig cfg,
+                       int workers) {
+  topo::MultiClusterTopology topology(system);
+  model::NetworkParams params;  // M = 32 flits, paper timing constants
+  cfg.parallel = workers;
+  return ParallelSimulator(topology, params, 2e-4, std::move(cfg)).run();
+}
+
+void expect_worker_invariant(const topo::SystemConfig& system,
+                             const SimConfig& cfg, const char* label) {
+  const std::string one = fingerprint(run_parallel(system, cfg, 1));
+  const std::string two = fingerprint(run_parallel(system, cfg, 2));
+  const std::string eight = fingerprint(run_parallel(system, cfg, 8));
+  EXPECT_EQ(one, two) << label;
+  EXPECT_EQ(one, eight) << label;
+}
+
+TEST(ParallelSim, WorkerCountInvarianceWormhole) {
+  expect_worker_invariant(tree_system(), base_config(), "wormhole tree");
+  expect_worker_invariant(torus_system(), base_config(), "wormhole torus");
+}
+
+TEST(ParallelSim, WorkerCountInvarianceStoreAndForward) {
+  SimConfig cfg = base_config();
+  cfg.flow_control = FlowControl::kStoreAndForward;
+  expect_worker_invariant(tree_system(), cfg, "snf tree");
+  expect_worker_invariant(torus_system(), cfg, "snf torus");
+}
+
+TEST(ParallelSim, WorkerCountInvarianceCutThrough) {
+  SimConfig cfg = base_config();
+  cfg.relay_mode = RelayMode::kCutThrough;
+  expect_worker_invariant(tree_system(), cfg, "cut-through tree");
+}
+
+TEST(ParallelSim, WorkerCountInvarianceHeteroLoad) {
+  topo::SystemConfig system = tree_system();
+  system.load_scale = {2.5, 0.5, 0.5};
+  expect_worker_invariant(system, base_config(), "hetero load tree");
+}
+
+TEST(ParallelSim, PinnedGolden) {
+  // The parallel mode's own golden stream (distinct from the sequential
+  // fingerprints in sim_golden_test.cpp by design: sharded seq numbering
+  // and warmup quotas). Regenerate from the failure output if a change
+  // intentionally alters parallel semantics, and say so in the PR.
+  EXPECT_EQ(fingerprint(run_parallel(tree_system(), base_config(), 2)),
+            "mean=0x1.0ce5d61b4916fp+5 p50=0x1.284dd2f1a2p+5 "
+            "p95=0x1.6da9fbe776p+5 p99=0x1.a984401af0c8fp+5 "
+            "int=0x1.1afa62f5959c9p+4 ext=0x1.51cdf657433b7p+5 "
+            "srcw=0x1.a3ef073c3a3dbp-6 concw=0x0p+0 "
+            "end=0x1.522da30a80d13p+18 events=46420 gen=2297 "
+            "nint=702 next=1298");
+}
+
+TEST(ParallelSim, SmallSystemOracleAndConservation) {
+  // Smallest constructible system (2 clusters): almost every worm crosses
+  // a partition boundary, so the mailbox/horizon machinery carries most
+  // of the traffic. The sequential simulator is the oracle — the sharded
+  // warmup quotas select a different measured set, so the latency
+  // comparison is statistical, while the conservation invariants (every
+  // measured message delivered exactly once, per-cluster counts summing
+  // to the quota) must hold exactly.
+  topo::SystemConfig system = topo::SystemConfig::homogeneous(2, 1, 2);
+  topo::MultiClusterTopology topology(system);
+  model::NetworkParams params;
+  const SimResult seq =
+      Simulator(topology, params, 2e-4, base_config()).run();
+  SimConfig pcfg = base_config();
+  pcfg.parallel = 4;
+  const SimResult par =
+      ParallelSimulator(topology, params, 2e-4, std::move(pcfg)).run();
+
+  ASSERT_FALSE(par.saturated);
+  EXPECT_EQ(par.delivered_measured, 2000);
+  EXPECT_EQ(par.measured_internal + par.measured_external, 2000);
+  std::int64_t per_cluster_total = 0;
+  for (const std::int64_t c : par.per_cluster_count) per_cluster_total += c;
+  EXPECT_EQ(per_cluster_total, 2000);
+  EXPECT_GE(par.generated, par.delivered_measured);
+  EXPECT_NEAR(par.latency.mean, seq.latency.mean, 0.15 * seq.latency.mean);
+}
+
+TEST(ParallelSim, StatisticallyMatchesSequential) {
+  // Multi-cluster: the sharded quotas select a different (equally valid)
+  // measured set, so the oracle is statistical, not bitwise.
+  topo::MultiClusterTopology topology(tree_system());
+  model::NetworkParams params;
+  const SimResult seq =
+      Simulator(topology, params, 2e-4, base_config()).run();
+  const SimResult par = run_parallel(tree_system(), base_config(), 2);
+  ASSERT_EQ(seq.delivered_measured, 2000);
+  ASSERT_EQ(par.delivered_measured, 2000);
+  EXPECT_NEAR(par.latency.mean, seq.latency.mean, 0.15 * seq.latency.mean);
+  EXPECT_NEAR(par.external_latency.mean, seq.external_latency.mean,
+              0.15 * seq.external_latency.mean);
+}
+
+TEST(ParallelSim, DispatchRunsSequentialWhenParallelZero) {
+  topo::MultiClusterTopology topology(tree_system());
+  model::NetworkParams params;
+  const SimResult direct =
+      Simulator(topology, params, 2e-4, base_config()).run();
+  const SimResult dispatched =
+      run_simulation(topology, params, 2e-4, base_config());
+  EXPECT_EQ(fingerprint(direct), fingerprint(dispatched));
+}
+
+TEST(ParallelSim, ProbesAttachWithoutPerturbingResults) {
+  obs::ProbeSeries probes;
+  SimConfig cfg = base_config();
+  cfg.probes = &probes;
+  const SimResult with = run_parallel(tree_system(), cfg, 2);
+  const SimResult without =
+      run_parallel(tree_system(), base_config(), 2);
+  EXPECT_EQ(fingerprint(with), fingerprint(without));
+  ASSERT_FALSE(probes.samples().empty());
+  EXPECT_TRUE(with.has_last_probe);
+  double prev = -1.0;
+  for (const obs::ProbeSample& s : probes.samples()) {
+    EXPECT_GT(s.time, prev);
+    prev = s.time;
+  }
+  EXPECT_EQ(probes.samples().back().delivered_measured, 2000);
+}
+
+TEST(ParallelSim, ChannelStatsAggregateAcrossPartitions) {
+  SimConfig cfg = base_config();
+  cfg.collect_channel_stats = true;
+  const SimResult one = run_parallel(tree_system(), cfg, 1);
+  const SimResult four = run_parallel(tree_system(), cfg, 4);
+  ASSERT_FALSE(one.channel_classes.empty());
+  ASSERT_EQ(one.channel_classes.size(), four.channel_classes.size());
+  for (std::size_t i = 0; i < one.channel_classes.size(); ++i) {
+    EXPECT_EQ(hex(one.channel_classes[i].mean_utilization),
+              hex(four.channel_classes[i].mean_utilization));
+    EXPECT_EQ(hex(one.channel_classes[i].mean_message_rate),
+              hex(four.channel_classes[i].mean_message_rate));
+  }
+}
+
+TEST(ParallelSim, RejectsTraceAndAnatomyObservers) {
+  topo::MultiClusterTopology topology(tree_system());
+  model::NetworkParams params;
+  {
+    obs::TraceBuffer trace;
+    SimConfig cfg = base_config();
+    cfg.parallel = 2;
+    cfg.trace = &trace;
+    EXPECT_THROW(ParallelSimulator(topology, params, 2e-4, std::move(cfg)),
+                 ConfigError);
+  }
+  {
+    obs::LatencyAnatomy anatomy;
+    SimConfig cfg = base_config();
+    cfg.parallel = 2;
+    cfg.anatomy = &anatomy;
+    EXPECT_THROW(ParallelSimulator(topology, params, 2e-4, std::move(cfg)),
+                 ConfigError);
+  }
+}
+
+TEST(ParallelSim, WormholeRequiresSpanningMargin) {
+  // The sequential engine accepts M == longest path; the parallel mode
+  // needs one more flit so remotely held channels always release with
+  // positive lookahead. A config on the boundary must construct
+  // sequentially and throw in parallel.
+  topo::MultiClusterTopology topology(tree_system());
+  model::NetworkParams params;
+  params.message_flits = 6;  // == longest path of the {2,2,3} tree system
+  Simulator ok(topology, params, 2e-4, base_config());  // must not throw
+  SimConfig cfg = base_config();
+  cfg.parallel = 2;
+  EXPECT_THROW(ParallelSimulator(topology, params, 2e-4, std::move(cfg)),
+               ConfigError);
+}
+
+TEST(ParallelSim, SaturationCapsStopTheRun) {
+  SimConfig cfg = base_config();
+  cfg.max_events = 5'000;  // far below the ~44k a full run needs
+  const SimResult one = run_parallel(tree_system(), cfg, 1);
+  const SimResult eight = run_parallel(tree_system(), cfg, 8);
+  EXPECT_TRUE(one.saturated);
+  EXPECT_EQ(one.saturation_cause, "events");
+  EXPECT_EQ(fingerprint(one), fingerprint(eight));
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -256,6 +257,25 @@ TEST_F(ReplicationTest, SequentialCapsAtRMax) {
   EXPECT_EQ(result.replications, 3);
   EXPECT_FALSE(result.precision_met);
   EXPECT_GT(result.rel_half_width, 1e-9);
+}
+
+// Regression: the CI rule must not fire before two completed runs exist.
+// relative_half_width() over fewer than two samples returns infinity, and
+// a permissive target — rel_precision = inf passes validate(), since any
+// positive value does — made `inf <= inf` stop the sequence at r = 1 with
+// a meaningless one-run "interval" and precision_met = false. The rule
+// now waits for two completed runs, so the permissive target stops at
+// r = 2 with a real interval and precision_met = true.
+TEST_F(ReplicationTest, SequentialNeverStopsOnFewerThanTwoCompletedRuns) {
+  SequentialSpec spec;
+  spec.r_min = 1;
+  spec.r_max = 4;
+  spec.rel_precision = std::numeric_limits<double>::infinity();
+  const auto result =
+      run_replications_sequential(topo_, params_, 1e-4, small(), spec);
+  EXPECT_GE(result.completed, 2);
+  EXPECT_EQ(result.replications, 2);  // permissive target: stops ASAP
+  EXPECT_TRUE(result.precision_met);
 }
 
 TEST_F(ReplicationTest, SequentialRejectsBadSpecs) {

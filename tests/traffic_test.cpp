@@ -180,11 +180,18 @@ TEST_F(TrafficTest, SamplerMatchesPOutgoingForAllPatternKinds) {
     DestinationSampler sampler(topo_, pattern);
     for (int cluster = 0; cluster < topo_.config().cluster_count();
          ++cluster) {
-      const std::int64_t src = topo_.global_id(cluster, 0);
+      // p_outgoing is a CLUSTER aggregate over equal-rate sources, so the
+      // draws rotate over every node of the cluster (under kHotspot the
+      // hotspot node's own redirected draws fall back to uniform, making
+      // its per-node probability differ from its neighbours').
+      const std::int64_t n_v = topo_.config().cluster_size(cluster);
       int external = 0;
-      for (int i = 0; i < kDraws; ++i)
+      for (int i = 0; i < kDraws; ++i) {
+        const std::int64_t src = topo_.global_id(
+            cluster, static_cast<std::int64_t>(i) % n_v);
         external += topo_.locate(sampler.sample(src, cluster, rng)).first !=
                     cluster;
+      }
       const double expected = pattern.p_outgoing(topo_, cluster);
       // 4-sigma band around the binomial expectation (plus an epsilon so
       // degenerate 0/1 probabilities compare exactly).
@@ -196,6 +203,40 @@ TEST_F(TrafficTest, SamplerMatchesPOutgoingForAllPatternKinds) {
           << ", cluster " << cluster;
     }
   }
+}
+
+// Regression: the hot cluster's p_outgoing must include the hotspot
+// node's own redirected draws, which fall back to the uniform sampler (a
+// node never targets itself) and leave the cluster with probability p_o.
+// With N_v = 2 and f = 0.5 the missing term is f * p_o / N_v = 0.25 p_o
+// — two orders of magnitude above the Monte-Carlo noise of 200k draws —
+// so the pre-fix value ((1-f) p_o, treating every redirected draw as
+// internal) fails this test decisively.
+TEST(TrafficHotspotRegression, HotClusterPOutgoingCountsHotspotFallback) {
+  const topo::MultiClusterTopology topo(
+      topo::SystemConfig::homogeneous(2, 1, 2));  // 2 clusters x 2 nodes
+  TrafficPattern pattern;
+  pattern.kind = PatternKind::kHotspot;
+  pattern.hotspot_fraction = 0.5;
+  pattern.hotspot_node = 0;  // cluster 0, which has N_v = 2 nodes
+  DestinationSampler sampler(topo, pattern);
+
+  constexpr int kDraws = 200000;
+  util::Rng rng(10);
+  int external = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t src = i % 2;  // rotate over cluster 0's two nodes
+    external += topo.locate(sampler.sample(src, 0, rng)).first != 0;
+  }
+  const double empirical = external / static_cast<double>(kDraws);
+  const double expected = pattern.p_outgoing(topo, 0);
+
+  // Closed form: p_o = (4-2)/3 = 2/3; (1-f) p_o + f p_o / N_v = 0.5.
+  const double p_o = topo.config().p_outgoing(0);
+  EXPECT_NEAR(expected, 0.5 * p_o + 0.5 * p_o / 2.0, 1e-15);
+  const double sigma =
+      std::sqrt(expected * (1.0 - expected) / kDraws);
+  EXPECT_NEAR(empirical, expected, 4.0 * sigma);
 }
 
 TEST_F(TrafficTest, ValidationRejectsBadPatterns) {

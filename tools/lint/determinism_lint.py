@@ -9,7 +9,14 @@ break bit-identity:
 
   unordered-iter              iteration over std::unordered_{map,set}
                               feeding output / accumulation / container
-                              construction (hash order is run-dependent)
+                              construction (hash order is run-dependent).
+                              The ORDERED-REDUCTION idiom is recognized
+                              and exempt: a loop that only gathers into
+                              containers which are std::sort/stable_sort-ed
+                              right after the loop (the mailbox-merge
+                              pattern — gather, sort into a pinned total
+                              order, then consume) imposes its own order,
+                              so hash order cannot reach the output
   pointer-key                 pointer values as associative-container keys
                               (address order varies run to run under ASLR
                               and allocator state)
@@ -259,6 +266,17 @@ RAW_ENTROPY_RE = re.compile(
 SINK_RE = re.compile(
     r"<<|\.\s*(?:push_back|emplace_back|insert|emplace|append|push|"
     r"write)\s*\(|\bprintf\b|\bfprintf\b|\bsnprintf\b")
+# Container-method sinks with their receiver, for the ordered-reduction
+# exemption (stream/printf sinks can never be "sorted later").
+METHOD_SINK_RE = re.compile(
+    r"(\w+)\s*\.\s*(?:push_back|emplace_back|insert|emplace|append|push)"
+    r"\s*\(")
+STREAM_SINK_RE = re.compile(
+    r"<<|\.\s*write\s*\(|\bprintf\b|\bfprintf\b|\bsnprintf\b")
+# How far past the gather loop a sort may sit and still count as "right
+# after" (the gather/sort/consume idiom keeps them adjacent; a sort half
+# a file away proves nothing about this loop's sink).
+SORT_WINDOW = 1500
 # `x +=` inside an unordered loop: integer accumulation is associative
 # and therefore order-free; FP and everything else (strings, auto, user
 # types) is order-dependent and flagged.
@@ -341,11 +359,29 @@ def loop_is_unordered(header: str, unordered: set) -> bool:
                          header) for n in unordered)
 
 
+def gather_is_sorted_after(body: str, code_after: str) -> bool:
+    """The ordered-reduction exemption: every sink in the loop body is a
+    container method call whose receiver is std::sort/stable_sort-ed
+    within SORT_WINDOW chars after the loop (the mailbox-merge pattern:
+    gather in arbitrary order, sort into a pinned total order, consume).
+    Stream/printf sinks disqualify — their order is already emitted."""
+    if STREAM_SINK_RE.search(body):
+        return False
+    receivers = {m.group(1) for m in METHOD_SINK_RE.finditer(body)}
+    if not receivers:
+        return False
+    window = code_after[:SORT_WINDOW]
+    return all(
+        re.search(rf"\b(?:std\s*::\s*)?(?:stable_)?sort\s*\(\s*"
+                  rf"{re.escape(name)}\s*\.\s*c?begin\b", window)
+        for name in receivers)
+
+
 def check_unordered_iteration(src: SourceFile, findings: list) -> None:
     unordered = unordered_container_names(src.code)
     fps = fp_names(src.code)
     ints = int_names(src.code) - fps  # shared name: conservative, flag
-    for off, header, body, _body_off in iter_for_loops(src.code):
+    for off, header, body, body_off in iter_for_loops(src.code):
         if not loop_is_unordered(header, unordered):
             continue
         line = src.line_of(off)
@@ -362,7 +398,12 @@ def check_unordered_iteration(src: SourceFile, findings: list) -> None:
                 src.path, line, "fp-unordered-reduction",
                 f"'{fp_hit} +=' accumulates a floating-point value in "
                 "hash-table order; the sum depends on the run"))
-        if fp_hit or nonint_hit or SINK_RE.search(body):
+        sink_hit = SINK_RE.search(body) is not None
+        if sink_hit and not fp_hit and not nonint_hit and \
+                gather_is_sorted_after(
+                    body, src.code[body_off + len(body):]):
+            sink_hit = False  # ordered reduction: sorted before use
+        if fp_hit or nonint_hit or sink_hit:
             findings.append(Finding(
                 src.path, line, "unordered-iter",
                 "loop over an unordered container feeds output/"

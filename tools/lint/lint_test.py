@@ -85,6 +85,87 @@ class RuleFixtureTests(unittest.TestCase):
                 f"line {f.line} ('{text}') carries no entropy construct")
 
 
+class OrderedReductionTests(unittest.TestCase):
+    """The gather/sort/consume idiom (the parallel engine's mailbox
+    merge) is an ordered reduction: hash order never reaches the output,
+    so unordered-iter must stay silent — but only when a sort on every
+    sink actually follows."""
+
+    GATHER = (
+        "#include <algorithm>\n"
+        "#include <unordered_map>\n"
+        "#include <vector>\n"
+        "std::vector<int> f(const std::unordered_map<int, int>& m) {\n"
+        "  std::vector<int> out;\n"
+        "  for (const auto& kv : m) {\n"
+        "    out.push_back(kv.second);\n"
+        "  }\n")
+
+    def test_sorted_gather_fixture_stays_silent(self):
+        findings, errors, _ = lint("ordered_reduction_good.cpp")
+        self.assertEqual(errors, [])
+        self.assertEqual(rules_fired(findings), set(),
+                         [f.render() for f in findings])
+
+    def test_gather_without_sort_still_fires(self):
+        text = self.GATHER + "  return out;\n}\n"
+        findings, _, _ = determinism_lint.lint_file("inline.cpp", text)
+        self.assertIn("unordered-iter", rules_fired(findings))
+
+    def test_gather_with_adjacent_sort_is_exempt(self):
+        text = (self.GATHER +
+                "  std::sort(out.begin(), out.end());\n"
+                "  return out;\n}\n")
+        findings, _, _ = determinism_lint.lint_file("inline.cpp", text)
+        self.assertEqual(rules_fired(findings), set(),
+                         [f.render() for f in findings])
+
+    def test_stream_sink_disqualifies_even_with_sort(self):
+        text = (
+            "#include <algorithm>\n"
+            "#include <cstdio>\n"
+            "#include <unordered_map>\n"
+            "#include <vector>\n"
+            "std::vector<int> f(const std::unordered_map<int, int>& m) {\n"
+            "  std::vector<int> out;\n"
+            "  for (const auto& kv : m) {\n"
+            "    out.push_back(kv.second);\n"
+            "    printf(\"%d\\n\", kv.second);\n"
+            "  }\n"
+            "  std::sort(out.begin(), out.end());\n"
+            "  return out;\n}\n")
+        findings, _, _ = determinism_lint.lint_file("inline.cpp", text)
+        self.assertIn("unordered-iter", rules_fired(findings))
+
+    def test_distant_sort_does_not_exempt(self):
+        filler = "  volatile int pad = 0; (void)pad;\n" * 80
+        text = (self.GATHER + filler +
+                "  std::sort(out.begin(), out.end());\n"
+                "  return out;\n}\n")
+        self.assertGreater(len(filler), determinism_lint.SORT_WINDOW)
+        findings, _, _ = determinism_lint.lint_file("inline.cpp", text)
+        self.assertIn("unordered-iter", rules_fired(findings))
+
+    def test_fp_reduction_inside_gather_still_fires(self):
+        # Sorting afterwards cannot repair a sum folded in hash order.
+        text = (
+            "#include <algorithm>\n"
+            "#include <unordered_map>\n"
+            "#include <vector>\n"
+            "double f(const std::unordered_map<int, double>& m) {\n"
+            "  double total = 0.0;\n"
+            "  std::vector<double> out;\n"
+            "  for (const auto& kv : m) {\n"
+            "    out.push_back(kv.second);\n"
+            "    total += kv.second;\n"
+            "  }\n"
+            "  std::sort(out.begin(), out.end());\n"
+            "  return total;\n}\n")
+        findings, _, _ = determinism_lint.lint_file("inline.cpp", text)
+        self.assertIn("fp-unordered-reduction", rules_fired(findings))
+        self.assertIn("unordered-iter", rules_fired(findings))
+
+
 class SuppressionTests(unittest.TestCase):
     def test_justified_allow_silences(self):
         findings, errors, warnings = lint("suppression_ok.cpp")
